@@ -1,0 +1,298 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (DESIGN.md §3 maps IDs to paper artifacts), plus the ablation
+// studies and micro-benchmarks of the simulation substrates.
+//
+// Run them all with:
+//
+//	go test -bench=. -benchmem
+//
+// Each figure benchmark reports domain-specific metrics (deviations,
+// losses, success rates) via b.ReportMetric, so a bench run doubles as a
+// compact reproduction report.
+package psbox_test
+
+import (
+	"testing"
+
+	psbox "psbox"
+	"psbox/internal/dtw"
+	"psbox/internal/experiments"
+	"psbox/internal/sim"
+	"psbox/internal/workload"
+)
+
+// --- One benchmark per paper artifact -----------------------------------
+
+func BenchmarkFig3aSpatialEntanglement(b *testing.B) {
+	var r experiments.Fig3aResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig3a(uint64(i + 1))
+	}
+	b.ReportMetric(r.OverestimatePct, "overestimate_%")
+}
+
+func BenchmarkFig3bRequestBoundary(b *testing.B) {
+	var r experiments.Fig3bResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig3b(uint64(i + 1))
+	}
+	b.ReportMetric(r.DurationSkewPct, "same_kind_skew_%")
+}
+
+func BenchmarkFig3cLingeringState(b *testing.B) {
+	var r experiments.Fig3cResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig3c(uint64(i + 1))
+	}
+	b.ReportMetric(r.ExtraPct, "after_busy_extra_%")
+}
+
+func BenchmarkFig5Workloads(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if len(experiments.Fig5().Rows) != 13 {
+			b.Fatal("inventory incomplete")
+		}
+	}
+}
+
+func BenchmarkFig6Insulation(b *testing.B) {
+	var r experiments.Fig6Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig6(uint64(i + 1))
+	}
+	var worstPS, worstBase float64
+	for _, row := range r.Rows {
+		if row.MaxPSBoxDevPct > worstPS {
+			worstPS = row.MaxPSBoxDevPct
+		}
+		if row.MaxBaselineDevPct > worstBase {
+			worstBase = row.MaxBaselineDevPct
+		}
+	}
+	b.ReportMetric(worstPS, "psbox_worst_dev_%")
+	b.ReportMetric(worstBase, "baseline_worst_dev_%")
+}
+
+func BenchmarkFig7Balloons(b *testing.B) {
+	var r experiments.Fig7Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig7(uint64(i + 1))
+	}
+	b.ReportMetric(r.CPUOverlapUnboxedMs, "cpu_overlap_unboxed_ms")
+	b.ReportMetric(r.CPUOverlapBoxedMs, "cpu_overlap_boxed_ms")
+	b.ReportMetric(r.DSPOverlapUnboxedMs, "dsp_overlap_unboxed_ms")
+	b.ReportMetric(r.DSPOverlapBoxedMs, "dsp_overlap_boxed_ms")
+}
+
+func BenchmarkTab62Overheads(b *testing.B) {
+	var r experiments.Tab62Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Tab62(uint64(i + 1))
+	}
+	for _, row := range r.Rows {
+		b.ReportMetric(row.LatencyDelta.Milliseconds(), row.Domain+"_lat_delta_ms")
+		b.ReportMetric(row.TotalLossPct, row.Domain+"_total_loss_%")
+	}
+}
+
+func BenchmarkFig8Confinement(b *testing.B) {
+	var r experiments.Fig8Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig8(uint64(i + 1))
+	}
+	for _, d := range r.Domains {
+		b.ReportMetric(d.BoxedLossPct, d.Domain+"_boxed_loss_%")
+		b.ReportMetric(-d.WorstOtherLoss, d.Domain+"_other_change_%")
+	}
+}
+
+func BenchmarkTab63Robustness(b *testing.B) {
+	var r experiments.Tab63Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Tab63(uint64(i + 1))
+	}
+	b.ReportMetric(r.BrowserDropFactor, "browser_drop_x")
+	b.ReportMetric(r.TriangleChangePct, "triangle_change_%")
+}
+
+func BenchmarkFig9VRAdaptation(b *testing.B) {
+	var r experiments.Fig9Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Fig9(uint64(i + 1))
+	}
+	b.ReportMetric(r.DynamicRange, "dynamic_range_x")
+}
+
+func BenchmarkSec25SideChannel(b *testing.B) {
+	var r experiments.Sec25Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Sec25(uint64(i + 1))
+	}
+	b.ReportMetric(r.Unrestricted.SuccessRate*100, "unrestricted_success_%")
+	b.ReportMetric(r.PSBox.SuccessRate*100, "psbox_success_%")
+}
+
+// --- Ablations (DESIGN.md §3) --------------------------------------------
+
+func BenchmarkAblationLoans(b *testing.B) {
+	var r experiments.AblLoansResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblLoans(uint64(i + 1))
+	}
+	b.ReportMetric(r.BoxedLossWithPct, "boxed_loss_with_%")
+	b.ReportMetric(r.BoxedLossWithoutPct, "boxed_loss_without_%")
+}
+
+func BenchmarkAblationStateVirt(b *testing.B) {
+	var r experiments.AblStateVirtResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblStateVirt(uint64(i + 1))
+	}
+	b.ReportMetric(r.LeakWithPct, "leak_with_%")
+	b.ReportMetric(r.LeakWithoutPct, "leak_without_%")
+}
+
+func BenchmarkAblationDrainBilling(b *testing.B) {
+	var r experiments.AblDrainBillingResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblDrainBilling(uint64(i + 1))
+	}
+	b.ReportMetric(r.OtherLossFullPct, "other_loss_full_%")
+	b.ReportMetric(r.OtherLossIdlePct, "other_loss_idle_%")
+}
+
+func BenchmarkAblationMeterRate(b *testing.B) {
+	var r experiments.AblMeterRateResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.AblMeterRate(uint64(i + 1))
+	}
+	if len(r.DevPct) > 0 {
+		b.ReportMetric(r.DevPct[len(r.DevPct)-1], "dev_at_10us_%")
+	}
+}
+
+func BenchmarkExt7Scopes(b *testing.B) {
+	var r experiments.Ext7Result
+	for i := 0; i < b.N; i++ {
+		r = experiments.Ext7(uint64(i + 1))
+	}
+	worst := 0.0
+	for _, d := range r.DevPct {
+		if d > worst {
+			worst = d
+		}
+	}
+	b.ReportMetric(worst, "worst_scope_dev_%")
+}
+
+func BenchmarkLimCellular(b *testing.B) {
+	var r experiments.LimCellularResult
+	for i := 0; i < b.N; i++ {
+		r = experiments.LimCellular(uint64(i + 1))
+	}
+	b.ReportMetric(r.DevPct, "entanglement_%")
+	b.ReportMetric(r.ColdFirstByteMs, "cold_first_byte_ms")
+}
+
+// --- Substrate micro-benchmarks ------------------------------------------
+
+// BenchmarkSimEngineEvents measures raw event throughput of the
+// discrete-event core.
+func BenchmarkSimEngineEvents(b *testing.B) {
+	eng := sim.NewEngine()
+	n := 0
+	var tick func(sim.Time)
+	tick = func(sim.Time) {
+		n++
+		eng.After(1000, tick)
+	}
+	eng.After(1000, tick)
+	b.ResetTimer()
+	eng.Run(sim.Time(int64(b.N) * 1000))
+	if n < b.N {
+		b.Fatalf("fired %d of %d", n, b.N)
+	}
+}
+
+// BenchmarkSchedulerSecond measures how much host time one simulated
+// second of a contended dual-core scheduler costs.
+func BenchmarkSchedulerSecond(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys := psbox.NewAM57(uint64(i + 1))
+		for j := 0; j < 3; j++ {
+			workload.Install(sys.Kernel, workload.Calib3D(2, true))
+		}
+		sys.Run(1 * psbox.Second)
+	}
+}
+
+// BenchmarkBoxedSchedulerSecond is the same with one app sandboxed —
+// the simulator-side cost of balloons.
+func BenchmarkBoxedSchedulerSecond(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		sys := psbox.NewAM57(uint64(i + 1))
+		var app *psbox.App
+		for j := 0; j < 3; j++ {
+			app = workload.Install(sys.Kernel, workload.Calib3D(2, true))
+		}
+		sys.Sandbox.MustCreate(app, psbox.HWCPU).Enter()
+		sys.Run(1 * psbox.Second)
+	}
+}
+
+// BenchmarkVirtualMeterRead measures psbox_read over a long residency
+// history.
+func BenchmarkVirtualMeterRead(b *testing.B) {
+	sys := psbox.NewAM57(9)
+	app := sys.Kernel.NewApp("a")
+	app.Spawn("t", 0, psbox.Loop(
+		psbox.Compute{Cycles: 1e6},
+		psbox.Sleep{D: 2 * psbox.Millisecond},
+	))
+	hog := sys.Kernel.NewApp("hog")
+	hog.Spawn("h", 0, psbox.Loop(psbox.Compute{Cycles: 1e6}))
+	box := sys.Sandbox.MustCreate(app, psbox.HWCPU)
+	box.Enter()
+	sys.Run(2 * psbox.Second)
+	b.ResetTimer()
+	var e float64
+	for i := 0; i < b.N; i++ {
+		e = box.Read()
+	}
+	_ = e
+}
+
+// BenchmarkDTWClassify measures the §2.5 attacker's classification step.
+func BenchmarkDTWClassify(b *testing.B) {
+	r := sim.NewRand(5)
+	mk := func() []float64 {
+		s := make([]float64, 300)
+		for i := range s {
+			s[i] = r.Float64()
+		}
+		return s
+	}
+	training := make([][]float64, 10)
+	for i := range training {
+		training[i] = mk()
+	}
+	probe := mk()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dtw.Classify(probe, training, 30)
+	}
+}
+
+// BenchmarkAccounting measures the baseline accountant's window walk over
+// one simulated second at the paper's 10 µs granularity.
+func BenchmarkAccounting(b *testing.B) {
+	sys := psbox.NewAM57(11)
+	victim := workload.Install(sys.Kernel, workload.Calib3D(2, false))
+	workload.Install(sys.Kernel, workload.Bodytrack(2, false))
+	sys.Run(1 * psbox.Second)
+	acc := sys.Accountant("cpu", 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc.AppEnergy(victim.ID, 0, sys.Now())
+	}
+}

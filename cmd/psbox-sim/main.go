@@ -1,0 +1,74 @@
+// Command psbox-sim runs a declarative simulation scenario from JSON.
+//
+// Usage:
+//
+//	psbox-sim -example                # print a sample scenario
+//	psbox-sim scenario.json           # run a scenario file
+//	psbox-sim -json scenario.json     # machine-readable report
+//	echo '{...}' | psbox-sim -        # read from stdin
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"psbox/internal/scenario"
+)
+
+const example = `{
+  "platform": "am57",
+  "seed": 42,
+  "duration_ms": 2000,
+  "apps": [
+    {"workload": "calib3d", "box": ["cpu"]},
+    {"workload": "bodytrack"},
+    {"workload": "magic", "count": 2, "saturate": true}
+  ]
+}`
+
+func main() {
+	asJSON := flag.Bool("json", false, "emit the report as JSON")
+	showExample := flag.Bool("example", false, "print a sample scenario and exit")
+	flag.Parse()
+
+	if *showExample {
+		fmt.Println(example)
+		return
+	}
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: psbox-sim [-json] <scenario.json | ->")
+		os.Exit(2)
+	}
+	in := os.Stdin
+	if path := flag.Arg(0); path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	spec, err := scenario.Parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	report, err := scenario.Run(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+	report.Render(os.Stdout)
+}

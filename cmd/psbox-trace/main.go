@@ -1,0 +1,86 @@
+// Command psbox-trace dumps Fig. 7-style multiplexing timelines and power
+// traces, Fig. 6-style observation curves, and optional CSV for external
+// plotting.
+//
+// Usage:
+//
+//	psbox-trace                 # ASCII panels (Fig. 7)
+//	psbox-trace -fig6           # Fig. 6-style psbox-vs-baseline curves
+//	psbox-trace -csv cpu.csv    # also write the CPU-scenario power trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	psbox "psbox"
+	"psbox/internal/account"
+	"psbox/internal/experiments"
+	"psbox/internal/sim"
+	"psbox/internal/trace"
+	"psbox/internal/workload"
+)
+
+// fig6Curves renders the paper's Fig. 6 visual: the victim's power as seen
+// through its psbox against the share the baseline accounting attributes
+// to it, co-running with a noisy neighbour.
+func fig6Curves(seed uint64) {
+	sys := psbox.NewAM57(seed)
+	victim := workload.Install(sys.Kernel, workload.Catalog()["calib3d"](2, false))
+	workload.Install(sys.Kernel, workload.Catalog()["bodytrack"](2, false))
+	box := sys.Sandbox.MustCreate(victim, psbox.HWCPU)
+	box.Enter()
+	sys.Run(1500 * psbox.Millisecond)
+
+	from, to := sim.Time(500*sim.Millisecond), sys.Now()
+	step := 10 * sim.Millisecond
+	acc := sys.Accountant("cpu", account.PolicyUsageShare)
+	fmt.Println("Fig. 6-style curves — calib3d co-running with bodytrack (CPU rail)")
+	fmt.Println(trace.Plot([]trace.Series{
+		{Name: "psbox virtual meter", Samples: trace.DownsampleSamples(
+			box.SamplesBetween(psbox.HWCPU, from, to), from, to, sys.Meter.Period(), step)},
+		{Name: "baseline attributed share", Samples: acc.Series(victim.ID, from, to, step)},
+		{Name: "whole rail", Samples: trace.DownsampleRail(sys.Meter.Rail("cpu"), from, to, step)},
+	}, from, to, 100, 12))
+}
+
+func main() {
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	fig6 := flag.Bool("fig6", false, "render Fig. 6-style observation curves instead of Fig. 7 panels")
+	csvPath := flag.String("csv", "", "write the boxed-CPU scenario's power trace as CSV")
+	flag.Parse()
+
+	if *fig6 {
+		fig6Curves(*seed)
+		return
+	}
+	fmt.Println(experiments.Fig7(*seed))
+
+	if *csvPath == "" {
+		return
+	}
+	sys := psbox.NewAM57(*seed)
+	victim := workload.Install(sys.Kernel, workload.Catalog()["calib3d"](2, false))
+	workload.Install(sys.Kernel, workload.Catalog()["bodytrack"](2, false))
+	box := sys.Sandbox.MustCreate(victim, psbox.HWCPU)
+	box.Enter()
+	sys.Run(2 * psbox.Second)
+	f, err := os.Create(*csvPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	step := 1 * psbox.Millisecond
+	err = trace.WriteCSV(f, []trace.Series{
+		{Name: "cpu_rail", Samples: trace.DownsampleRail(sys.Meter.Rail("cpu"), 0, sys.Now(), step)},
+		{Name: "victim_psbox", Samples: trace.DownsampleSamples(
+			box.SamplesBetween(psbox.HWCPU, 0, sys.Now()), 0, sys.Now(), sys.Meter.Period(), step)},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *csvPath)
+}

@@ -1,0 +1,54 @@
+// Fairness demo (Fig. 8): three identical vision apps share the CPU; one
+// enters its power sandbox, and only that one pays for the insulation.
+//
+//	go run ./examples/fairness
+package main
+
+import (
+	"fmt"
+
+	psbox "psbox"
+	"psbox/internal/workload"
+)
+
+func main() {
+	sys := psbox.NewAM57(3)
+	var apps [3]*psbox.App
+	for i := range apps {
+		apps[i] = workload.Install(sys.Kernel, workload.Calib3D(2, true))
+	}
+
+	measure := func(span psbox.Duration) [3]float64 {
+		var before [3]float64
+		for i, a := range apps {
+			before[i] = a.Counter("kb")
+		}
+		sys.Run(span)
+		var rate [3]float64
+		for i, a := range apps {
+			rate[i] = (a.Counter("kb") - before[i]) / span.Seconds()
+		}
+		return rate
+	}
+
+	sys.Run(300 * psbox.Millisecond) // warm up
+	beforeRates := measure(2 * psbox.Second)
+
+	box := sys.Sandbox.MustCreate(apps[2], psbox.HWCPU)
+	box.Enter()
+	afterRates := measure(2 * psbox.Second)
+
+	fmt.Println("throughput (KB/s) of three identical calib3d instances:")
+	fmt.Printf("%-12s %10s %10s %8s\n", "instance", "before", "after", "change")
+	for i := range apps {
+		mark := " "
+		if i == 2 {
+			mark = "*"
+		}
+		change := (afterRates[i]/beforeRates[i] - 1) * 100
+		fmt.Printf("%-11s%s %10.1f %10.1f %+7.1f%%\n", apps[i].Name, mark, beforeRates[i], afterRates[i], change)
+	}
+	fmt.Println("\n(*) entered its power sandbox after the first window.")
+	fmt.Printf("it observed %.1f mJ of insulated energy and paid the entire cost:\n", box.Read()*1000)
+	fmt.Println("spatial balloons + scheduling loans confine the loss to the sandboxed app.")
+}

@@ -1,0 +1,61 @@
+// Mobile extensions (§7): power sandboxes on the display, GPS, and DRAM
+// scopes of a phone-class platform — scopes where insulation comes from
+// exact attribution (OLED), the off/suspended hiding rule (GPS), or riding
+// the CPU's spatial balloons (DRAM).
+//
+//	go run ./examples/mobile
+package main
+
+import (
+	"fmt"
+
+	psbox "psbox"
+)
+
+func main() {
+	sys := psbox.NewMobile(99)
+
+	// A navigation app: draws a map, holds the GPS, streams map tiles
+	// through memory.
+	nav := sys.Kernel.NewApp("nav")
+	nav.Spawn("ui", 0, psbox.Sequence(
+		psbox.Compute{Cycles: 2e5},
+		psbox.SetDisplayRegion{Pixels: 600000, Luminance: 0.6},
+		psbox.AcquireGPS{},
+		psbox.Sleep{D: 120 * psbox.Second},
+	))
+	nav.Spawn("tiles", 1, psbox.Loop(
+		psbox.Compute{Cycles: 2e6, MemGBs: 1.2},
+		psbox.Sleep{D: 20 * psbox.Millisecond},
+	))
+
+	// A video app lighting up most of the panel and thrashing memory.
+	video := sys.Kernel.NewApp("video")
+	video.Spawn("play", 0, psbox.Loop(
+		psbox.Compute{Cycles: 3e6, MemGBs: 3.5},
+		psbox.Sleep{D: 10 * psbox.Millisecond},
+	))
+	video.Spawn("draw", 1, psbox.Sequence(
+		psbox.Compute{Cycles: 1e5},
+		psbox.SetDisplayRegion{Pixels: 1000000, Luminance: 0.9},
+		psbox.Sleep{D: 120 * psbox.Second},
+	))
+
+	box := sys.Sandbox.MustCreate(nav, psbox.HWCPU, psbox.HWDRAM, psbox.HWDisplay, psbox.HWGPS)
+	box.Enter()
+	sys.Run(40 * psbox.Second) // past the GPS cold start (28 s)
+
+	fmt.Println("nav's insulated power observation, by scope:")
+	for _, h := range box.HW() {
+		fmt.Printf("  %-8s %9.1f mJ\n", h, box.ReadScope(h)*1000)
+	}
+	fmt.Println()
+	fmt.Printf("whole display rail: %7.1f mJ (video's big bright region dominates — nav never sees it)\n",
+		sys.Meter.Energy("display", 0, sys.Now())*1000)
+	fmt.Printf("whole DRAM rail:    %7.1f mJ (video's thrashing dominates — nav sees only its own stream)\n",
+		sys.Meter.Energy("dram", 0, sys.Now())*1000)
+	fmt.Printf("GPS state: %v, nav holds it: %v\n",
+		sys.Kernel.GPS().State(), sys.Kernel.GPS().Holds(nav.ID))
+	fmt.Println("\nper §7: OLED needs no balloons (additive pixels), GPS reveals operating")
+	fmt.Println("power but hides off/suspended transitions, and DRAM rides the CPU balloon.")
+}

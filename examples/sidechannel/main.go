@@ -1,0 +1,40 @@
+// Side channel demo (§2.5): an attacker infers which website a victim
+// browser renders from GPU power — until psbox becomes the only way to
+// observe power.
+//
+//	go run ./examples/sidechannel
+package main
+
+import (
+	"fmt"
+
+	"psbox/internal/sidechannel"
+	"psbox/internal/sim"
+)
+
+func main() {
+	base := sidechannel.Config{
+		Sites:  8,
+		Trials: 2,
+		Seed:   2026,
+		Span:   1200 * sim.Millisecond,
+		Bucket: 10 * sim.Millisecond,
+		Window: 25,
+	}
+
+	fmt.Println("training the attacker on solo victim GPU power traces…")
+
+	base.Observe = sidechannel.ObserveUnrestricted
+	open := sidechannel.Run(base)
+	fmt.Printf("\nstate of the art (power readings unprotected):\n")
+	fmt.Printf("  attacker identifies the website %d/%d times (%.0f%%, random would be %.0f%%)\n",
+		open.Correct, open.Total, open.SuccessRate*100, open.RandomGuess*100)
+
+	base.Observe = sidechannel.ObservePSBox
+	closed := sidechannel.Run(base)
+	fmt.Printf("\npsbox as the only observation interface:\n")
+	fmt.Printf("  attacker succeeds %d/%d times (%.0f%%)\n",
+		closed.Correct, closed.Total, closed.SuccessRate*100)
+	fmt.Println("\nthe attacker's sandbox shows its own camouflage workload plus idle")
+	fmt.Println("power; the victim's rendering signature never reaches it.")
+}

@@ -1,0 +1,3 @@
+module psbox
+
+go 1.22

@@ -1,0 +1,252 @@
+// Package account implements the evaluation's baseline comparator: the
+// classic two-step approach to app power awareness (§2, §6.1), in which the
+// OS meters system power and divides each sample among concurrent apps by
+// a heuristic. Per the paper's favorable setup, hardware usage is tracked
+// at the lowest software level at 10 µs granularity.
+//
+// The point of this package is to be *inadequate* in exactly the way the
+// paper demonstrates: no division heuristic can undo power entanglement
+// that already happened on the shared rail.
+package account
+
+import (
+	"sort"
+
+	"psbox/internal/hw/power"
+	"psbox/internal/sim"
+)
+
+// Policy selects the division heuristic.
+type Policy int
+
+const (
+	// PolicyUsageShare divides each sample in proportion to each app's
+	// hardware occupancy within the sampling interval (AppScope-style,
+	// ref [96]); intervals with no usage are unattributed.
+	PolicyUsageShare Policy = iota
+	// PolicyUsageShareTail is PolicyUsageShare, but idle intervals are
+	// attributed to the app that used the hardware most recently — the
+	// Eprof-style tail heuristic (ref [70]) needed for WiFi tail energy.
+	PolicyUsageShareTail
+	// PolicyEvenSplit divides each busy sample evenly among the apps
+	// active in the interval, regardless of how much each used.
+	PolicyEvenSplit
+)
+
+// Span is one occupancy interval of one app on the metered hardware (a
+// core occupancy, a command execution, a frame airtime). Spans of
+// different owners may overlap — that overlap is the entanglement.
+type Span struct {
+	Owner      int
+	Start, End sim.Time
+}
+
+// Recorder accumulates occupancy spans for one rail. Drivers feed it via
+// their usage callbacks.
+type Recorder struct {
+	spans []Span
+}
+
+// Record appends a span; zero- or negative-length spans are dropped.
+func (r *Recorder) Record(owner int, start, end sim.Time) {
+	if end <= start {
+		return
+	}
+	r.spans = append(r.spans, Span{Owner: owner, Start: start, End: end})
+}
+
+// Len reports the number of recorded spans.
+func (r *Recorder) Len() int { return len(r.spans) }
+
+// Spans returns the recorded spans (shared slice; callers must not
+// mutate). Trace rendering uses this to draw multiplexing timelines.
+func (r *Recorder) Spans() []Span { return r.spans }
+
+// Accountant divides one rail's metered power among apps.
+type Accountant struct {
+	Rail   *power.Rail
+	Rec    *Recorder
+	Window sim.Duration // sampling interval; 10 µs in the paper's setup
+	Policy Policy
+}
+
+type edge struct {
+	at    sim.Time
+	owner int
+	delta int
+}
+
+// Shares returns each app's attributed energy over [from, to).
+func (a *Accountant) Shares(from, to sim.Time) map[int]power.Joules {
+	out := make(map[int]power.Joules)
+	a.walk(from, to, func(owner int, e power.Joules) { out[owner] += e })
+	return out
+}
+
+// AppEnergy returns one app's attributed energy over [from, to).
+func (a *Accountant) AppEnergy(owner int, from, to sim.Time) power.Joules {
+	var total power.Joules
+	a.walk(from, to, func(o int, e power.Joules) {
+		if o == owner {
+			total += e
+		}
+	})
+	return total
+}
+
+// Series returns one app's attributed power, averaged over step-sized
+// buckets, for trace plotting.
+func (a *Accountant) Series(owner int, from, to sim.Time, step sim.Duration) []power.Sample {
+	if step <= 0 {
+		step = a.Window
+	}
+	nBuckets := int((to.Sub(from) + step - 1) / step)
+	if nBuckets <= 0 {
+		return nil
+	}
+	energy := make([]power.Joules, nBuckets)
+	a.walkWindows(from, to, func(wStart sim.Time, shares map[int]power.Joules) {
+		e, ok := shares[owner]
+		if !ok {
+			return
+		}
+		b := int(wStart.Sub(from) / step)
+		if b >= 0 && b < nBuckets {
+			energy[b] += e
+		}
+	})
+	out := make([]power.Sample, nBuckets)
+	for i := range energy {
+		out[i] = power.Sample{
+			T: from.Add(sim.Duration(i) * step),
+			W: energy[i] / step.Seconds(),
+		}
+	}
+	return out
+}
+
+func (a *Accountant) walk(from, to sim.Time, emit func(owner int, e power.Joules)) {
+	a.walkWindows(from, to, func(_ sim.Time, shares map[int]power.Joules) {
+		for o, e := range shares {
+			emit(o, e)
+		}
+	})
+}
+
+// walkWindows replays the recorded spans window by window, dividing each
+// window's rail energy by the active policy.
+func (a *Accountant) walkWindows(from, to sim.Time, emit func(wStart sim.Time, shares map[int]power.Joules)) {
+	if to <= from {
+		return
+	}
+	w := a.Window
+	if w <= 0 {
+		w = 10 * sim.Microsecond
+	}
+	// Build the span edge list once, sorted by time.
+	edges := make([]edge, 0, 2*len(a.Rec.spans))
+	for _, s := range a.Rec.spans {
+		edges = append(edges, edge{at: s.Start, owner: s.Owner, delta: +1})
+		edges = append(edges, edge{at: s.End, owner: s.Owner, delta: -1})
+	}
+	sort.Slice(edges, func(i, j int) bool { return edges[i].at < edges[j].at })
+
+	active := make(map[int]int)    // owner → overlapping span count
+	usage := make(map[int]float64) // per-window usage seconds
+	ei := 0
+	lastUser := -1
+	// Fast-forward edges before `from`, maintaining active set and last
+	// user.
+	for ei < len(edges) && edges[ei].at <= from {
+		e := edges[ei]
+		active[e.owner] += e.delta
+		if active[e.owner] <= 0 {
+			delete(active, e.owner)
+			lastUser = e.owner
+		}
+		ei++
+	}
+	for wStart := from; wStart < to; wStart = wStart.Add(w) {
+		wEnd := wStart.Add(w)
+		if wEnd > to {
+			wEnd = to
+		}
+		for o := range usage {
+			delete(usage, o)
+		}
+		cursor := wStart
+		for ei < len(edges) && edges[ei].at < wEnd {
+			e := edges[ei]
+			dt := e.at.Sub(cursor).Seconds()
+			if dt > 0 {
+				for o, n := range active {
+					if n > 0 {
+						usage[o] += dt * float64(n)
+					}
+				}
+				cursor = e.at
+			}
+			active[e.owner] += e.delta
+			if active[e.owner] <= 0 {
+				delete(active, e.owner)
+				lastUser = e.owner
+			}
+			ei++
+		}
+		if dt := wEnd.Sub(cursor).Seconds(); dt > 0 {
+			for o, n := range active {
+				if n > 0 {
+					usage[o] += dt * float64(n)
+				}
+			}
+		}
+		energy := a.Rail.EnergyBetween(wStart, wEnd)
+		if energy <= 0 {
+			continue
+		}
+		shares := a.divide(energy, usage, lastUser)
+		if len(shares) > 0 {
+			emit(wStart, shares)
+		}
+	}
+}
+
+func (a *Accountant) divide(energy power.Joules, usage map[int]float64, lastUser int) map[int]power.Joules {
+	switch a.Policy {
+	case PolicyEvenSplit:
+		if len(usage) == 0 {
+			return nil
+		}
+		per := energy / float64(len(usage))
+		out := make(map[int]power.Joules, len(usage))
+		for o := range usage {
+			out[o] = per
+		}
+		return out
+	case PolicyUsageShareTail:
+		if len(usage) == 0 {
+			if lastUser < 0 {
+				return nil
+			}
+			return map[int]power.Joules{lastUser: energy}
+		}
+		return a.usageShares(energy, usage)
+	default: // PolicyUsageShare
+		if len(usage) == 0 {
+			return nil
+		}
+		return a.usageShares(energy, usage)
+	}
+}
+
+func (a *Accountant) usageShares(energy power.Joules, usage map[int]float64) map[int]power.Joules {
+	var total float64
+	for _, u := range usage {
+		total += u
+	}
+	out := make(map[int]power.Joules, len(usage))
+	for o, u := range usage {
+		out[o] = energy * u / total
+	}
+	return out
+}

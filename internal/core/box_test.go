@@ -1,0 +1,352 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	psbox "psbox"
+	"psbox/internal/sim"
+)
+
+// periodicCPU builds a rate-limited CPU workload: burst cycles, then sleep
+// until the next period.
+func periodicCPU(cycles float64, period sim.Duration) psbox.Program {
+	return psbox.Loop(
+		psbox.Compute{Cycles: cycles},
+		psbox.Sleep{D: period},
+	)
+}
+
+func TestCreateValidation(t *testing.T) {
+	sys := psbox.NewAM57(1)
+	app := sys.Kernel.NewApp("a")
+	if _, err := sys.Sandbox.Create(app); err == nil {
+		t.Fatal("empty scope list should fail")
+	}
+	if _, err := sys.Sandbox.Create(app, psbox.HWWiFi); err == nil {
+		t.Fatal("AM57 has no WiFi; binding should fail")
+	}
+	if _, err := sys.Sandbox.Create(app, psbox.HWCPU, psbox.HWCPU); err == nil {
+		t.Fatal("duplicate scope should fail")
+	}
+	b, err := sys.Sandbox.Create(app, psbox.HWCPU, psbox.HWGPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.HW()) != 2 {
+		t.Fatalf("scopes = %v", b.HW())
+	}
+	if _, err := sys.Sandbox.Create(app, psbox.HWCPU); err == nil {
+		t.Fatal("second box for the same app should fail")
+	}
+	if sys.Sandbox.Box(app.ID) != b {
+		t.Fatal("Box lookup failed")
+	}
+}
+
+func TestEnterLeaveIdempotent(t *testing.T) {
+	sys := psbox.NewAM57(1)
+	app := sys.Kernel.NewApp("a")
+	app.Spawn("t", 0, periodicCPU(1e6, 5*psbox.Millisecond))
+	b := sys.Sandbox.MustCreate(app, psbox.HWCPU)
+	b.Enter()
+	b.Enter()
+	if b.Enters() != 1 || !b.Entered() {
+		t.Fatal("double enter should be a no-op")
+	}
+	sys.Run(50 * psbox.Millisecond)
+	b.Leave()
+	b.Leave()
+	if b.Entered() {
+		t.Fatal("leave failed")
+	}
+}
+
+func TestBoxObservesOwnPowerAlone(t *testing.T) {
+	// A box enclosing the only app sees the true rail energy.
+	sys := psbox.NewAM57(1)
+	app := sys.Kernel.NewApp("a")
+	app.Spawn("t", 0, psbox.Loop(psbox.Compute{Cycles: 1e6}))
+	b := sys.Sandbox.MustCreate(app, psbox.HWCPU)
+	b.Enter()
+	start := sys.Now()
+	sys.Run(500 * psbox.Millisecond)
+	observed := b.Read()
+	actual := sys.Meter.Energy("cpu", start, sys.Now())
+	if math.Abs(observed-actual)/actual > 0.02 {
+		t.Fatalf("observed %v J vs actual %v J", observed, actual)
+	}
+}
+
+// The paper's headline (Fig. 6): a boxed app's energy observation is
+// nearly invariant to what co-runs with it.
+func TestObservationInsulatedFromCoRunners(t *testing.T) {
+	run := func(coRunner int) float64 {
+		sys := psbox.NewAM57(7)
+		app := sys.Kernel.NewApp("victim")
+		app.Spawn("t", 0, periodicCPU(3e6, 6*psbox.Millisecond))
+		switch coRunner {
+		case 1:
+			other := sys.Kernel.NewApp("hog")
+			other.Spawn("t0", 0, psbox.Loop(psbox.Compute{Cycles: 1e6}))
+			other.Spawn("t1", 1, psbox.Loop(psbox.Compute{Cycles: 1e6}))
+		case 2:
+			other := sys.Kernel.NewApp("periodic")
+			other.Spawn("t", 1, periodicCPU(8e6, 3*psbox.Millisecond))
+		}
+		b := sys.Sandbox.MustCreate(app, psbox.HWCPU)
+		b.Enter()
+		sys.Run(2 * psbox.Second)
+		return b.Read()
+	}
+	alone := run(0)
+	withHog := run(1)
+	withPeriodic := run(2)
+	for _, v := range []float64{withHog, withPeriodic} {
+		diff := math.Abs(v-alone) / alone
+		if diff > 0.05 {
+			t.Fatalf("observation shifted %.1f%% under co-run (alone %v, co %v)", diff*100, alone, v)
+		}
+	}
+}
+
+func TestIdleFillWhenScheduledOut(t *testing.T) {
+	// While the box app waits for its balloon, its meter reads idle power —
+	// not the co-runners' activity.
+	sys := psbox.NewAM57(3)
+	app := sys.Kernel.NewApp("a")
+	app.Spawn("t", 0, periodicCPU(1e6, 20*psbox.Millisecond))
+	hog := sys.Kernel.NewApp("hog")
+	hog.Spawn("t0", 0, psbox.Loop(psbox.Compute{Cycles: 1e6}))
+	hog.Spawn("t1", 1, psbox.Loop(psbox.Compute{Cycles: 1e6}))
+	b := sys.Sandbox.MustCreate(app, psbox.HWCPU)
+	b.Enter()
+	sys.Run(1 * psbox.Second)
+	samples := b.SamplesBetween(psbox.HWCPU, 0, sys.Now())
+	if len(samples) == 0 {
+		t.Fatal("no samples")
+	}
+	idle := sys.Kernel.CPU().IdlePower()
+	idleCount := 0
+	for _, s := range samples {
+		if s.W == idle {
+			idleCount++
+		}
+	}
+	// The box runs ~1e6 cycles per 20ms: the vast majority of samples are
+	// idle fill despite both cores being saturated by the hog.
+	if frac := float64(idleCount) / float64(len(samples)); frac < 0.5 {
+		t.Fatalf("idle-fill fraction = %v", frac)
+	}
+}
+
+func TestSampleDrainCursor(t *testing.T) {
+	sys := psbox.NewAM57(1)
+	app := sys.Kernel.NewApp("a")
+	app.Spawn("t", 0, psbox.Loop(psbox.Compute{Cycles: 1e6}))
+	b := sys.Sandbox.MustCreate(app, psbox.HWCPU)
+	b.Enter()
+	sys.Run(10 * psbox.Millisecond)
+	s1 := b.Sample(psbox.HWCPU, 1<<20)
+	if len(s1) == 0 {
+		t.Fatal("no samples drained")
+	}
+	s2 := b.Sample(psbox.HWCPU, 1<<20)
+	if len(s2) != 0 {
+		t.Fatalf("drain should not repeat samples, got %d more", len(s2))
+	}
+	sys.Run(10 * psbox.Millisecond)
+	s3 := b.Sample(psbox.HWCPU, 1<<20)
+	if len(s3) == 0 {
+		t.Fatal("new samples should appear after time passes")
+	}
+	if s3[0].T <= s1[len(s1)-1].T {
+		t.Fatal("drained samples overlap")
+	}
+	// Timestamps are on the meter grid.
+	for _, s := range s3 {
+		if int64(s.T)%int64(sys.Meter.Period()) != 0 {
+			t.Fatalf("sample timestamp %v off the meter grid", s.T)
+		}
+	}
+}
+
+func TestSampleMaxRespected(t *testing.T) {
+	sys := psbox.NewAM57(1)
+	app := sys.Kernel.NewApp("a")
+	app.Spawn("t", 0, psbox.Loop(psbox.Compute{Cycles: 1e6}))
+	b := sys.Sandbox.MustCreate(app, psbox.HWCPU)
+	b.Enter()
+	sys.Run(10 * psbox.Millisecond)
+	got := b.Sample(psbox.HWCPU, 7)
+	if len(got) != 7 {
+		t.Fatalf("got %d samples, want 7", len(got))
+	}
+}
+
+func TestNoObservationOutsideBox(t *testing.T) {
+	sys := psbox.NewAM57(1)
+	app := sys.Kernel.NewApp("a")
+	app.Spawn("t", 0, psbox.Loop(psbox.Compute{Cycles: 1e6}))
+	b := sys.Sandbox.MustCreate(app, psbox.HWCPU)
+	sys.Run(100 * psbox.Millisecond)
+	if b.Read() != 0 {
+		t.Fatal("energy accumulated before entering")
+	}
+	b.Enter()
+	sys.Run(100 * psbox.Millisecond)
+	e1 := b.Read()
+	b.Leave()
+	sys.Run(100 * psbox.Millisecond)
+	if got := b.Read(); got != e1 {
+		t.Fatalf("energy accumulated outside the box: %v → %v", e1, got)
+	}
+}
+
+// §4.1 power-state virtualization on the CPU: the box must not observe a
+// lingering DVFS state raised by another app (Fig. 3(c) eliminated).
+func TestCPUStateVirtualization(t *testing.T) {
+	observe := func(preheat bool) float64 {
+		sys := psbox.NewAM57(5)
+		if preheat {
+			hog := sys.Kernel.NewApp("hog")
+			h0 := hog.Spawn("t0", 0, psbox.Loop(psbox.Compute{Cycles: 1e6}))
+			h1 := hog.Spawn("t1", 1, psbox.Loop(psbox.Compute{Cycles: 1e6}))
+			sys.Run(200 * psbox.Millisecond) // governor ramps to top
+			sys.Kernel.Kill(h0)
+			sys.Kernel.Kill(h1)
+		} else {
+			sys.Run(200 * psbox.Millisecond)
+		}
+		app := sys.Kernel.NewApp("a")
+		app.Spawn("t", 0, psbox.Loop(psbox.Compute{Cycles: 1e6}))
+		b := sys.Sandbox.MustCreate(app, psbox.HWCPU)
+		b.Enter()
+		sys.Run(20 * psbox.Millisecond)
+		return b.Read()
+	}
+	cold := observe(false)
+	afterBusy := observe(true)
+	diff := math.Abs(afterBusy-cold) / cold
+	if diff > 0.05 {
+		t.Fatalf("lingering state leaked into the box: cold %v vs after-busy %v (%.1f%%)", cold, afterBusy, diff*100)
+	}
+}
+
+func TestGPUBoxObservation(t *testing.T) {
+	sys := psbox.NewAM57(2)
+	app := sys.Kernel.NewApp("render")
+	app.Spawn("t", 0, psbox.Loop(
+		psbox.Compute{Cycles: 2e5},
+		psbox.SubmitAccel{Dev: "gpu", Kind: "frame", Work: 4000, DynW: 0.6},
+		psbox.AwaitAccel{Dev: "gpu", MaxBacklog: 0},
+		psbox.Sleep{D: 12 * psbox.Millisecond},
+	))
+	other := sys.Kernel.NewApp("tri")
+	other.Spawn("t", 1, psbox.Loop(
+		psbox.Compute{Cycles: 1e5},
+		psbox.SubmitAccel{Dev: "gpu", Kind: "tri", Work: 20000, DynW: 0.8},
+		psbox.AwaitAccel{Dev: "gpu", MaxBacklog: 1},
+	))
+	b := sys.Sandbox.MustCreate(app, psbox.HWGPU)
+	b.Enter()
+	sys.Run(2 * psbox.Second)
+	if b.Read() <= 0 {
+		t.Fatal("no GPU energy observed")
+	}
+	// Throughput continues for both.
+	if sys.Kernel.Accel("gpu").Completed(app.ID) == 0 ||
+		sys.Kernel.Accel("gpu").Completed(other.ID) == 0 {
+		t.Fatal("both apps should retire GPU commands")
+	}
+}
+
+func TestWiFiBoxObservation(t *testing.T) {
+	sys := psbox.NewBeagleBone(2)
+	app := sys.Kernel.NewApp("browser")
+	sock := app.OpenSocket()
+	app.Spawn("t", 0, psbox.Loop(
+		psbox.Compute{Cycles: 2e5},
+		psbox.Send{Socket: sock, Bytes: 3000},
+		psbox.AwaitNet{MaxBacklog: 0},
+		psbox.Sleep{D: 50 * psbox.Millisecond},
+	))
+	other := sys.Kernel.NewApp("scp")
+	sock2 := other.OpenSocket()
+	other.Spawn("t", 0, psbox.Loop(
+		psbox.Compute{Cycles: 1e5},
+		psbox.Send{Socket: sock2, Bytes: 12000},
+		psbox.AwaitNet{MaxBacklog: 12000},
+	))
+	b := sys.Sandbox.MustCreate(app, psbox.HWWiFi)
+	b.Enter()
+	sys.Run(3 * psbox.Second)
+	if b.Read() <= 0 {
+		t.Fatal("no WiFi energy observed")
+	}
+	if sys.Kernel.Net().SentBytes(app.ID) == 0 || sys.Kernel.Net().SentBytes(other.ID) == 0 {
+		t.Fatal("both apps should transmit")
+	}
+}
+
+func TestMultiScopeBoxReadsSum(t *testing.T) {
+	sys := psbox.NewAM57(4)
+	app := sys.Kernel.NewApp("a")
+	app.Spawn("t", 0, psbox.Loop(
+		psbox.Compute{Cycles: 1e6},
+		psbox.SubmitAccel{Dev: "gpu", Kind: "k", Work: 2000, DynW: 0.5},
+		psbox.AwaitAccel{Dev: "gpu", MaxBacklog: 0},
+	))
+	b := sys.Sandbox.MustCreate(app, psbox.HWCPU, psbox.HWGPU)
+	b.Enter()
+	sys.Run(500 * psbox.Millisecond)
+	total := b.Read()
+	parts := b.ReadScope(psbox.HWCPU) + b.ReadScope(psbox.HWGPU)
+	if math.Abs(total-parts) > 1e-9 {
+		t.Fatalf("total %v != sum of scopes %v", total, parts)
+	}
+	if b.ReadScope(psbox.HWGPU) <= 0 {
+		t.Fatal("GPU scope observed nothing")
+	}
+}
+
+func TestReenterAccumulates(t *testing.T) {
+	sys := psbox.NewAM57(6)
+	app := sys.Kernel.NewApp("a")
+	app.Spawn("t", 0, psbox.Loop(psbox.Compute{Cycles: 1e6}))
+	b := sys.Sandbox.MustCreate(app, psbox.HWCPU)
+	b.Enter()
+	sys.Run(100 * psbox.Millisecond)
+	b.Leave()
+	e1 := b.Read()
+	sys.Run(100 * psbox.Millisecond)
+	b.Enter()
+	sys.Run(100 * psbox.Millisecond)
+	e2 := b.Read()
+	if e2 <= e1 {
+		t.Fatalf("re-entered box should accumulate: %v → %v", e1, e2)
+	}
+	if b.Enters() != 2 {
+		t.Fatalf("enters = %d", b.Enters())
+	}
+}
+
+func TestUnboundScopePanics(t *testing.T) {
+	sys := psbox.NewAM57(1)
+	app := sys.Kernel.NewApp("a")
+	b := sys.Sandbox.MustCreate(app, psbox.HWCPU)
+	for _, f := range []func(){
+		func() { b.ReadScope(psbox.HWGPU) },
+		func() { b.Sample(psbox.HWGPU, 10) },
+		func() { b.SamplesBetween(psbox.HWGPU, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,83 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	psbox "psbox"
+)
+
+// memoryHeavy builds a paced workload streaming DRAM bandwidth during its
+// bursts.
+func memoryHeavy(cycles, gbs float64, rest psbox.Duration) psbox.Program {
+	return psbox.Loop(
+		psbox.Compute{Cycles: cycles, MemGBs: gbs},
+		psbox.Sleep{D: rest},
+	)
+}
+
+func TestDRAMScopeRequiresCPUScope(t *testing.T) {
+	sys := psbox.NewMobile(41)
+	app := sys.Kernel.NewApp("a")
+	if _, err := sys.Sandbox.Create(app, psbox.HWDRAM); err == nil {
+		t.Fatal("dram scope alone should be rejected")
+	}
+	if _, err := sys.Sandbox.Create(app, psbox.HWCPU, psbox.HWDRAM); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDRAMScopeUnavailableWithoutChannel(t *testing.T) {
+	sys := psbox.NewAM57(41)
+	app := sys.Kernel.NewApp("a")
+	if _, err := sys.Sandbox.Create(app, psbox.HWCPU, psbox.HWDRAM); err == nil {
+		t.Fatal("AM57 has no DRAM channel; binding should fail")
+	}
+}
+
+// §7(4): the sandbox's DRAM observation tracks its own access stream and
+// is insulated from a memory-thrashing co-runner.
+func TestDRAMObservationInsulated(t *testing.T) {
+	measure := func(coRunner bool) float64 {
+		sys := psbox.NewMobile(42)
+		app := sys.Kernel.NewApp("victim")
+		app.Spawn("t", 0, memoryHeavy(3e6, 1.5, 8*psbox.Millisecond))
+		if coRunner {
+			other := sys.Kernel.NewApp("thrash")
+			other.Spawn("t0", 0, memoryHeavy(1e6, 4.0, 0))
+			other.Spawn("t1", 1, memoryHeavy(1e6, 4.0, 0))
+		}
+		box := sys.Sandbox.MustCreate(app, psbox.HWCPU, psbox.HWDRAM)
+		box.Enter()
+		sys.Run(2 * psbox.Second)
+		return box.ReadScope(psbox.HWDRAM)
+	}
+	alone := measure(false)
+	co := measure(true)
+	if alone <= 0 {
+		t.Fatal("no DRAM energy observed")
+	}
+	if diff := math.Abs(co-alone) / alone; diff > 0.05 {
+		t.Fatalf("DRAM observation shifted %.1f%% under a thrashing co-runner", diff*100)
+	}
+}
+
+func TestDRAMRailEntangledWithoutBox(t *testing.T) {
+	// Sanity: the raw DIMM rail *is* entangled — that is what the scope
+	// insulates against.
+	measure := func(coRunner bool) float64 {
+		sys := psbox.NewMobile(43)
+		app := sys.Kernel.NewApp("victim")
+		app.Spawn("t", 0, memoryHeavy(3e6, 1.5, 8*psbox.Millisecond))
+		if coRunner {
+			other := sys.Kernel.NewApp("thrash")
+			other.Spawn("t1", 1, memoryHeavy(1e6, 4.0, 0))
+		}
+		sys.Run(2 * psbox.Second)
+		return sys.Meter.Energy("dram", 0, sys.Now())
+	}
+	alone, co := measure(false), measure(true)
+	if co < alone*1.5 {
+		t.Fatalf("rail should be entangled: alone %v vs co %v", alone, co)
+	}
+}

@@ -1,0 +1,172 @@
+package core_test
+
+import (
+	"math"
+	"testing"
+
+	psbox "psbox"
+)
+
+// §7(1): a sandbox bound to the display observes exactly its own pixel
+// contribution, regardless of what other apps draw.
+func TestDisplayScopeExactAttribution(t *testing.T) {
+	sys := psbox.NewMobile(31)
+	app := sys.Kernel.NewApp("ui")
+	app.Spawn("draw", 0, psbox.Sequence(
+		psbox.Compute{Cycles: 1e5},
+		psbox.SetDisplayRegion{Pixels: 200000, Luminance: 0.5},
+		psbox.Sleep{D: 10 * psbox.Second},
+	))
+	other := sys.Kernel.NewApp("video")
+	other.Spawn("draw", 1, psbox.Sequence(
+		psbox.Compute{Cycles: 1e5},
+		psbox.SetDisplayRegion{Pixels: 800000, Luminance: 0.9},
+		psbox.Sleep{D: 10 * psbox.Second},
+	))
+	box := sys.Sandbox.MustCreate(app, psbox.HWDisplay)
+	box.Enter()
+	start := sys.Now()
+	sys.Run(1 * psbox.Second)
+	observed := box.Read()
+
+	// Expected: the app's exact contribution over ~1 s (region set within
+	// the first millisecond).
+	want := sys.Kernel.Display().AppPower(app.ID) * sys.Now().Sub(start).Seconds()
+	if math.Abs(observed-want)/want > 0.01 {
+		t.Fatalf("observed %v J want ≈%v J", observed, want)
+	}
+	// And invariant to the other app's huge region: rail is dominated by
+	// the video app but the box never sees it.
+	rail := sys.Meter.Energy("display", start, sys.Now())
+	if observed > rail/3 {
+		t.Fatalf("box observation %v suspiciously close to whole rail %v", observed, rail)
+	}
+}
+
+func TestDisplayScopeInvariantToCoRunner(t *testing.T) {
+	measure := func(withOther bool) float64 {
+		sys := psbox.NewMobile(32)
+		app := sys.Kernel.NewApp("ui")
+		app.Spawn("draw", 0, psbox.Sequence(
+			psbox.Compute{Cycles: 1e5},
+			psbox.SetDisplayRegion{Pixels: 150000, Luminance: 0.4},
+			psbox.Sleep{D: 10 * psbox.Second},
+		))
+		if withOther {
+			other := sys.Kernel.NewApp("video")
+			other.Spawn("draw", 1, psbox.Sequence(
+				psbox.Compute{Cycles: 1e5},
+				psbox.SetDisplayRegion{Pixels: 900000, Luminance: 1},
+				psbox.Sleep{D: 10 * psbox.Second},
+			))
+		}
+		box := sys.Sandbox.MustCreate(app, psbox.HWDisplay)
+		box.Enter()
+		sys.Run(1 * psbox.Second)
+		return box.Read()
+	}
+	alone, co := measure(false), measure(true)
+	if math.Abs(co-alone)/alone > 0.02 {
+		t.Fatalf("display observation shifted: alone %v vs co %v", alone, co)
+	}
+}
+
+// §7(2): a sandbox bound to the GPS sees the true operating power but not
+// other apps' off/suspended transitions.
+func TestGPSScopeHidesOthersUsage(t *testing.T) {
+	sys := psbox.NewMobile(33)
+	cfg := sys.Kernel.GPS().Config()
+
+	watcher := sys.Kernel.NewApp("watcher")
+	watcher.Spawn("idle", 0, psbox.Loop(
+		psbox.Compute{Cycles: 1e5},
+		psbox.Sleep{D: 50 * psbox.Millisecond},
+	))
+	box := sys.Sandbox.MustCreate(watcher, psbox.HWGPS)
+	box.Enter()
+
+	// Another app acquires the GPS; during acquisition the watcher's view
+	// must remain at off power (no usage side channel).
+	navigator := sys.Kernel.NewApp("nav")
+	navigator.Spawn("nav", 1, psbox.Sequence(
+		psbox.Compute{Cycles: 1e5},
+		psbox.AcquireGPS{},
+		psbox.Sleep{D: 60 * psbox.Second},
+	))
+	sys.Run(5 * psbox.Second) // mid-acquisition (TTFF 28 s)
+	samples := box.SamplesBetween(psbox.HWGPS, 0, sys.Now())
+	for _, s := range samples {
+		if s.W != cfg.OffW {
+			t.Fatalf("watcher saw %v W during another app's acquisition", s.W)
+		}
+	}
+	// After lock, operating power is revealed to everyone.
+	sys.Run(30 * psbox.Second)
+	tail := box.SamplesBetween(psbox.HWGPS, sys.Now()-psbox.Time(psbox.Second), sys.Now())
+	if len(tail) == 0 || tail[len(tail)-1].W != cfg.OperatingW {
+		t.Fatalf("operating power not revealed: %v", tail[len(tail)-1].W)
+	}
+}
+
+func TestGPSScopeHolderSeesAcquisition(t *testing.T) {
+	sys := psbox.NewMobile(34)
+	cfg := sys.Kernel.GPS().Config()
+	nav := sys.Kernel.NewApp("nav")
+	nav.Spawn("nav", 0, psbox.Sequence(
+		psbox.Compute{Cycles: 1e5},
+		psbox.AcquireGPS{},
+		psbox.Sleep{D: 60 * psbox.Second},
+	))
+	box := sys.Sandbox.MustCreate(nav, psbox.HWGPS)
+	box.Enter()
+	sys.Run(5 * psbox.Second)
+	samples := box.SamplesBetween(psbox.HWGPS, psbox.Time(psbox.Second), sys.Now())
+	if len(samples) == 0 || samples[len(samples)-1].W != cfg.AcquireW {
+		t.Fatal("holder should observe its own acquisition power")
+	}
+}
+
+func TestMobilePlatformScopes(t *testing.T) {
+	sys := psbox.NewMobile(35)
+	app := sys.Kernel.NewApp("a")
+	b, err := sys.Sandbox.Create(app, psbox.HWCPU, psbox.HWGPU, psbox.HWDSP,
+		psbox.HWWiFi, psbox.HWDisplay, psbox.HWGPS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.HW()) != 6 {
+		t.Fatalf("scopes = %v", b.HW())
+	}
+	// AM57 has neither display nor GPS.
+	sys2 := psbox.NewAM57(35)
+	app2 := sys2.Kernel.NewApp("a")
+	if _, err := sys2.Sandbox.Create(app2, psbox.HWDisplay); err == nil {
+		t.Fatal("display scope should fail on AM57")
+	}
+	if _, err := sys2.Sandbox.Create(app2, psbox.HWGPS); err == nil {
+		t.Fatal("gps scope should fail on AM57")
+	}
+}
+
+func TestGPSReleaseAction(t *testing.T) {
+	sys := psbox.NewMobile(36)
+	nav := sys.Kernel.NewApp("nav")
+	nav.Spawn("nav", 0, psbox.Sequence(
+		psbox.Compute{Cycles: 1e5},
+		psbox.AcquireGPS{},
+		psbox.Sleep{D: 2 * psbox.Second},
+		psbox.ReleaseGPS{},
+		psbox.Sleep{D: 10 * psbox.Second},
+	))
+	sys.Run(1 * psbox.Second)
+	if !sys.Kernel.GPS().Holds(nav.ID) {
+		t.Fatal("acquire action did not register")
+	}
+	sys.Run(3 * psbox.Second)
+	if sys.Kernel.GPS().Holds(nav.ID) {
+		t.Fatal("release action did not drop the hold")
+	}
+	if sys.Kernel.GPS().State().String() != "off" {
+		t.Fatalf("device should power off, state=%v", sys.Kernel.GPS().State())
+	}
+}

@@ -1,0 +1,138 @@
+package core_test
+
+import (
+	"testing"
+
+	psbox "psbox"
+)
+
+// Failure injection: the sandbox machinery must survive tasks dying at
+// arbitrary points — mid-balloon, mid-drain, while blocked on a device.
+
+func TestKillBoxedTaskMidBalloon(t *testing.T) {
+	sys := psbox.NewAM57(51)
+	app := sys.Kernel.NewApp("victim")
+	tk := app.Spawn("t", 0, psbox.Loop(psbox.Compute{Cycles: 1e6}))
+	other := sys.Kernel.NewApp("other")
+	other.Spawn("t", 0, psbox.Loop(psbox.Compute{Cycles: 1e6}))
+	box := sys.Sandbox.MustCreate(app, psbox.HWCPU)
+	box.Enter()
+	sys.Run(100 * psbox.Millisecond)
+	sys.Kernel.Kill(tk) // dies inside (or between) coscheduling windows
+	base := other.CPUTime()
+	sys.Run(500 * psbox.Millisecond)
+	// The survivor inherits the whole machine.
+	if got := (other.CPUTime() - base).Seconds(); got < 0.45 {
+		t.Fatalf("survivor got only %vs of the last 0.5s", got)
+	}
+	// The box stops accumulating once its app is gone.
+	e := box.Read()
+	sys.Run(200 * psbox.Millisecond)
+	if box.Read() < e {
+		t.Fatal("box energy went backwards")
+	}
+}
+
+func TestKillTaskBlockedOnAccelerator(t *testing.T) {
+	sys := psbox.NewAM57(52)
+	app := sys.Kernel.NewApp("a")
+	tk := app.Spawn("t", 0, psbox.Loop(
+		psbox.SubmitAccel{Dev: "gpu", Kind: "k", Work: 50000, DynW: 0.5},
+		psbox.AwaitAccel{Dev: "gpu", MaxBacklog: 0},
+		psbox.Compute{Cycles: 1e5},
+	))
+	box := sys.Sandbox.MustCreate(app, psbox.HWGPU)
+	box.Enter()
+	sys.Run(20 * psbox.Millisecond) // command in flight, task blocked
+	sys.Kernel.Kill(tk)
+	sys.Run(2 * psbox.Second) // the orphaned command must still retire
+	if sys.Kernel.Accel("gpu").Backlog(app.ID) != 0 {
+		t.Fatal("orphaned command never drained")
+	}
+	// Other apps are unaffected afterwards.
+	other := sys.Kernel.NewApp("b")
+	other.Spawn("t", 1, psbox.Sequence(
+		psbox.SubmitAccel{Dev: "gpu", Kind: "k", Work: 1000, DynW: 0.5},
+		psbox.AwaitAccel{Dev: "gpu", MaxBacklog: 0},
+	))
+	sys.Run(1 * psbox.Second)
+	if sys.Kernel.Accel("gpu").Completed(other.ID) != 1 {
+		t.Fatal("device unusable after orphan")
+	}
+}
+
+func TestLeaveWhileTaskBlockedOnDevice(t *testing.T) {
+	sys := psbox.NewBeagleBone(53)
+	app := sys.Kernel.NewApp("a")
+	sock := app.OpenSocket()
+	app.Spawn("t", 0, psbox.Loop(
+		psbox.Send{Socket: sock, Bytes: 20000},
+		psbox.AwaitNet{MaxBacklog: 0},
+		psbox.Sleep{D: 30 * psbox.Millisecond},
+	))
+	box := sys.Sandbox.MustCreate(app, psbox.HWWiFi)
+	box.Enter()
+	sys.Run(15 * psbox.Millisecond) // frame on the air inside the balloon
+	box.Leave()
+	sys.Run(1 * psbox.Second)
+	if sys.Kernel.Net().SentBytes(app.ID) == 0 {
+		t.Fatal("transfer stalled after leave")
+	}
+	box.Enter()
+	sys.Run(1 * psbox.Second)
+	if !box.Entered() {
+		t.Fatal("re-enter failed")
+	}
+}
+
+func TestExitWholeAppWhileBoxed(t *testing.T) {
+	sys := psbox.NewAM57(54)
+	app := sys.Kernel.NewApp("a")
+	// All tasks exit naturally while the box is entered.
+	app.Spawn("t0", 0, psbox.Sequence(psbox.Compute{Cycles: 5e6}))
+	app.Spawn("t1", 1, psbox.Sequence(psbox.Compute{Cycles: 5e6}))
+	other := sys.Kernel.NewApp("b")
+	other.Spawn("t", 0, psbox.Loop(psbox.Compute{Cycles: 1e6}))
+	box := sys.Sandbox.MustCreate(app, psbox.HWCPU)
+	box.Enter()
+	sys.Run(1 * psbox.Second)
+	for _, tk := range app.Tasks() {
+		if !tk.Dead() {
+			t.Fatal("tasks should have exited")
+		}
+	}
+	// The empty box is inert; leaving and re-entering is harmless.
+	box.Leave()
+	box.Enter()
+	sys.Run(100 * psbox.Millisecond)
+}
+
+func TestRapidEnterLeaveChurn(t *testing.T) {
+	sys := psbox.NewAM57(55)
+	app := sys.Kernel.NewApp("a")
+	app.Spawn("t", 0, psbox.Loop(
+		psbox.Compute{Cycles: 5e5},
+		psbox.SubmitAccel{Dev: "gpu", Kind: "k", Work: 800, DynW: 0.4},
+		psbox.AwaitAccel{Dev: "gpu", MaxBacklog: 0},
+	))
+	other := sys.Kernel.NewApp("b")
+	other.Spawn("t", 1, psbox.Loop(
+		psbox.Compute{Cycles: 5e5},
+		psbox.SubmitAccel{Dev: "gpu", Kind: "k", Work: 2000, DynW: 0.6},
+		psbox.AwaitAccel{Dev: "gpu", MaxBacklog: 1},
+	))
+	box := sys.Sandbox.MustCreate(app, psbox.HWCPU, psbox.HWGPU)
+	for i := 0; i < 50; i++ {
+		box.Enter()
+		sys.Run(7 * psbox.Millisecond)
+		box.Leave()
+		sys.Run(3 * psbox.Millisecond)
+	}
+	if sys.Kernel.Accel("gpu").Completed(app.ID) == 0 ||
+		sys.Kernel.Accel("gpu").Completed(other.ID) == 0 {
+		t.Fatal("churn stalled the device")
+	}
+	if box.Enters() != 50 {
+		t.Fatalf("enters = %d", box.Enters())
+	}
+}

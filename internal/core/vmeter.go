@@ -1,0 +1,142 @@
+package core
+
+import (
+	"psbox/internal/hw/power"
+	"psbox/internal/sim"
+)
+
+// vseg is one span of the virtual meter's timeline: while resident the
+// sandbox observes the real rail; otherwise it is fed idle power.
+type vseg struct {
+	start, end sim.Time
+	resident   bool
+}
+
+// VirtualMeter is the per-(box, rail) virtual power meter of §3: it
+// reveals the metered hardware power only while the box's resource balloon
+// is resident on that hardware, and synthesizes idle-power samples for all
+// other entered time. Concurrent apps therefore contribute at most periods
+// of idle power to the observation.
+type VirtualMeter struct {
+	rail   *power.Rail
+	idleW  power.Watts
+	period sim.Duration
+
+	entered  bool
+	resident bool
+	segStart sim.Time
+	segs     []vseg
+
+	sampleCursor sim.Time // next sample tick for drain-style reads
+}
+
+func newVirtualMeter(rail *power.Rail, idleW power.Watts, period sim.Duration) *VirtualMeter {
+	return &VirtualMeter{rail: rail, idleW: idleW, period: period}
+}
+
+func (v *VirtualMeter) enter(now sim.Time) {
+	if v.entered {
+		return
+	}
+	v.entered = true
+	v.resident = false
+	v.segStart = now
+	if v.sampleCursor < now {
+		v.sampleCursor = now
+	}
+}
+
+func (v *VirtualMeter) leave(now sim.Time) {
+	if !v.entered {
+		return
+	}
+	v.closeSeg(now)
+	v.entered = false
+	v.resident = false
+}
+
+func (v *VirtualMeter) setResident(now sim.Time, r bool) {
+	if !v.entered || v.resident == r {
+		return
+	}
+	v.closeSeg(now)
+	v.resident = r
+	v.segStart = now
+}
+
+func (v *VirtualMeter) closeSeg(now sim.Time) {
+	if now > v.segStart {
+		v.segs = append(v.segs, vseg{start: v.segStart, end: now, resident: v.resident})
+	}
+	v.segStart = now
+}
+
+// forEachSeg visits closed segments plus the open one (clipped to now).
+func (v *VirtualMeter) forEachSeg(now sim.Time, fn func(vseg)) {
+	for _, s := range v.segs {
+		fn(s)
+	}
+	if v.entered && now > v.segStart {
+		fn(vseg{start: v.segStart, end: now, resident: v.resident})
+	}
+}
+
+// Energy reports the accumulated virtual-meter energy over all entered
+// time up to now.
+func (v *VirtualMeter) Energy(now sim.Time) power.Joules {
+	var e power.Joules
+	v.forEachSeg(now, func(s vseg) {
+		if s.resident {
+			e += v.rail.EnergyBetween(s.start, s.end)
+		} else {
+			e += v.idleW * s.end.Sub(s.start).Seconds()
+		}
+	})
+	return e
+}
+
+// SamplesBetween synthesizes the virtual meter's timestamped samples over
+// [from, to): real rail samples inside residency, idle power elsewhere in
+// entered spans. Time outside entered spans yields no samples — the app may
+// only observe power from inside its sandbox.
+func (v *VirtualMeter) SamplesBetween(from, to sim.Time, dst []power.Sample) []power.Sample {
+	v.forEachSeg(to, func(s vseg) {
+		lo, hi := s.start, s.end
+		if lo < from {
+			lo = from
+		}
+		if hi > to {
+			hi = to
+		}
+		if hi <= lo {
+			return
+		}
+		if s.resident {
+			dst = v.rail.SamplesBetween(lo, hi, v.period, dst)
+			return
+		}
+		first := (int64(lo) + int64(v.period) - 1) / int64(v.period) * int64(v.period)
+		for t := sim.Time(first); t < hi; t = t.Add(v.period) {
+			dst = append(dst, power.Sample{T: t, W: v.idleW})
+		}
+	})
+	return dst
+}
+
+// Drain returns up to max new samples since the previous Drain, advancing
+// the cursor — the psbox_sample(buf, n) continuous-collection interface.
+func (v *VirtualMeter) Drain(now sim.Time, max int) []power.Sample {
+	if max <= 0 {
+		return nil
+	}
+	out := v.SamplesBetween(v.sampleCursor, now, nil)
+	if len(out) > max {
+		out = out[:max]
+	}
+	if len(out) > 0 {
+		v.sampleCursor = out[len(out)-1].T.Add(v.period)
+	} else {
+		v.sampleCursor = now
+	}
+	return out
+}

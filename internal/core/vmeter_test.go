@@ -1,0 +1,210 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"psbox/internal/hw/power"
+	"psbox/internal/sim"
+)
+
+const us = sim.Microsecond
+
+func newVMFixture() (*sim.Engine, *power.Rail, *VirtualMeter) {
+	eng := sim.NewEngine()
+	rail := power.NewRail(eng, "r", 2.0)
+	vm := newVirtualMeter(rail, 0.5, 10*us)
+	return eng, rail, vm
+}
+
+func TestVMeterIdleFillOnly(t *testing.T) {
+	eng, _, vm := newVMFixture()
+	vm.enter(eng.Now())
+	eng.RunFor(1 * sim.Millisecond)
+	// Never resident: pure idle fill at 0.5 W.
+	if got := vm.Energy(eng.Now()); math.Abs(got-0.5*0.001) > 1e-12 {
+		t.Fatalf("energy = %v", got)
+	}
+	s := vm.SamplesBetween(0, eng.Now(), nil)
+	if len(s) != 100 {
+		t.Fatalf("samples = %d", len(s))
+	}
+	for _, x := range s {
+		if x.W != 0.5 {
+			t.Fatalf("idle sample = %v", x.W)
+		}
+	}
+}
+
+func TestVMeterResidencySplicesRail(t *testing.T) {
+	eng, rail, vm := newVMFixture()
+	vm.enter(eng.Now())
+	eng.RunFor(1 * sim.Millisecond)
+	vm.setResident(eng.Now(), true)
+	rail.Set(3.0)
+	eng.RunFor(1 * sim.Millisecond)
+	vm.setResident(eng.Now(), false)
+	rail.Set(7.0) // others' power after residency: must NOT be observed
+	eng.RunFor(1 * sim.Millisecond)
+	want := 0.5*0.001 + 3.0*0.001 + 0.5*0.001
+	if got := vm.Energy(eng.Now()); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("energy = %v want %v", got, want)
+	}
+	s := vm.SamplesBetween(0, eng.Now(), nil)
+	var saw3, saw7 bool
+	for _, x := range s {
+		if x.W == 3.0 {
+			saw3 = true
+		}
+		if x.W == 7.0 {
+			saw7 = true
+		}
+	}
+	if !saw3 || saw7 {
+		t.Fatalf("sample splice wrong: saw3=%v saw7=%v", saw3, saw7)
+	}
+}
+
+func TestVMeterNoAccumulationOutside(t *testing.T) {
+	eng, _, vm := newVMFixture()
+	eng.RunFor(1 * sim.Millisecond) // not entered
+	if vm.Energy(eng.Now()) != 0 {
+		t.Fatal("energy before enter")
+	}
+	vm.enter(eng.Now())
+	eng.RunFor(1 * sim.Millisecond)
+	vm.leave(eng.Now())
+	e := vm.Energy(eng.Now())
+	eng.RunFor(5 * sim.Millisecond)
+	if vm.Energy(eng.Now()) != e {
+		t.Fatal("energy accumulated while left")
+	}
+	if got := len(vm.SamplesBetween(0, eng.Now(), nil)); got != 100 {
+		t.Fatalf("samples outside entered spans: %d", got)
+	}
+}
+
+func TestVMeterDoubleTransitionsAreNoOps(t *testing.T) {
+	eng, _, vm := newVMFixture()
+	vm.enter(eng.Now())
+	vm.enter(eng.Now())
+	vm.setResident(eng.Now(), false) // already false
+	eng.RunFor(1 * sim.Millisecond)
+	vm.setResident(eng.Now(), true)
+	vm.setResident(eng.Now(), true)
+	eng.RunFor(1 * sim.Millisecond)
+	vm.leave(eng.Now())
+	vm.leave(eng.Now())
+	want := 0.5*0.001 + 2.0*0.001
+	if got := vm.Energy(eng.Now()); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("energy = %v want %v", got, want)
+	}
+}
+
+func TestVMeterDrainCursorSkipsGaps(t *testing.T) {
+	eng, _, vm := newVMFixture()
+	vm.enter(eng.Now())
+	eng.RunFor(500 * us)
+	got := vm.Drain(eng.Now(), 1<<20)
+	if len(got) != 50 {
+		t.Fatalf("first drain = %d", len(got))
+	}
+	vm.leave(eng.Now())
+	eng.RunFor(500 * us)
+	vm.enter(eng.Now())
+	eng.RunFor(500 * us)
+	got = vm.Drain(eng.Now(), 1<<20)
+	// Only the re-entered span yields samples; the gap is silent.
+	if len(got) != 50 {
+		t.Fatalf("post-gap drain = %d", len(got))
+	}
+	for _, s := range got {
+		if s.T < sim.Time(1000*us) {
+			t.Fatalf("sample from the gap: %v", s.T)
+		}
+	}
+	if vm.Drain(eng.Now(), 10) != nil {
+		t.Fatal("drain should be empty immediately after")
+	}
+}
+
+// Property: energy equals the idle-fill baseline plus the rail-vs-idle
+// difference integrated over resident spans only, for random transition
+// scripts.
+func TestQuickVMeterEnergyDecomposition(t *testing.T) {
+	f := func(seed uint64, script []uint8) bool {
+		eng := sim.NewEngine()
+		rail := power.NewRail(eng, "r", 1.0)
+		vm := newVirtualMeter(rail, 0.25, 10*us)
+		r := sim.NewRand(seed)
+		vm.enter(eng.Now())
+
+		var residentEnergy float64 // exact rail integral over resident spans
+		var residentTime, enteredTime sim.Duration
+		resident := false
+		var resStart sim.Time
+		entered := true
+		var entStart sim.Time
+
+		steps := 0
+		for _, op := range script {
+			if steps >= 20 {
+				break
+			}
+			steps++
+			d := sim.Duration(r.Intn(900)+100) * us
+			eng.RunFor(d)
+			rail.Set(float64(r.Intn(5)) + 0.5)
+			switch op % 3 {
+			case 0: // toggle residency (only meaningful while entered)
+				if entered {
+					if resident {
+						residentEnergy += rail.EnergyBetween(resStart, eng.Now())
+						residentTime += eng.Now().Sub(resStart)
+					} else {
+						resStart = eng.Now()
+					}
+					// mirror into the meter AFTER bookkeeping
+					resident = !resident
+					if resident {
+						resStart = eng.Now()
+					}
+					vm.setResident(eng.Now(), resident)
+				}
+			case 1:
+				if entered {
+					if resident {
+						residentEnergy += rail.EnergyBetween(resStart, eng.Now())
+						residentTime += eng.Now().Sub(resStart)
+						resident = false
+					}
+					enteredTime += eng.Now().Sub(entStart)
+					entered = false
+					vm.leave(eng.Now())
+				}
+			case 2:
+				if !entered {
+					entered = true
+					entStart = eng.Now()
+					vm.enter(eng.Now())
+				}
+			}
+		}
+		eng.RunFor(300 * us)
+		if resident {
+			residentEnergy += rail.EnergyBetween(resStart, eng.Now())
+			residentTime += eng.Now().Sub(resStart)
+		}
+		if entered {
+			enteredTime += eng.Now().Sub(entStart)
+		}
+		want := residentEnergy + 0.25*(enteredTime-residentTime).Seconds()
+		got := vm.Energy(eng.Now())
+		return math.Abs(got-want) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 40}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

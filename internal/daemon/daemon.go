@@ -1,0 +1,119 @@
+// Package daemon models a userspace multiplexing daemon, the paper's §7
+// "Userspace OS daemon" case: on systems like Android, app requests are
+// multiplexed not only by kernel drivers but by user-level servers (the
+// render/composition server, the media server). Such a daemon submits
+// device work on its clients' behalf — and unless it is made to respect
+// psbox boundaries, every client's power impact collapses onto the
+// daemon's identity: balloons cannot insulate it and a client's sandbox
+// observes nothing of its own rendering.
+//
+// RenderServer implements both behaviours: the naive daemon submits under
+// its own app ID; the psbox-aware daemon tags each submission with the
+// requesting client (the kernel's SubmitAccelAs delegation), restoring
+// per-client balloons and attribution.
+package daemon
+
+import (
+	"fmt"
+
+	"psbox/internal/kernel"
+	"psbox/internal/sim"
+)
+
+// Request is one unit of client work for the daemon.
+type Request struct {
+	Client int // requesting app ID
+	Kind   string
+	Work   float64
+	DynW   float64
+}
+
+// RenderServer is a render-server daemon over one accelerator.
+type RenderServer struct {
+	app   *kernel.App
+	dev   string
+	aware bool
+
+	queue    []Request
+	accepted map[int]uint64
+}
+
+// NewRenderServer registers the daemon app and spawns its server loop on
+// the given core. If aware is true the daemon respects psbox boundaries by
+// delegating submissions to the requesting client's identity.
+func NewRenderServer(k *kernel.Kernel, dev string, core int, aware bool) *RenderServer {
+	s := &RenderServer{
+		dev:      dev,
+		aware:    aware,
+		accepted: make(map[int]uint64),
+	}
+	s.app = k.NewApp("renderd")
+	s.app.Spawn("server", core, kernel.ProgramFunc(s.step))
+	return s
+}
+
+// App returns the daemon's own principal.
+func (s *RenderServer) App() *kernel.App { return s.app }
+
+// Aware reports whether the daemon respects psbox boundaries.
+func (s *RenderServer) Aware() bool { return s.aware }
+
+// Submit enqueues a client request (the IPC into the daemon). Client
+// programs call this from their step functions; the enqueue itself is
+// cheap, the daemon's marshalling cost is paid by the daemon's CPU task.
+func (s *RenderServer) Submit(req Request) {
+	if req.Work <= 0 {
+		panic(fmt.Sprintf("daemon: empty request from client %d", req.Client))
+	}
+	s.queue = append(s.queue, req)
+	s.accepted[req.Client]++
+}
+
+// Accepted reports how many requests a client has handed to the daemon.
+func (s *RenderServer) Accepted(client int) uint64 { return s.accepted[client] }
+
+// QueueLen reports requests waiting in the daemon.
+func (s *RenderServer) QueueLen() int { return len(s.queue) }
+
+// step is the daemon's server loop: poll the request queue, marshal, and
+// submit to the device — under the client's identity when aware, under the
+// daemon's own otherwise.
+func (s *RenderServer) step(env *kernel.Env) kernel.Action {
+	if len(s.queue) == 0 {
+		// An event-driven server parks between requests; the poll period
+		// stands in for its wakeup latency.
+		return kernel.Sleep{D: 500 * sim.Microsecond}
+	}
+	req := s.queue[0]
+	s.queue = s.queue[1:]
+	env.Count("served", 1)
+	if s.aware {
+		return kernel.SubmitAccelAs{
+			Dev: s.dev, Kind: req.Kind, Work: req.Work, DynW: req.DynW,
+			OnBehalfOf: req.Client,
+		}
+	}
+	return kernel.SubmitAccel{Dev: s.dev, Kind: req.Kind, Work: req.Work, DynW: req.DynW}
+}
+
+// Client builds a frame-paced client program that renders through the
+// daemon: marshal on the CPU, hand the request over, sleep to the next
+// frame.
+func (s *RenderServer) Client(app *kernel.App, kind string, work, dynW float64,
+	frame sim.Duration) kernel.Program {
+	step := 0
+	return kernel.ProgramFunc(func(env *kernel.Env) kernel.Action {
+		step++
+		switch step % 3 {
+		case 1:
+			return kernel.Compute{Cycles: float64(env.Rand.Jitter(2e5, 0.15))}
+		case 2:
+			s.Submit(Request{Client: app.ID, Kind: kind,
+				Work: float64(env.Rand.Jitter(int64(work), 0.1)), DynW: dynW})
+			env.Count("frames", 1)
+			return kernel.Compute{Cycles: 1}
+		default:
+			return kernel.Sleep{D: frame}
+		}
+	})
+}

@@ -1,0 +1,119 @@
+package daemon_test
+
+import (
+	"math"
+	"testing"
+
+	psbox "psbox"
+	"psbox/internal/daemon"
+	"psbox/internal/sim"
+)
+
+// build wires a render server and two clients on the AM57 GPU.
+func build(t *testing.T, seed uint64, aware bool) (*psbox.System, *daemon.RenderServer, *psbox.App, *psbox.App) {
+	t.Helper()
+	sys := psbox.NewAM57(seed)
+	srv := daemon.NewRenderServer(sys.Kernel, "gpu", 0, aware)
+	a := sys.Kernel.NewApp("clientA")
+	a.Spawn("render", 0, srv.Client(a, "frameA", 3000, 0.6, 20*sim.Millisecond))
+	b := sys.Kernel.NewApp("clientB")
+	b.Spawn("render", 1, srv.Client(b, "frameB", 9000, 0.8, 16*sim.Millisecond))
+	return sys, srv, a, b
+}
+
+func TestDaemonServesClients(t *testing.T) {
+	sys, srv, a, b := build(t, 1, true)
+	sys.Run(1 * psbox.Second)
+	if srv.Accepted(a.ID) < 30 || srv.Accepted(b.ID) < 30 {
+		t.Fatalf("accepted = %d/%d", srv.Accepted(a.ID), srv.Accepted(b.ID))
+	}
+	if srv.App().Counter("served") < 60 {
+		t.Fatalf("served = %v", srv.App().Counter("served"))
+	}
+	if srv.QueueLen() > 4 {
+		t.Fatalf("daemon backlog growing: %d", srv.QueueLen())
+	}
+}
+
+func TestNaiveDaemonCollapsesAttribution(t *testing.T) {
+	sys, srv, a, b := build(t, 2, false)
+	sys.Run(1 * psbox.Second)
+	drv := sys.Kernel.Accel("gpu")
+	// All device work lands on the daemon's identity.
+	if drv.Completed(a.ID) != 0 || drv.Completed(b.ID) != 0 {
+		t.Fatal("clients should own no commands under the naive daemon")
+	}
+	if drv.Completed(srv.App().ID) < 60 {
+		t.Fatalf("daemon owns %d commands", drv.Completed(srv.App().ID))
+	}
+}
+
+func TestAwareDaemonPreservesClientIdentity(t *testing.T) {
+	sys, srv, a, b := build(t, 3, true)
+	sys.Run(1 * psbox.Second)
+	drv := sys.Kernel.Accel("gpu")
+	if drv.Completed(srv.App().ID) != 0 {
+		t.Fatal("aware daemon should own no device work itself")
+	}
+	if drv.Completed(a.ID) < 30 || drv.Completed(b.ID) < 30 {
+		t.Fatalf("clients own %d/%d commands", drv.Completed(a.ID), drv.Completed(b.ID))
+	}
+}
+
+// The §7 point end to end: a client's GPU sandbox works through an aware
+// daemon (observation ≈ direct submission) and is blind through a naive
+// one.
+func TestClientSandboxThroughDaemon(t *testing.T) {
+	observe := func(aware bool) float64 {
+		sys, _, a, _ := build(t, 4, aware)
+		box := sys.Sandbox.MustCreate(a, psbox.HWGPU)
+		box.Enter()
+		sys.Run(1 * psbox.Second)
+		return box.Read()
+	}
+	idleOnly := func() float64 {
+		// Reference: one second of pure GPU idle power.
+		sys := psbox.NewAM57(4)
+		return sys.Kernel.Accel("gpu").Device().IdlePower() * 1.0
+	}
+
+	naive := observe(false)
+	aware := observe(true)
+	idle := idleOnly()
+
+	// Through the naive daemon the box sees only idle fill.
+	if math.Abs(naive-idle)/idle > 0.02 {
+		t.Fatalf("naive-daemon observation %v should equal idle %v", naive, idle)
+	}
+	// Through the aware daemon it sees its own rendering on top.
+	if aware < idle*1.05 {
+		t.Fatalf("aware-daemon observation %v barely above idle %v", aware, idle)
+	}
+}
+
+func TestDaemonEmptyRequestPanics(t *testing.T) {
+	sys := psbox.NewAM57(5)
+	srv := daemon.NewRenderServer(sys.Kernel, "gpu", 0, true)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	srv.Submit(daemon.Request{Client: 1, Work: 0})
+}
+
+func TestDelegationForUnknownAppPanics(t *testing.T) {
+	sys := psbox.NewAM57(6)
+	app := sys.Kernel.NewApp("a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	// The task starts executing at spawn; the bad delegation trips there
+	// or at the latest inside Run.
+	app.Spawn("t", 0, psbox.Sequence(
+		psbox.SubmitAccelAs{Dev: "gpu", Kind: "k", Work: 100, DynW: 0.1, OnBehalfOf: 999},
+	))
+	sys.Run(10 * psbox.Millisecond)
+}

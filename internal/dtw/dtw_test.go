@@ -1,0 +1,148 @@
+package dtw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestIdenticalSeriesZero(t *testing.T) {
+	a := []float64{1, 2, 3, 2, 1}
+	if d := Distance(a, a, 0); d != 0 {
+		t.Fatalf("self distance = %v", d)
+	}
+}
+
+func TestEmptyIsInfinite(t *testing.T) {
+	if !math.IsInf(Distance(nil, []float64{1}, 0), 1) {
+		t.Fatal("empty should be +Inf")
+	}
+}
+
+func TestSymmetry(t *testing.T) {
+	a := []float64{0, 1, 2, 3, 4, 3, 2}
+	b := []float64{0, 0, 1, 3, 4, 4, 2, 1}
+	if d1, d2 := Distance(a, b, 0), Distance(b, a, 0); math.Abs(d1-d2) > 1e-12 {
+		t.Fatalf("asymmetric: %v vs %v", d1, d2)
+	}
+}
+
+func TestWarpingToleratesShift(t *testing.T) {
+	// A pulse at different positions: DTW distance should be far smaller
+	// than the pointwise (Euclidean) distance.
+	pulse := func(pos int) []float64 {
+		s := make([]float64, 50)
+		for i := pos; i < pos+5 && i < 50; i++ {
+			s[i] = 1
+		}
+		return s
+	}
+	a, b := pulse(10), pulse(20)
+	var euclid float64
+	for i := range a {
+		euclid += (a[i] - b[i]) * (a[i] - b[i])
+	}
+	euclid = math.Sqrt(euclid)
+	if d := Distance(a, b, 0); d >= euclid/2 {
+		t.Fatalf("dtw %v not much better than euclid %v", d, euclid)
+	}
+}
+
+func TestDifferentLengths(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{1, 1, 2, 2, 3, 3, 4, 4}
+	if d := Distance(a, b, 0); d != 0 {
+		t.Fatalf("time-stretched copy should be distance 0, got %v", d)
+	}
+}
+
+func TestWindowAdmitsLengthDifference(t *testing.T) {
+	a := make([]float64, 10)
+	b := make([]float64, 30)
+	d := Distance(a, b, 1) // band narrower than the length gap: must widen
+	if math.IsInf(d, 1) || math.IsNaN(d) {
+		t.Fatalf("banded distance = %v", d)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	s := Normalize([]float64{2, 4, 6})
+	var mean, variance float64
+	for _, v := range s {
+		mean += v
+	}
+	mean /= 3
+	for _, v := range s {
+		variance += (v - mean) * (v - mean)
+	}
+	variance /= 3
+	if math.Abs(mean) > 1e-12 || math.Abs(variance-1) > 1e-9 {
+		t.Fatalf("normalize: mean=%v var=%v", mean, variance)
+	}
+	flat := Normalize([]float64{5, 5, 5})
+	for _, v := range flat {
+		if v != 0 {
+			t.Fatal("constant series should normalize to zeros")
+		}
+	}
+	if len(Normalize(nil)) != 0 {
+		t.Fatal("empty normalize")
+	}
+}
+
+func TestClassifyPicksNearest(t *testing.T) {
+	training := [][]float64{
+		{0, 0, 1, 1, 0, 0},
+		{1, 0, 1, 0, 1, 0},
+		{1, 1, 1, 0, 0, 0},
+	}
+	probe := []float64{0.1, 0, 0.9, 1.1, 0.05, 0}
+	idx, d := Classify(probe, training, 2)
+	if idx != 0 {
+		t.Fatalf("classified as %d (d=%v)", idx, d)
+	}
+}
+
+func TestQuickDistanceNonNegativeAndSymmetric(t *testing.T) {
+	f := func(ar, br []uint8) bool {
+		if len(ar) == 0 || len(br) == 0 {
+			return true
+		}
+		a := make([]float64, len(ar))
+		b := make([]float64, len(br))
+		for i, v := range ar {
+			a[i] = float64(v)
+		}
+		for i, v := range br {
+			b[i] = float64(v)
+		}
+		d1 := Distance(a, b, 5)
+		d2 := Distance(b, a, 5)
+		return d1 >= 0 && math.Abs(d1-d2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Triangle-inequality-ish sanity: distance to a perturbed copy is smaller
+// than to an unrelated series.
+func TestQuickPerturbationCloserThanRandom(t *testing.T) {
+	f := func(seed uint8) bool {
+		n := 40
+		a := make([]float64, n)
+		for i := range a {
+			a[i] = math.Sin(float64(i)/4 + float64(seed))
+		}
+		near := make([]float64, n)
+		far := make([]float64, n)
+		for i := range a {
+			near[i] = a[i] + 0.01*float64(i%3)
+			far[i] = float64((i*int(seed+7))%5) - 2
+		}
+		return Distance(a, near, 5) <= Distance(a, far, 5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import "testing"
+
+func TestAblLoans(t *testing.T) {
+	r := AblLoans(1)
+	// With repayment the sandbox pays and co-runners inherit the freed
+	// share (their "loss" goes negative); without it the box free-rides.
+	if r.CoRunnerLossWithPct >= r.CoRunnerLossWithoutPct {
+		t.Fatalf("repayment should benefit co-runners: with %.1f%% vs without %.1f%%",
+			r.CoRunnerLossWithPct, r.CoRunnerLossWithoutPct)
+	}
+	if r.BoxedLossWithoutPct >= r.BoxedLossWithPct {
+		t.Fatalf("without repayment the box should pay less: %.1f%% vs %.1f%%",
+			r.BoxedLossWithoutPct, r.BoxedLossWithPct)
+	}
+	_ = r.String()
+}
+
+func TestAblStateVirt(t *testing.T) {
+	r := AblStateVirt(1)
+	if r.LeakWithPct > 5 {
+		t.Fatalf("virtualized leak %.1f%% too large", r.LeakWithPct)
+	}
+	if r.LeakWithoutPct < 2*r.LeakWithPct || r.LeakWithoutPct < 5 {
+		t.Fatalf("unvirtualized leak %.1f%% should dwarf virtualized %.1f%%",
+			r.LeakWithoutPct, r.LeakWithPct)
+	}
+	_ = r.String()
+}
+
+func TestAblDrainBilling(t *testing.T) {
+	r := AblDrainBilling(1)
+	// The conservative rule shifts cost onto the box relative to
+	// idle-only billing.
+	if r.OtherLossFullPct > r.OtherLossIdlePct+1 {
+		t.Fatalf("full billing should not hurt co-runners more: %.1f%% vs %.1f%%",
+			r.OtherLossFullPct, r.OtherLossIdlePct)
+	}
+	if r.BoxedLossFullPct+1 < r.BoxedLossIdlePct {
+		t.Fatalf("full billing should charge the box at least as much: %.1f%% vs %.1f%%",
+			r.BoxedLossFullPct, r.BoxedLossIdlePct)
+	}
+	_ = r.String()
+}
+
+func TestAblMeterRate(t *testing.T) {
+	r := AblMeterRate(1)
+	if len(r.DevPct) != 3 {
+		t.Fatalf("sweep = %v", r.PeriodsUs)
+	}
+	// Entanglement persists at every rate: deviation stays material even
+	// at the finest window.
+	for i, d := range r.DevPct {
+		if d > -2 && d < 2 {
+			t.Fatalf("window %.0fµs: deviation %.1f%% vanished — entanglement should persist",
+				r.PeriodsUs[i], d)
+		}
+	}
+	_ = r.String()
+}

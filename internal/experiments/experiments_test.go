@@ -1,0 +1,216 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// These tests assert the *shapes* of the paper's results: who wins, in
+// which direction, by roughly what factor. Absolute values are recorded in
+// EXPERIMENTS.md.
+
+func TestAllRegistryComplete(t *testing.T) {
+	ids := []string{"fig3a", "fig3b", "fig3c", "sec25", "fig5", "fig6",
+		"fig7", "tab62", "fig8", "tab63", "fig9"}
+	all := All()
+	if len(all) != len(ids) {
+		t.Fatalf("registry has %d entries", len(all))
+	}
+	for i, id := range ids {
+		if all[i].ID != id {
+			t.Fatalf("registry[%d] = %s, want %s", i, all[i].ID, id)
+		}
+		if _, ok := Lookup(id); !ok {
+			t.Fatalf("Lookup(%s) failed", id)
+		}
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Fatal("Lookup should fail for unknown IDs")
+	}
+}
+
+func TestFig3aShape(t *testing.T) {
+	r := Fig3a(1)
+	if r.DuoW <= r.SoloW {
+		t.Fatalf("duo %v should exceed solo %v", r.DuoW, r.SoloW)
+	}
+	if r.DoubledSoloW <= r.DuoW {
+		t.Fatalf("doubling must overestimate: 2×solo %v vs duo %v", r.DoubledSoloW, r.DuoW)
+	}
+	if r.OverestimatePct < 5 {
+		t.Fatalf("overestimate only %.1f%%", r.OverestimatePct)
+	}
+	if !strings.Contains(r.String(), "extrapolation overestimates") {
+		t.Fatal("String() missing conclusion")
+	}
+}
+
+func TestFig3bShape(t *testing.T) {
+	r := Fig3b(1)
+	if len(r.Cmds) != 3 {
+		t.Fatalf("cmds = %d", len(r.Cmds))
+	}
+	if !r.Cmd2OverlapsCmd1 {
+		t.Fatal("command 2 must overlap command 1")
+	}
+	// Same-type commands differ in CPU-visible duration because of the
+	// overlap.
+	if math.Abs(r.DurationSkewPct) < 5 {
+		t.Fatalf("duration skew only %.1f%%", r.DurationSkewPct)
+	}
+	_ = r.String()
+}
+
+func TestFig3cShape(t *testing.T) {
+	r := Fig3c(1)
+	if r.AfterBusyMJ <= r.AfterIdleMJ {
+		t.Fatalf("after-busy %v must exceed after-idle %v", r.AfterBusyMJ, r.AfterIdleMJ)
+	}
+	if r.ExtraPct < 3 {
+		t.Fatalf("lingering-state effect only %.1f%%", r.ExtraPct)
+	}
+	_ = r.String()
+}
+
+func TestFig5Inventory(t *testing.T) {
+	r := Fig5()
+	if len(r.Rows) != 13 {
+		t.Fatalf("rows = %d, want 13", len(r.Rows))
+	}
+	s := r.String()
+	for _, name := range []string{"bodytrack", "calib3d", "dedup", "browser",
+		"magic", "cube", "triangle", "sgemm", "dgemm", "monte", "scp", "wget"} {
+		if !strings.Contains(s, name) {
+			t.Fatalf("inventory missing %s", name)
+		}
+	}
+}
+
+func TestFig6Shape(t *testing.T) {
+	r := Fig6(1)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if len(row.PSBox) != 2 || len(row.Baseline) != 2 {
+			t.Fatalf("[%s] cells missing", row.Scope)
+		}
+		// The paper's headline: psbox observations stay within a few
+		// percent; the baseline's shares deviate far more.
+		if row.MaxPSBoxDevPct > 5.5 {
+			t.Errorf("[%s] psbox deviation %.1f%% exceeds the ≈5%% bound", row.Scope, row.MaxPSBoxDevPct)
+		}
+		if row.MaxBaselineDevPct < 2*row.MaxPSBoxDevPct {
+			t.Errorf("[%s] baseline (%.1f%%) should deviate far more than psbox (%.1f%%)",
+				row.Scope, row.MaxBaselineDevPct, row.MaxPSBoxDevPct)
+		}
+		if row.MaxBaselineDevPct < 6 {
+			t.Errorf("[%s] baseline deviation %.1f%% implausibly small", row.Scope, row.MaxBaselineDevPct)
+		}
+	}
+	_ = r.String()
+}
+
+func TestFig7Shape(t *testing.T) {
+	r := Fig7(1)
+	// Balloons drive victim/other overlap to (nearly) zero; without psbox
+	// it is substantial. The small CPU residue is the IPI transit.
+	if r.CPUOverlapUnboxedMs < 10 {
+		t.Fatalf("unboxed CPU overlap only %.1f ms", r.CPUOverlapUnboxedMs)
+	}
+	if r.CPUOverlapBoxedMs > r.CPUOverlapUnboxedMs/10 {
+		t.Fatalf("boxed CPU overlap %.1f ms not eliminated", r.CPUOverlapBoxedMs)
+	}
+	if r.DSPOverlapUnboxedMs < 100 {
+		t.Fatalf("unboxed DSP overlap only %.1f ms", r.DSPOverlapUnboxedMs)
+	}
+	if r.DSPOverlapBoxedMs > 1 {
+		t.Fatalf("boxed DSP overlap %.1f ms", r.DSPOverlapBoxedMs)
+	}
+	s := r.String()
+	if !strings.Contains(s, "calib3d") || !strings.Contains(s, "dgemm") {
+		t.Fatal("panels missing workloads")
+	}
+}
+
+func TestTab62Shape(t *testing.T) {
+	r := Tab62(1)
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.LatencyDelta <= 0 {
+			t.Errorf("[%s] latency delta %v should be positive", row.Domain, row.LatencyDelta)
+		}
+	}
+	// WiFi latency grows the most (drain settles), CPU the least (IPIs).
+	if r.Rows[3].LatencyDelta < r.Rows[0].LatencyDelta {
+		t.Error("wifi latency delta should exceed cpu's")
+	}
+	_ = r.String()
+}
+
+func TestFig8Shape(t *testing.T) {
+	r := Fig8(1)
+	if len(r.Domains) != 4 {
+		t.Fatalf("domains = %d", len(r.Domains))
+	}
+	for _, d := range r.Domains {
+		if d.BoxedLossPct < 10 {
+			t.Errorf("[%s] boxed instance lost only %.1f%%", d.Domain, d.BoxedLossPct)
+		}
+		// Loss confinement: every co-runner loses far less than the boxed
+		// instance.
+		if -d.WorstOtherLoss > d.BoxedLossPct/1.8 {
+			t.Errorf("[%s] co-runner lost %.1f%% vs boxed %.1f%% — not confined",
+				d.Domain, -d.WorstOtherLoss, d.BoxedLossPct)
+		}
+	}
+	_ = r.String()
+}
+
+func TestTab63Shape(t *testing.T) {
+	r := Tab63(1)
+	if r.BrowserDropFactor < 3 {
+		t.Fatalf("browser dropped only %.1f× under contention", r.BrowserDropFactor)
+	}
+	if math.Abs(r.TriangleChangePct) > 3 {
+		t.Fatalf("triangle changed %.1f%% — should be barely perturbed", r.TriangleChangePct)
+	}
+	_ = r.String()
+}
+
+func TestFig9Shape(t *testing.T) {
+	r := Fig9(1)
+	if len(r.AchievedMW) != len(r.BudgetMW) {
+		t.Fatal("sweep incomplete")
+	}
+	// Higher budget ⇒ at least as much power and fidelity.
+	for i := 1; i < len(r.AchievedMW); i++ {
+		if r.FidelityAt[i] < r.FidelityAt[i-1] {
+			t.Fatalf("fidelity not monotone: %v", r.FidelityAt)
+		}
+	}
+	if r.DynamicRange < 4 {
+		t.Fatalf("dynamic range only %.1f×", r.DynamicRange)
+	}
+	if len(r.Steps) == 0 || r.TracePanel == "" {
+		t.Fatal("trace missing")
+	}
+	_ = r.String()
+}
+
+func TestSec25Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	r := Sec25(1)
+	if r.Unrestricted.SuccessRate < 4*r.Unrestricted.RandomGuess {
+		t.Fatalf("unrestricted attack too weak: %.2f", r.Unrestricted.SuccessRate)
+	}
+	if r.PSBox.SuccessRate > 2.5*r.PSBox.RandomGuess {
+		t.Fatalf("psbox leaks: attacker at %.2f", r.PSBox.SuccessRate)
+	}
+	_ = r.String()
+}

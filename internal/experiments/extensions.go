@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"fmt"
+
+	"strings"
+
+	psbox "psbox"
+	"psbox/internal/hw/cellular"
+	"psbox/internal/sim"
+)
+
+// Ext7Result demonstrates the §7 extension scopes on the mobile platform:
+// per-scope sandbox observations stay invariant to a heavy co-runner.
+type Ext7Result struct {
+	Scopes      []string
+	AloneMJ     []float64
+	CoRunMJ     []float64
+	DevPct      []float64
+	RailCoRunMJ []float64 // the entangled whole-rail energy for contrast
+}
+
+// Ext7 runs a navigation-style app alone and against a display/memory
+// heavy video app, boxed on the display, DRAM (with CPU) and GPS scopes.
+func Ext7(seed uint64) Ext7Result {
+	run := func(coRunner bool) (map[psbox.HW]float64, map[string]float64) {
+		sys := psbox.NewMobile(seed)
+		nav := sys.Kernel.NewApp("nav")
+		nav.Spawn("ui", 0, psbox.Sequence(
+			psbox.Compute{Cycles: 2e5},
+			psbox.SetDisplayRegion{Pixels: 500000, Luminance: 0.5},
+			psbox.AcquireGPS{},
+			psbox.Sleep{D: 300 * sim.Second},
+		))
+		nav.Spawn("tiles", 1, psbox.Loop(
+			psbox.Compute{Cycles: 2e6, MemGBs: 1.0},
+			psbox.Sleep{D: 25 * sim.Millisecond},
+		))
+		if coRunner {
+			video := sys.Kernel.NewApp("video")
+			video.Spawn("play", 0, psbox.Loop(
+				psbox.Compute{Cycles: 3e6, MemGBs: 3.5},
+				psbox.Sleep{D: 8 * sim.Millisecond},
+			))
+			video.Spawn("draw", 1, psbox.Sequence(
+				psbox.Compute{Cycles: 1e5},
+				psbox.SetDisplayRegion{Pixels: 1000000, Luminance: 0.9},
+				psbox.Sleep{D: 300 * sim.Second},
+			))
+		}
+		box := sys.Sandbox.MustCreate(nav, psbox.HWCPU, psbox.HWDRAM, psbox.HWDisplay, psbox.HWGPS)
+		box.Enter()
+		sys.Run(40 * sim.Second)
+		obs := map[psbox.HW]float64{}
+		for _, h := range []psbox.HW{psbox.HWDisplay, psbox.HWDRAM, psbox.HWGPS} {
+			obs[h] = box.ReadScope(h)
+		}
+		rails := map[string]float64{}
+		for _, r := range []string{"display", "dram", "gps"} {
+			rails[r] = sys.Meter.Energy(r, 0, sys.Now())
+		}
+		return obs, rails
+	}
+	alone, _ := run(false)
+	co, rails := run(true)
+	r := Ext7Result{}
+	for _, h := range []psbox.HW{psbox.HWDisplay, psbox.HWDRAM, psbox.HWGPS} {
+		r.Scopes = append(r.Scopes, string(h))
+		r.AloneMJ = append(r.AloneMJ, mj(alone[h]))
+		r.CoRunMJ = append(r.CoRunMJ, mj(co[h]))
+		r.DevPct = append(r.DevPct, pct(co[h], alone[h]))
+		r.RailCoRunMJ = append(r.RailCoRunMJ, mj(rails[string(h)]))
+	}
+	return r
+}
+
+func (r Ext7Result) String() string {
+	var b strings.Builder
+	b.WriteString(header("§7 extensions — sandbox scopes on display, DRAM, GPS"))
+	fmt.Fprintf(&b, "%-9s %12s %12s %8s %14s\n", "scope", "alone (mJ)", "co-run (mJ)", "dev", "rail co-run")
+	for i, s := range r.Scopes {
+		fmt.Fprintf(&b, "%-9s %12.1f %12.1f %+7.1f%% %13.1f\n",
+			s, r.AloneMJ[i], r.CoRunMJ[i], r.DevPct[i], r.RailCoRunMJ[i])
+	}
+	b.WriteString("→ observations invariant to the co-runner while the raw rails are dominated by it\n")
+	return b.String()
+}
+
+// LimCellularResult demonstrates the §7(3) limitation: identical victim
+// traffic yields materially different energy depending on co-runner
+// activity, and the modem exposes no State/Restore to virtualize.
+type LimCellularResult struct {
+	AloneMJ         float64
+	EntangledMJ     float64
+	DevPct          float64
+	ColdFirstByteMs float64 // promotion delay experienced from idle
+	WarmFirstByteMs float64 // riding another app's DCH
+}
+
+// LimCellular drives the modem directly: a victim uploading periodically,
+// with and without a chatty co-runner keeping the radio in DCH.
+func LimCellular(seed uint64) LimCellularResult {
+	cfg := cellular.DefaultConfig()
+	victimEnergy := func(coRunner bool) (float64, float64) {
+		eng := sim.NewEngine()
+		m := cellular.MustNew(eng, cfg)
+		if coRunner {
+			var chat func(sim.Time)
+			chat = func(sim.Time) {
+				m.Send(2, 300)
+				eng.After(3*sim.Second, chat)
+			}
+			chat(0)
+		}
+		var firstByte sim.Duration = -1
+		var spans []struct{ a, b sim.Time }
+		m.OnComplete(func(p *cellular.Packet) {
+			if p.Owner != 1 {
+				return
+			}
+			if firstByte < 0 {
+				firstByte = p.Dispatched.Sub(p.Enqueued)
+			}
+			spans = append(spans, struct{ a, b sim.Time }{p.Enqueued, p.Completed})
+		})
+		// Let the co-runner (if any) warm the radio up first.
+		eng.RunFor(10 * sim.Second)
+		m.Send(1, 2000)
+		eng.RunFor(25 * sim.Second)
+		m.Send(1, 2000)
+		eng.RunFor(25 * sim.Second)
+		var e float64
+		for _, s := range spans {
+			// Cover the DCH tail plus part of the FACH span the upload
+			// triggered.
+			end := s.b.Add(cfg.DchTail + 6*sim.Second)
+			if end > eng.Now() {
+				end = eng.Now()
+			}
+			e += m.Rail().EnergyBetween(s.a, end)
+		}
+		return e, firstByte.Seconds() * 1000
+	}
+	alone, cold := victimEnergy(false)
+	co, warm := victimEnergy(true)
+	return LimCellularResult{
+		AloneMJ:         mj(alone),
+		EntangledMJ:     mj(co),
+		DevPct:          pct(co, alone),
+		ColdFirstByteMs: cold,
+		WarmFirstByteMs: warm,
+	}
+}
+
+func (r LimCellularResult) String() string {
+	var b strings.Builder
+	b.WriteString(header("§7(3) limitation — cellular RRC states are not virtualizable"))
+	fmt.Fprintf(&b, "victim's marginal energy, alone:        %8.1f mJ (first byte after %.0f ms promotion)\n",
+		r.AloneMJ, r.ColdFirstByteMs)
+	fmt.Fprintf(&b, "victim's marginal energy, chatty co-run:%8.1f mJ (%+.1f%%; first byte after %.0f ms)\n",
+		r.EntangledMJ, r.DevPct, r.WarmFirstByteMs)
+	b.WriteString("→ the RRC machine (promotion delays, network-owned inactivity timers) entangles\n")
+	b.WriteString("  apps' energy, and the OS cannot save/restore it: psbox needs hardware support here\n")
+	return b.String()
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMeteringShape(t *testing.T) {
+	r := Metering(1)
+	if r.TrainMAPEPct > 10 {
+		t.Fatalf("model should track its training workload: %.1f%%", r.TrainMAPEPct)
+	}
+	if r.TestMAPEPct < r.TrainMAPEPct {
+		t.Fatalf("out-of-distribution error %.1f%% below training %.1f%%",
+			r.TestMAPEPct, r.TrainMAPEPct)
+	}
+	if r.TrainR2 < 0.5 {
+		t.Fatalf("R² = %v", r.TrainR2)
+	}
+	_ = r.String()
+}
+
+func TestExtDaemonShape(t *testing.T) {
+	r := ExtDaemon(1)
+	// Blind through the naive daemon: observation ≈ idle.
+	if d := (r.NaiveMJ - r.IdleOnlyMJ) / r.IdleOnlyMJ; d > 0.02 || d < -0.02 {
+		t.Fatalf("naive observation %v should equal idle %v", r.NaiveMJ, r.IdleOnlyMJ)
+	}
+	// Functional through the aware daemon: close to direct submission.
+	if r.AwareMJ <= r.IdleOnlyMJ*1.02 {
+		t.Fatalf("aware observation %v barely above idle", r.AwareMJ)
+	}
+	if r.AwareVsDirectPct > 15 || r.AwareVsDirectPct < -15 {
+		t.Fatalf("aware daemon deviates %.1f%% from direct submission", r.AwareVsDirectPct)
+	}
+	_ = r.String()
+}
+
+func TestAltGangShape(t *testing.T) {
+	r := AltGang(1)
+	// Work conservation: with a mostly-idle sandbox, the co-runner does
+	// better under loans than under a fixed reservation.
+	if r.OtherLoansKBs <= r.OtherGangKBs {
+		t.Fatalf("loans should conserve work: co-runner %v (loans) vs %v (gang)",
+			r.OtherLoansKBs, r.OtherGangKBs)
+	}
+	// Predictability: gang windows are (much) more regular.
+	if r.GangJitterCV >= r.LoanJitterCV {
+		t.Fatalf("gang jitter %v should be below loan jitter %v",
+			r.GangJitterCV, r.LoanJitterCV)
+	}
+	// Both mechanisms keep the sandboxed app progressing.
+	if r.BoxedLoansKBs <= 0 || r.BoxedGangKBs <= 0 {
+		t.Fatal("boxed app stalled")
+	}
+	_ = r.String()
+}
+
+func TestExtraRegistry(t *testing.T) {
+	ids := []string{"abl-loans", "abl-statevirt", "abl-drain", "abl-rate", "ext7", "lim-cell", "metering", "alt-gang", "ext-daemon"}
+	extra := Extra()
+	if len(extra) != len(ids) {
+		t.Fatalf("extra registry has %d entries", len(extra))
+	}
+	for i, id := range ids {
+		if extra[i].ID != id {
+			t.Fatalf("extra[%d] = %s want %s", i, extra[i].ID, id)
+		}
+		if _, ok := Lookup(id); !ok {
+			t.Fatalf("Lookup(%s) failed", id)
+		}
+	}
+}
+
+func TestExt7Shape(t *testing.T) {
+	r := Ext7(1)
+	if len(r.Scopes) != 3 {
+		t.Fatalf("scopes = %v", r.Scopes)
+	}
+	for i, s := range r.Scopes {
+		if math.Abs(r.DevPct[i]) > 2 {
+			t.Errorf("%s deviated %.1f%% under co-run", s, r.DevPct[i])
+		}
+		if r.AloneMJ[i] <= 0 {
+			t.Errorf("%s observed nothing", s)
+		}
+	}
+	// The co-runner must dominate the display and DRAM rails, proving the
+	// insulation is doing work.
+	for i, s := range r.Scopes {
+		if s == "gps" {
+			continue
+		}
+		if r.RailCoRunMJ[i] < 2*r.CoRunMJ[i] {
+			t.Errorf("%s rail %.1f not dominated by the co-runner (box saw %.1f)",
+				s, r.RailCoRunMJ[i], r.CoRunMJ[i])
+		}
+	}
+	_ = r.String()
+}
+
+func TestLimCellularShape(t *testing.T) {
+	r := LimCellular(1)
+	// The limitation: the victim's energy is materially entangled …
+	if math.Abs(r.DevPct) < 8 {
+		t.Fatalf("cellular entanglement only %.1f%%", r.DevPct)
+	}
+	// … and the mechanism is the RRC machine: cold promotion ≈ 600 ms,
+	// warm radio ≈ instant.
+	if r.ColdFirstByteMs < 400 {
+		t.Fatalf("cold first byte %.0f ms — promotion missing", r.ColdFirstByteMs)
+	}
+	if r.WarmFirstByteMs > r.ColdFirstByteMs/10 {
+		t.Fatalf("warm first byte %.0f ms — co-runner's DCH not ridden", r.WarmFirstByteMs)
+	}
+	_ = r.String()
+}

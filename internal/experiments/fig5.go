@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"psbox/internal/sidechannel"
+	"psbox/internal/workload"
+)
+
+// Fig5Row is one benchmark-inventory entry.
+type Fig5Row struct {
+	Domain string
+	Name   string
+	Desc   string
+}
+
+// Fig5Result is the benchmark table.
+type Fig5Result struct {
+	Rows []Fig5Row
+}
+
+// Fig5 enumerates the implemented workloads with their Fig. 5
+// descriptions.
+func Fig5() Fig5Result {
+	var r Fig5Result
+	for _, name := range workload.Names() {
+		spec := workload.Catalog()[name](2, false)
+		r.Rows = append(r.Rows, Fig5Row{Domain: spec.Domain, Name: name, Desc: spec.Desc})
+	}
+	return r
+}
+
+func (r Fig5Result) String() string {
+	var b strings.Builder
+	b.WriteString(header("Fig. 5 — benchmark apps"))
+	for _, domain := range []string{"cpu", "gpu", "dsp", "wifi"} {
+		for _, row := range r.Rows {
+			if row.Domain != domain {
+				continue
+			}
+			fmt.Fprintf(&b, "%-5s %-10s %s\n", strings.ToUpper(row.Domain), row.Name, row.Desc)
+		}
+	}
+	return b.String()
+}
+
+// Sec25Result pairs the side-channel outcome under both observation
+// regimes.
+type Sec25Result struct {
+	Unrestricted sidechannel.Result
+	PSBox        sidechannel.Result
+}
+
+// Sec25 runs the §2.5 website-inference attack with and without psbox as
+// the mandatory observation interface.
+func Sec25(seed uint64) Sec25Result {
+	open := sidechannel.DefaultConfig(sidechannel.ObserveUnrestricted)
+	open.Seed = seed + 1234
+	closed := open
+	closed.Observe = sidechannel.ObservePSBox
+	return Sec25Result{
+		Unrestricted: sidechannel.Run(open),
+		PSBox:        sidechannel.Run(closed),
+	}
+}
+
+func (r Sec25Result) String() string {
+	var b strings.Builder
+	b.WriteString(header("§2.5 — GPU power side channel (website inference, DTW attacker)"))
+	print := func(res sidechannel.Result) {
+		fmt.Fprintf(&b, "%-13s success %3d/%3d = %5.1f%%  (random %.1f%%, advantage %.1f×, leakage %.2f of %.2f bits)\n",
+			res.Observe.String()+":", res.Correct, res.Total, res.SuccessRate*100,
+			res.RandomGuess*100, res.SuccessRate/res.RandomGuess,
+			res.LeakageBits(), res.MaxLeakageBits())
+	}
+	print(r.Unrestricted)
+	print(r.PSBox)
+	b.WriteString("→ entangled observations identify the victim's website; psbox reduces the attacker to near-random\n")
+	return b.String()
+}

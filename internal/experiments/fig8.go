@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	psbox "psbox"
+	"psbox/internal/sim"
+)
+
+// Fig8Instance is one co-running instance's throughput before and after
+// one instance (the boxed one) enters its psbox.
+type Fig8Instance struct {
+	Name      string
+	Boxed     bool
+	Before    float64 // units/s
+	After     float64
+	ChangePct float64
+}
+
+// Fig8Domain is one subplot of Fig. 8.
+type Fig8Domain struct {
+	Domain    string
+	Unit      string
+	Instances []Fig8Instance
+
+	BoxedLossPct   float64 // throughput loss of the sandboxed instance
+	WorstOtherLoss float64 // most-negative change among the others
+}
+
+// Fig8Result is the four-panel figure.
+type Fig8Result struct {
+	Domains []Fig8Domain
+}
+
+type fig8Scenario struct {
+	domain    string
+	unit      string
+	platform  func(uint64) *psbox.System
+	wl        string
+	instances int
+	scope     psbox.HW
+	counter   string
+	warmup    sim.Duration
+	window    sim.Duration
+	saturate  bool
+}
+
+func fig8Scenarios() []fig8Scenario {
+	return []fig8Scenario{
+		// All instances saturate: the figure is about who pays under
+		// contention.
+		{"cpu", "KB/s", psbox.NewAM57, "calib3d", 3, psbox.HWCPU, "kb",
+			500 * sim.Millisecond, 2 * sim.Second, true},
+		{"dsp", "GFLOPS", psbox.NewAM57, "sgemm", 3, psbox.HWDSP, "gflops",
+			500 * sim.Millisecond, 3 * sim.Second, true},
+		{"gpu", "cmds/s", psbox.NewAM57, "cube", 2, psbox.HWGPU, "cmds",
+			500 * sim.Millisecond, 2 * sim.Second, true},
+		{"wifi", "KB/s", psbox.NewBeagleBone, "wget", 2, psbox.HWWiFi, "bytes",
+			500 * sim.Millisecond, 3 * sim.Second, true},
+	}
+}
+
+// Fig8 co-runs identical saturating instances, measures per-instance
+// throughput, sandboxes one, and measures again.
+func Fig8(seed uint64) Fig8Result {
+	var out Fig8Result
+	for _, sc := range fig8Scenarios() {
+		sys := sc.platform(seed)
+		apps := make([]*psbox.App, sc.instances)
+		for i := range apps {
+			apps[i] = install(sys, sc.wl, sc.saturate)
+		}
+		sys.Run(sc.warmup)
+
+		snapshot := func() []float64 {
+			v := make([]float64, len(apps))
+			for i, a := range apps {
+				v[i] = a.Counter(sc.counter)
+			}
+			return v
+		}
+		base0 := snapshot()
+		sys.Run(sc.window)
+		base1 := snapshot()
+
+		box := sys.Sandbox.MustCreate(apps[len(apps)-1], sc.scope)
+		box.Enter()
+		sys.Run(sc.window)
+		after1 := snapshot()
+
+		d := Fig8Domain{Domain: sc.domain, Unit: sc.unit}
+		sec := sc.window.Seconds()
+		scale := 1.0
+		if sc.counter == "bytes" {
+			scale = 1.0 / 1024
+		}
+		for i, a := range apps {
+			inst := Fig8Instance{
+				Name:   a.Name,
+				Boxed:  i == len(apps)-1,
+				Before: (base1[i] - base0[i]) / sec * scale,
+				After:  (after1[i] - base1[i]) / sec * scale,
+			}
+			inst.ChangePct = pct(inst.After, inst.Before)
+			d.Instances = append(d.Instances, inst)
+			if inst.Boxed {
+				d.BoxedLossPct = -inst.ChangePct
+			} else if inst.ChangePct < d.WorstOtherLoss {
+				d.WorstOtherLoss = inst.ChangePct
+			}
+		}
+		out.Domains = append(out.Domains, d)
+	}
+	return out
+}
+
+func (r Fig8Result) String() string {
+	var b strings.Builder
+	b.WriteString(header("Fig. 8 — throughput of co-running instances, before and after one (*) enters psbox"))
+	for _, d := range r.Domains {
+		fmt.Fprintf(&b, "\n(%s, %s)\n", strings.ToUpper(d.Domain), d.Unit)
+		for _, in := range d.Instances {
+			star := " "
+			if in.Boxed {
+				star = "*"
+			}
+			fmt.Fprintf(&b, "  %-14s%s before %9.2f  after %9.2f  (%+6.1f%%)\n",
+				in.Name, star, in.Before, in.After, in.ChangePct)
+		}
+		fmt.Fprintf(&b, "  boxed instance loses %.1f%%; worst co-runner change %+.1f%%\n",
+			d.BoxedLossPct, d.WorstOtherLoss)
+	}
+	b.WriteString("\n→ only the sandboxed instance pays; co-runners keep (at least) their previous throughput\n")
+	return b.String()
+}

@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestEveryExperimentRunsOnFreshSeeds executes every registered experiment
+// (paper and extra) on a seed none of the shape tests use, guarding
+// against seed-sensitive crashes and empty reports.
+func TestEveryExperimentRunsOnFreshSeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	for _, e := range append(All(), Extra()...) {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			out := e.Run(20260706).String()
+			if len(strings.TrimSpace(out)) < 40 {
+				t.Fatalf("suspiciously short report:\n%s", out)
+			}
+		})
+	}
+}

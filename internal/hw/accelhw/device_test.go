@@ -1,0 +1,280 @@
+package accelhw
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"psbox/internal/sim"
+)
+
+func testCfg() Config {
+	return Config{
+		Name:            "dev",
+		Slots:           2,
+		FreqsMHz:        []float64{1000},
+		WorkPerSecAtTop: 1000, // 1 work unit per millisecond
+		ShareFactor:     0.5,  // aggressive, easy arithmetic
+		IdleW:           0.25,
+		InitialFreqIdx:  0,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	e := sim.NewEngine()
+	bad := []Config{
+		{Name: "a", Slots: 0, FreqsMHz: []float64{1}, WorkPerSecAtTop: 1, ShareFactor: 1},
+		{Name: "b", Slots: 1, FreqsMHz: nil, WorkPerSecAtTop: 1, ShareFactor: 1},
+		{Name: "c", Slots: 1, FreqsMHz: []float64{2, 1}, WorkPerSecAtTop: 1, ShareFactor: 1},
+		{Name: "d", Slots: 1, FreqsMHz: []float64{1}, WorkPerSecAtTop: 0, ShareFactor: 1},
+		{Name: "e", Slots: 1, FreqsMHz: []float64{1}, WorkPerSecAtTop: 1, ShareFactor: 0},
+		{Name: "f", Slots: 1, FreqsMHz: []float64{1}, WorkPerSecAtTop: 1, ShareFactor: 1, InitialFreqIdx: 3},
+	}
+	for _, cfg := range bad {
+		if _, err := New(e, cfg); err == nil {
+			t.Errorf("config %q should fail", cfg.Name)
+		}
+	}
+	for _, cfg := range []Config{GPUConfig(), DSPConfig()} {
+		if _, err := New(e, cfg); err != nil {
+			t.Errorf("%s config invalid: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestSingleCommandTiming(t *testing.T) {
+	e := sim.NewEngine()
+	d := MustNew(e, testCfg())
+	var done *Command
+	d.OnComplete(func(c *Command) { done = c })
+	c := &Command{ID: 1, Work: 10, DynW: 0.5} // 10 units @ 1 unit/ms = 10 ms
+	d.Dispatch(c)
+	if d.Busy() != 1 || d.FreeSlots() != 1 {
+		t.Fatal("slot accounting wrong")
+	}
+	e.RunFor(9 * sim.Millisecond)
+	if done != nil {
+		t.Fatal("completed early")
+	}
+	e.RunFor(2 * sim.Millisecond)
+	if done == nil {
+		t.Fatal("did not complete")
+	}
+	if got := done.Completed.Sub(done.Dispatched); got != 10*sim.Millisecond {
+		t.Fatalf("duration = %v want 10ms", got)
+	}
+	if d.Busy() != 0 {
+		t.Fatal("slot not freed")
+	}
+}
+
+func TestPowerReflectsInFlight(t *testing.T) {
+	e := sim.NewEngine()
+	d := MustNew(e, testCfg())
+	if d.Rail().Power() != 0.25 {
+		t.Fatalf("idle power = %v", d.Rail().Power())
+	}
+	d.Dispatch(&Command{ID: 1, Work: 100, DynW: 0.5})
+	if d.Rail().Power() != 0.75 {
+		t.Fatalf("one cmd power = %v", d.Rail().Power())
+	}
+	d.Dispatch(&Command{ID: 2, Work: 100, DynW: 0.3})
+	if math.Abs(d.Rail().Power()-1.05) > 1e-12 {
+		t.Fatalf("two cmd power = %v", d.Rail().Power())
+	}
+}
+
+// Fig. 3(b) essence: overlapping commands slow each other down and their
+// rail power merges, so per-command attribution from CPU-visible windows is
+// impossible.
+func TestContentionStretchesCommands(t *testing.T) {
+	e := sim.NewEngine()
+	d := MustNew(e, testCfg())
+	var completed []*Command
+	d.OnComplete(func(c *Command) { completed = append(completed, c) })
+	a := &Command{ID: 1, Work: 10, DynW: 0.5}
+	b := &Command{ID: 2, Work: 10, DynW: 0.5}
+	d.Dispatch(a)
+	d.Dispatch(b)
+	// Both run at 0.5 units/ms while overlapping: each takes 20 ms.
+	e.RunFor(25 * sim.Millisecond)
+	if len(completed) != 2 {
+		t.Fatalf("completed %d commands", len(completed))
+	}
+	for _, c := range completed {
+		if got := c.Completed.Sub(c.Dispatched); got != 20*sim.Millisecond {
+			t.Fatalf("cmd %d duration = %v want 20ms", c.ID, got)
+		}
+	}
+}
+
+func TestPartialOverlapProgressAccounting(t *testing.T) {
+	e := sim.NewEngine()
+	d := MustNew(e, testCfg())
+	var doneAt = map[uint64]sim.Time{}
+	d.OnComplete(func(c *Command) { doneAt[c.ID] = c.Completed })
+	d.Dispatch(&Command{ID: 1, Work: 10, DynW: 0.5})
+	e.RunFor(4 * sim.Millisecond) // cmd1 has 6 units left
+	d.Dispatch(&Command{ID: 2, Work: 3, DynW: 0.5})
+	// Overlap at 0.5 u/ms: cmd2 needs 6 ms, cmd1 consumes 3 units in those
+	// 6ms leaving 3, then finishes solo in 3 ms.
+	e.RunFor(30 * sim.Millisecond)
+	if got := doneAt[2]; got != sim.Time(10*sim.Millisecond) {
+		t.Fatalf("cmd2 done at %v want 10ms", got)
+	}
+	if got := doneAt[1]; got != sim.Time(13*sim.Millisecond) {
+		t.Fatalf("cmd1 done at %v want 13ms", got)
+	}
+}
+
+func TestDispatchFullPanics(t *testing.T) {
+	e := sim.NewEngine()
+	d := MustNew(e, testCfg())
+	d.Dispatch(&Command{ID: 1, Work: 1})
+	d.Dispatch(&Command{ID: 2, Work: 1})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Dispatch(&Command{ID: 3, Work: 1})
+}
+
+func TestZeroWorkPanics(t *testing.T) {
+	e := sim.NewEngine()
+	d := MustNew(e, testCfg())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	d.Dispatch(&Command{ID: 1, Work: 0})
+}
+
+func TestFreqScalesRateAndPower(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := testCfg()
+	cfg.FreqsMHz = []float64{500, 1000}
+	cfg.InitialFreqIdx = 0
+	d := MustNew(e, cfg)
+	var done sim.Time
+	d.OnComplete(func(c *Command) { done = c.Completed })
+	d.Dispatch(&Command{ID: 1, Work: 10, DynW: 0.8})
+	// At half frequency: half rate, half dynamic power.
+	if math.Abs(d.Rail().Power()-(0.25+0.4)) > 1e-12 {
+		t.Fatalf("power at half freq = %v", d.Rail().Power())
+	}
+	e.RunFor(30 * sim.Millisecond)
+	if done != sim.Time(20*sim.Millisecond) {
+		t.Fatalf("done at %v want 20ms", done)
+	}
+}
+
+func TestRestoreMidCommandRecomputes(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := testCfg()
+	cfg.FreqsMHz = []float64{500, 1000}
+	cfg.InitialFreqIdx = 1
+	d := MustNew(e, cfg)
+	var done sim.Time
+	d.OnComplete(func(c *Command) { done = c.Completed })
+	d.Dispatch(&Command{ID: 1, Work: 10, DynW: 0.8})
+	e.RunFor(5 * sim.Millisecond) // 5 units left at full rate
+	d.Restore(FreqState{FreqIdx: 0})
+	e.RunFor(30 * sim.Millisecond) // remaining 5 units at 0.5 u/ms = 10 ms
+	if done != sim.Time(15*sim.Millisecond) {
+		t.Fatalf("done at %v want 15ms", done)
+	}
+}
+
+func TestGovernorRampsWithLoad(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := GPUConfig()
+	d := MustNew(e, cfg)
+	if d.FreqIdx() != 0 {
+		t.Fatal("should start low")
+	}
+	// Keep both slots saturated.
+	var refill func(*Command)
+	var id uint64
+	refill = func(*Command) {
+		id++
+		d.Dispatch(&Command{ID: id, Work: cfg.WorkPerSecAtTop / 10, DynW: 0.5})
+	}
+	d.OnComplete(refill)
+	refill(nil)
+	refill(nil)
+	e.RunFor(10 * cfg.GovernorWindow)
+	if d.FreqIdx() != len(cfg.FreqsMHz)-1 {
+		t.Fatalf("freq idx = %d under saturation", d.FreqIdx())
+	}
+}
+
+func TestGovernorDecaysWhenIdle(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := GPUConfig()
+	cfg.InitialFreqIdx = 2
+	d := MustNew(e, cfg)
+	e.RunFor(10 * cfg.GovernorWindow)
+	if d.FreqIdx() != 0 {
+		t.Fatalf("freq idx = %d after idling", d.FreqIdx())
+	}
+}
+
+func TestUtilizationBounds(t *testing.T) {
+	e := sim.NewEngine()
+	d := MustNew(e, testCfg())
+	d.Dispatch(&Command{ID: 1, Work: 5, DynW: 0.1})
+	e.RunFor(10 * sim.Millisecond)
+	u := d.Utilization()
+	// One slot busy 5 of 10 ms on a 2-slot device = 0.25.
+	if math.Abs(u-0.25) > 1e-6 {
+		t.Fatalf("utilization = %v want 0.25", u)
+	}
+}
+
+// Property: for any mix of command sizes, total retired work equals total
+// submitted work once the device drains, and commands never complete before
+// the minimum possible duration (work at solo rate).
+func TestQuickWorkConservation(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		e := sim.NewEngine()
+		d := MustNew(e, testCfg())
+		var pending []*Command
+		for i, s := range sizes {
+			if len(pending) >= 50 {
+				break
+			}
+			w := float64(s%50) + 1
+			pending = append(pending, &Command{ID: uint64(i), Work: w, DynW: 0.1})
+		}
+		completedWork := 0.0
+		ok := true
+		d.OnComplete(func(c *Command) {
+			completedWork += c.Work
+			minDur := sim.Duration(c.Work / 1000 * 1e9) // solo rate 1000 u/s
+			if c.Completed.Sub(c.Dispatched) < minDur-sim.Microsecond {
+				ok = false
+			}
+			if len(pending) > 0 {
+				next := pending[0]
+				pending = pending[1:]
+				d.Dispatch(next)
+			}
+		})
+		var totalWork float64
+		for _, c := range pending {
+			totalWork += c.Work
+		}
+		// Prime both slots.
+		for i := 0; i < 2 && len(pending) > 0; i++ {
+			d.Dispatch(pending[0])
+			pending = pending[1:]
+		}
+		e.RunFor(sim.Duration(10 * int64(sim.Second)))
+		return ok && d.Busy() == 0 && math.Abs(completedWork-totalWork) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

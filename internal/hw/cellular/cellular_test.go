@@ -1,0 +1,209 @@
+package cellular
+
+import (
+	"math"
+	"testing"
+
+	"psbox/internal/sim"
+)
+
+func testCfg() Config {
+	cfg := DefaultConfig()
+	cfg.LinkBytesPerSec = 1e6
+	cfg.PerPacketOverhead = 1 * sim.Millisecond
+	cfg.PromotionDelay = 500 * sim.Millisecond
+	cfg.DchTail = 4 * sim.Second
+	cfg.FachTail = 8 * sim.Second
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	e := sim.NewEngine()
+	bad := []Config{
+		{Name: "a", LinkBytesPerSec: 0, DchTail: 1, FachTail: 1},
+		{Name: "b", LinkBytesPerSec: 1, DchTail: 0, FachTail: 1},
+		{Name: "c", LinkBytesPerSec: 1, DchTail: 1, FachTail: 1, PromotionDelay: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := New(e, cfg); err == nil {
+			t.Errorf("config %q should fail", cfg.Name)
+		}
+	}
+	if _, err := New(e, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRRCLifecycle(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := testCfg()
+	m := MustNew(e, cfg)
+	if m.State() != RRCIdle || m.Rail().Power() != cfg.IdleW {
+		t.Fatal("should start idle")
+	}
+	var done *Packet
+	m.OnComplete(func(p *Packet) { done = p })
+	m.Send(1, 1000) // 2ms airtime after 500ms promotion
+	// During promotion the radio burns DCH power without carrying data.
+	if m.Rail().Power() != cfg.DchW {
+		t.Fatalf("promotion power = %v", m.Rail().Power())
+	}
+	e.RunFor(400 * sim.Millisecond)
+	if done != nil {
+		t.Fatal("data moved during promotion")
+	}
+	e.RunFor(200 * sim.Millisecond)
+	if done == nil || m.State() != RRCDch {
+		t.Fatal("transfer should complete in DCH")
+	}
+	if got := done.Completed.Sub(done.Enqueued); got < 500*sim.Millisecond {
+		t.Fatalf("promotion delay missing: %v", got)
+	}
+	// Demotion ladder: DCH → FACH after DchTail, → IDLE after FachTail.
+	e.RunFor(cfg.DchTail + 10*sim.Millisecond)
+	if m.State() != RRCFach || m.Rail().Power() != cfg.FachW {
+		t.Fatalf("state = %v after DCH tail", m.State())
+	}
+	e.RunFor(cfg.FachTail + 10*sim.Millisecond)
+	if m.State() != RRCIdle {
+		t.Fatalf("state = %v after FACH tail", m.State())
+	}
+}
+
+func TestActivityResetsDemotion(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := testCfg()
+	m := MustNew(e, cfg)
+	m.Send(1, 1000)
+	e.RunFor(600 * sim.Millisecond) // in DCH
+	// Keep sending every 2s: the DCH tail (4s) never expires.
+	for i := 0; i < 4; i++ {
+		e.RunFor(2 * sim.Second)
+		if m.State() != RRCDch {
+			t.Fatalf("demoted despite activity at round %d", i)
+		}
+		m.Send(1, 500)
+	}
+}
+
+func TestSecondSenderRidesExistingDCH(t *testing.T) {
+	// The §7(3) entanglement: whether a transfer pays the promotion and
+	// tail depends on what OTHER apps did — and the OS cannot save or
+	// restore the state to insulate it.
+	measure := func(warm bool) float64 {
+		e := sim.NewEngine()
+		cfg := testCfg()
+		m := MustNew(e, cfg)
+		if warm {
+			m.Send(2, 1000) // another app promotes the radio
+			e.RunFor(1 * sim.Second)
+		} else {
+			e.RunFor(1 * sim.Second)
+		}
+		start := e.Now()
+		var doneAt sim.Time
+		m.OnComplete(func(p *Packet) {
+			if p.Owner == 1 {
+				doneAt = p.Completed
+			}
+		})
+		m.Send(1, 2000)
+		e.RunFor(2 * sim.Second)
+		return doneAt.Sub(start).Seconds()
+	}
+	cold, warm := measure(false), measure(true)
+	if warm >= cold {
+		t.Fatalf("warm radio should be faster: %v vs %v", warm, cold)
+	}
+	if cold-warm < 0.4 {
+		t.Fatalf("promotion delay should dominate: cold %v warm %v", cold, warm)
+	}
+}
+
+// The limitation demonstrated end to end: identical victim traffic yields
+// wildly different rail energy depending on a co-runner, and without
+// State/Restore no balloon can fix it.
+func TestUncontrollableStateEntanglesEnergy(t *testing.T) {
+	victimEnergy := func(coRunner bool) float64 {
+		e := sim.NewEngine()
+		cfg := testCfg()
+		m := MustNew(e, cfg)
+		if coRunner {
+			// A chatty co-runner keeps the radio in DCH throughout.
+			var chat func(sim.Time)
+			chat = func(sim.Time) {
+				m.Send(2, 200)
+				e.After(2*sim.Second, chat)
+			}
+			chat(0)
+		}
+		// Victim: one small upload every 20 s — each pays promotion + full
+		// tails when alone, almost nothing when the co-runner keeps the
+		// radio hot. Attribute energy naively by even split of busy power.
+		var victimSpans []struct{ a, b sim.Time }
+		m.OnComplete(func(p *Packet) {
+			if p.Owner == 1 {
+				victimSpans = append(victimSpans, struct{ a, b sim.Time }{p.Enqueued, p.Completed})
+			}
+		})
+		m.Send(1, 1000)
+		e.RunFor(20 * sim.Second)
+		m.Send(1, 1000)
+		e.RunFor(20 * sim.Second)
+		// "Energy caused by the victim": total rail energy minus what the
+		// rail would have drawn had the victim stayed silent cannot even
+		// be defined per-app here; use the marginal heuristic over the
+		// victim's request windows plus its triggered tails — approximated
+		// by integrating 2 s after each completion.
+		var eJ float64
+		for _, s := range victimSpans {
+			end := s.b.Add(6 * sim.Second) // cover the triggered DCH tail
+			if end > e.Now() {
+				end = e.Now()
+			}
+			eJ += m.Rail().EnergyBetween(s.a, end)
+		}
+		return eJ
+	}
+	alone := victimEnergy(false)
+	entangled := victimEnergy(true)
+	diff := math.Abs(entangled-alone) / alone
+	if diff < 0.15 {
+		t.Fatalf("cellular state should entangle the victim's energy: alone %v vs co-run %v", alone, entangled)
+	}
+}
+
+func TestSendValidation(t *testing.T) {
+	e := sim.NewEngine()
+	m := MustNew(e, testCfg())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Send(1, 0)
+}
+
+func TestRRCStateString(t *testing.T) {
+	if RRCIdle.String() != "idle" || RRCFach.String() != "fach" ||
+		RRCDch.String() != "dch" || RRCState(9).String() != "rrc(9)" {
+		t.Fatal("strings wrong")
+	}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	e := sim.NewEngine()
+	m := MustNew(e, testCfg())
+	var order []uint64
+	m.OnComplete(func(p *Packet) { order = append(order, p.ID) })
+	m.Send(1, 1000)
+	m.Send(2, 1000)
+	m.Send(1, 1000)
+	if m.QueueLen() != 3 {
+		t.Fatalf("queue = %d", m.QueueLen())
+	}
+	e.RunFor(2 * sim.Second)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("order = %v", order)
+	}
+}

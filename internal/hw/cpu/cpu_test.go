@@ -1,0 +1,243 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+
+	"psbox/internal/sim"
+)
+
+func fixedCfg() Config {
+	cfg := DefaultConfig()
+	cfg.GovernorWindow = 0 // pin frequency
+	cfg.InitialFreqIdx = 3
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	e := sim.NewEngine()
+	bad := []Config{
+		{Name: "a", Cores: 0, FreqsMHz: []float64{1}, ActiveW: []float64{1}},
+		{Name: "b", Cores: 1, FreqsMHz: nil, ActiveW: nil},
+		{Name: "c", Cores: 1, FreqsMHz: []float64{2, 1}, ActiveW: []float64{1, 1}},
+		{Name: "d", Cores: 1, FreqsMHz: []float64{1}, ActiveW: []float64{1}, InitialFreqIdx: 5},
+		{Name: "e", Cores: 1, FreqsMHz: []float64{1, 2}, ActiveW: []float64{1}},
+	}
+	for _, cfg := range bad {
+		if _, err := New(e, cfg); err == nil {
+			t.Errorf("config %q should fail validation", cfg.Name)
+		}
+	}
+	if _, err := New(e, DefaultConfig()); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestIdlePowerAndBusyPower(t *testing.T) {
+	e := sim.NewEngine()
+	c := MustNew(e, fixedCfg())
+	wantIdle := 0.80 + 2*0.12
+	if got := c.Rail().Power(); math.Abs(got-wantIdle) > 1e-12 {
+		t.Fatalf("idle power = %v want %v", got, wantIdle)
+	}
+	c.SetCoreBusy(0, true)
+	want := 0.80 + 2.05 + 0.12
+	if got := c.Rail().Power(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("one busy = %v want %v", got, want)
+	}
+	c.SetCoreBusy(1, true)
+	want = 0.80 + 2*2.05
+	if got := c.Rail().Power(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("two busy = %v want %v", got, want)
+	}
+}
+
+// The heart of Fig. 3(a): duo power must be strictly less than double the
+// solo power, because the rail base and the second core's idle power are
+// counted twice by the doubling extrapolation.
+func TestSpatialEntanglementShape(t *testing.T) {
+	e := sim.NewEngine()
+	c := MustNew(e, fixedCfg())
+	c.SetCoreBusy(0, true)
+	solo := c.Rail().Power()
+	c.SetCoreBusy(1, true)
+	duo := c.Rail().Power()
+	if duo >= 2*solo {
+		t.Fatalf("no entanglement: duo %v >= 2×solo %v", duo, 2*solo)
+	}
+	if duo <= solo {
+		t.Fatalf("second core added no power: %v <= %v", duo, solo)
+	}
+}
+
+func TestGovernorRampsUpUnderLoad(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig()
+	c := MustNew(e, cfg)
+	if c.FreqIdx() != 0 {
+		t.Fatal("should start at lowest OPP")
+	}
+	c.SetCoreBusy(0, true)
+	c.SetCoreBusy(1, true)
+	e.RunFor(5 * cfg.GovernorWindow)
+	if c.FreqIdx() != c.TopFreqIdx() {
+		t.Fatalf("freq idx = %d after sustained load, want %d", c.FreqIdx(), c.TopFreqIdx())
+	}
+}
+
+func TestGovernorDecaysWhenIdle(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig()
+	c := MustNew(e, cfg)
+	c.SetCoreBusy(0, true)
+	c.SetCoreBusy(1, true)
+	e.RunFor(5 * cfg.GovernorWindow)
+	c.SetCoreBusy(0, false)
+	c.SetCoreBusy(1, false)
+	e.RunFor(10 * cfg.GovernorWindow)
+	if c.FreqIdx() != 0 {
+		t.Fatalf("freq idx = %d after long idle, want 0", c.FreqIdx())
+	}
+}
+
+// Fig. 3(c): the same burst consumes more power right after a busy period
+// (cluster still clocked high) than after idleness.
+func TestLingeringPowerState(t *testing.T) {
+	run := func(preheat bool) float64 {
+		e := sim.NewEngine()
+		cfg := DefaultConfig()
+		c := MustNew(e, cfg)
+		if preheat {
+			c.SetCoreBusy(0, true)
+			c.SetCoreBusy(1, true)
+			e.RunFor(6 * cfg.GovernorWindow)
+			c.SetCoreBusy(0, false)
+			c.SetCoreBusy(1, false)
+			e.RunFor(1 * sim.Millisecond) // brief gap, freq still high
+		} else {
+			e.RunFor(6*cfg.GovernorWindow + 1*sim.Millisecond)
+		}
+		start := e.Now()
+		c.SetCoreBusy(0, true)
+		e.RunFor(5 * sim.Millisecond)
+		c.SetCoreBusy(0, false)
+		return c.Rail().EnergyBetween(start, e.Now())
+	}
+	hot, cold := run(true), run(false)
+	if hot <= cold {
+		t.Fatalf("lingering state missing: after-busy %v J <= after-idle %v J", hot, cold)
+	}
+}
+
+func TestUtilizationFollowsBusiestCore(t *testing.T) {
+	e := sim.NewEngine()
+	c := MustNew(e, fixedCfg())
+	c.SetCoreBusy(0, true)
+	e.RunFor(10 * sim.Millisecond)
+	// One saturated core on a two-core cluster: the DVFS load signal is
+	// the max per-core utilization, i.e. 1.0.
+	if u := c.Utilization(); math.Abs(u-1.0) > 1e-9 {
+		t.Fatalf("utilization = %v want 1.0", u)
+	}
+}
+
+func TestUtilizationCountsRunningStretch(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := fixedCfg()
+	cfg.Cores = 1
+	c := MustNew(e, cfg)
+	e.RunFor(5 * sim.Millisecond)
+	c.SetCoreBusy(0, true)
+	e.RunFor(5 * sim.Millisecond)
+	// 5ms idle + 5ms busy (still running) over 10ms window.
+	if u := c.Utilization(); math.Abs(u-0.5) > 1e-9 {
+		t.Fatalf("utilization = %v want 0.5", u)
+	}
+}
+
+func TestStateSaveRestore(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig()
+	c := MustNew(e, cfg)
+	c.SetCoreBusy(0, true)
+	c.SetCoreBusy(1, true)
+	e.RunFor(5 * cfg.GovernorWindow)
+	high := c.State()
+	if high.FreqIdx != c.TopFreqIdx() {
+		t.Fatalf("saved state %+v", high)
+	}
+	c.Restore(GovState{FreqIdx: 0})
+	if c.FreqIdx() != 0 {
+		t.Fatal("restore to 0 failed")
+	}
+	c.Restore(high)
+	if c.FreqIdx() != c.TopFreqIdx() {
+		t.Fatal("restore to high failed")
+	}
+}
+
+func TestOnFreqChangeFires(t *testing.T) {
+	e := sim.NewEngine()
+	c := MustNew(e, fixedCfg())
+	var olds, news []int
+	c.OnFreqChange(func(o, n int) { olds = append(olds, o); news = append(news, n) })
+	c.SetFreqIdx(1)
+	c.SetFreqIdx(1) // no-op
+	c.SetFreqIdx(2)
+	if len(olds) != 2 || olds[0] != 3 || news[0] != 1 || olds[1] != 1 || news[1] != 2 {
+		t.Fatalf("callbacks: olds=%v news=%v", olds, news)
+	}
+}
+
+func TestIdlePowerHelper(t *testing.T) {
+	e := sim.NewEngine()
+	c := MustNew(e, fixedCfg())
+	if got, want := c.IdlePower(), 0.80+2*0.12; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("IdlePower = %v want %v", got, want)
+	}
+}
+
+func TestSetCoreBusyBounds(t *testing.T) {
+	e := sim.NewEngine()
+	c := MustNew(e, fixedCfg())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range core")
+		}
+	}()
+	c.SetCoreBusy(7, true)
+}
+
+func TestEnergyAccountsFreqChanges(t *testing.T) {
+	e := sim.NewEngine()
+	c := MustNew(e, fixedCfg())
+	c.SetCoreBusy(0, true)
+	e.RunFor(10 * sim.Millisecond)
+	c.SetFreqIdx(0)
+	e.RunFor(10 * sim.Millisecond)
+	c.SetCoreBusy(0, false)
+	hi := (0.80 + 2.05 + 0.12) * 0.010
+	lo := (0.80 + 0.55 + 0.12) * 0.010
+	got := c.Rail().EnergyBetween(0, e.Now())
+	if math.Abs(got-(hi+lo)) > 1e-9 {
+		t.Fatalf("energy = %v want %v", got, hi+lo)
+	}
+}
+
+func TestSuspendGovernor(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig()
+	c := MustNew(e, cfg)
+	c.SuspendGovernor()
+	c.SetCoreBusy(0, true)
+	c.SetCoreBusy(1, true)
+	e.RunFor(10 * cfg.GovernorWindow)
+	if c.FreqIdx() != 0 {
+		t.Fatalf("suspended governor still ramped to %d", c.FreqIdx())
+	}
+	c.ResumeGovernor()
+	e.RunFor(10 * cfg.GovernorWindow)
+	if c.FreqIdx() != c.TopFreqIdx() {
+		t.Fatalf("resumed governor stuck at %d", c.FreqIdx())
+	}
+}

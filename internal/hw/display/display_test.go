@@ -1,0 +1,119 @@
+package display
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"psbox/internal/sim"
+)
+
+func TestConfigValidation(t *testing.T) {
+	e := sim.NewEngine()
+	bad := []Config{
+		{Name: "a", Width: 0, Height: 1},
+		{Name: "b", Width: 1, Height: 1, BaseW: -1},
+		{Name: "c", Width: 1, Height: 1, PixelW: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := New(e, cfg); err == nil {
+			t.Errorf("config %q should fail", cfg.Name)
+		}
+	}
+	if _, err := New(e, DefaultConfig()); err != nil {
+		t.Fatal("default config invalid")
+	}
+}
+
+func TestAdditivePixelPower(t *testing.T) {
+	e := sim.NewEngine()
+	d := MustNew(e, DefaultConfig())
+	base := d.Rail().Power()
+	d.SetRegion(Region{Owner: 1, Pixels: 100000, Luminance: 0.5})
+	p1 := d.Rail().Power() - base
+	d.SetRegion(Region{Owner: 2, Pixels: 200000, Luminance: 0.25})
+	p2 := d.Rail().Power() - base - p1
+	if math.Abs(p1-p2) > 1e-12 {
+		t.Fatalf("equal pixel·luminance products should draw equal power: %v vs %v", p1, p2)
+	}
+	// Per-app attribution is exact: no entanglement.
+	if math.Abs(d.AppPower(1)-p1) > 1e-12 || math.Abs(d.AppPower(2)-p2) > 1e-12 {
+		t.Fatal("AppPower should match marginal contribution exactly")
+	}
+}
+
+func TestRemoveRegion(t *testing.T) {
+	e := sim.NewEngine()
+	d := MustNew(e, DefaultConfig())
+	d.SetRegion(Region{Owner: 1, Pixels: 1000, Luminance: 1})
+	d.SetRegion(Region{Owner: 1, Pixels: 0})
+	if d.AppPower(1) != 0 {
+		t.Fatal("zero-pixel region should remove contribution")
+	}
+	if d.Rail().Power() != DefaultConfig().BaseW {
+		t.Fatal("power should return to base")
+	}
+}
+
+func TestPanelOff(t *testing.T) {
+	e := sim.NewEngine()
+	d := MustNew(e, DefaultConfig())
+	d.SetRegion(Region{Owner: 1, Pixels: 1000, Luminance: 1})
+	d.SetPower(false)
+	if d.Rail().Power() != 0 || d.AppPower(1) != 0 || d.On() {
+		t.Fatal("off panel should draw nothing")
+	}
+	d.SetPower(true)
+	if d.AppPower(1) == 0 {
+		t.Fatal("regions should survive power cycling")
+	}
+}
+
+func TestRegionValidation(t *testing.T) {
+	e := sim.NewEngine()
+	d := MustNew(e, DefaultConfig())
+	for _, r := range []Region{
+		{Owner: 1, Pixels: -1},
+		{Owner: 1, Pixels: 1 << 30},
+		{Owner: 1, Pixels: 10, Luminance: 1.5},
+		{Owner: 1, Pixels: 10, Luminance: -0.5},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("region %+v should panic", r)
+				}
+			}()
+			d.SetRegion(r)
+		}()
+	}
+}
+
+// Property: total panel power always equals base plus the sum of exact
+// per-app attributions — the structural absence of entanglement.
+func TestQuickNoEntanglement(t *testing.T) {
+	cfg := DefaultConfig()
+	f := func(pix []uint16, lum []uint8) bool {
+		e := sim.NewEngine()
+		d := MustNew(e, cfg)
+		n := len(pix)
+		if len(lum) < n {
+			n = len(lum)
+		}
+		for i := 0; i < n; i++ {
+			d.SetRegion(Region{
+				Owner:     i,
+				Pixels:    int(pix[i]),
+				Luminance: float64(lum[i]) / 255,
+			})
+		}
+		sum := cfg.BaseW
+		for i := 0; i < n; i++ {
+			sum += d.AppPower(i)
+		}
+		return math.Abs(sum-d.Rail().Power()) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

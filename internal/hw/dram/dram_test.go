@@ -1,0 +1,81 @@
+package dram
+
+import (
+	"math"
+	"testing"
+
+	"psbox/internal/sim"
+)
+
+func TestConfigValidation(t *testing.T) {
+	e := sim.NewEngine()
+	bad := []Config{
+		{Name: "a", BackgroundW: -1, MaxGBs: 1},
+		{Name: "b", WPerGBs: -1, MaxGBs: 1},
+		{Name: "c", MaxGBs: 0},
+	}
+	for _, cfg := range bad {
+		if _, err := New(e, cfg, 2); err == nil {
+			t.Errorf("config %q should fail", cfg.Name)
+		}
+	}
+	if _, err := New(e, DefaultConfig(), 0); err == nil {
+		t.Error("zero cores should fail")
+	}
+	if _, err := New(e, DefaultConfig(), 2); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPowerFollowsBandwidth(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig()
+	d := MustNew(e, cfg, 2)
+	if d.Rail().Power() != cfg.BackgroundW {
+		t.Fatal("idle power wrong")
+	}
+	d.SetCoreStream(0, 2.0)
+	want := cfg.BackgroundW + cfg.WPerGBs*2.0
+	if math.Abs(d.Rail().Power()-want) > 1e-12 {
+		t.Fatalf("power = %v want %v", d.Rail().Power(), want)
+	}
+	d.SetCoreStream(1, 1.5)
+	want = cfg.BackgroundW + cfg.WPerGBs*3.5
+	if math.Abs(d.Rail().Power()-want) > 1e-12 {
+		t.Fatalf("aggregate power = %v want %v", d.Rail().Power(), want)
+	}
+	d.SetCoreStream(0, 0)
+	d.SetCoreStream(1, 0)
+	if d.Rail().Power() != cfg.BackgroundW {
+		t.Fatal("power should return to background")
+	}
+}
+
+func TestChannelCap(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig()
+	d := MustNew(e, cfg, 2)
+	d.SetCoreStream(0, cfg.MaxGBs)
+	d.SetCoreStream(1, cfg.MaxGBs)
+	if d.Bandwidth() != cfg.MaxGBs {
+		t.Fatalf("bandwidth %v should cap at %v", d.Bandwidth(), cfg.MaxGBs)
+	}
+}
+
+func TestSetCoreStreamValidation(t *testing.T) {
+	e := sim.NewEngine()
+	d := MustNew(e, DefaultConfig(), 2)
+	for _, f := range []func(){
+		func() { d.SetCoreStream(5, 1) },
+		func() { d.SetCoreStream(0, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

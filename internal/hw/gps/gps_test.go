@@ -1,0 +1,118 @@
+package gps
+
+import (
+	"testing"
+
+	"psbox/internal/sim"
+)
+
+func TestConfigValidation(t *testing.T) {
+	e := sim.NewEngine()
+	bad := []Config{
+		{Name: "a", ColdStartTTFF: 0},
+		{Name: "b", ColdStartTTFF: 1, OffW: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := New(e, cfg); err == nil {
+			t.Errorf("config %q should fail", cfg.Name)
+		}
+	}
+	if _, err := New(e, DefaultConfig()); err != nil {
+		t.Fatal("default config invalid")
+	}
+}
+
+func TestColdStartLifecycle(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig()
+	g := MustNew(e, cfg)
+	if g.State() != StateOff || g.Rail().Power() != cfg.OffW {
+		t.Fatal("should start off")
+	}
+	g.Acquire(1)
+	if g.State() != StateAcquiring || g.Rail().Power() != cfg.AcquireW {
+		t.Fatal("first acquire should cold-start")
+	}
+	e.RunFor(cfg.ColdStartTTFF)
+	if g.State() != StateOperating || g.Rail().Power() != cfg.OperatingW {
+		t.Fatal("should be operating after TTFF")
+	}
+}
+
+func TestConcurrentUsersDoNotChangePower(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig()
+	g := MustNew(e, cfg)
+	g.Acquire(1)
+	e.RunFor(cfg.ColdStartTTFF)
+	p1 := g.Rail().Power()
+	g.Acquire(1)
+	g.Acquire(1)
+	if g.Rail().Power() != p1 {
+		t.Fatal("operating power must be concurrency-independent")
+	}
+	g.Release(1)
+	g.Release(1)
+	if g.State() != StateOperating {
+		t.Fatal("lock should persist while users remain")
+	}
+	g.Release(1)
+	if g.State() != StateOff {
+		t.Fatal("last release should power off")
+	}
+}
+
+func TestReleaseDuringAcquisitionCancelsLock(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig()
+	g := MustNew(e, cfg)
+	g.Acquire(1)
+	e.RunFor(cfg.ColdStartTTFF / 2)
+	g.Release(1)
+	if g.State() != StateOff {
+		t.Fatal("release mid-acquisition should power off")
+	}
+	e.RunFor(cfg.ColdStartTTFF)
+	if g.State() != StateOff {
+		t.Fatal("cancelled lock event fired anyway")
+	}
+}
+
+func TestReleaseWithoutAcquirePanics(t *testing.T) {
+	e := sim.NewEngine()
+	g := MustNew(e, DefaultConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.Release(1)
+}
+
+// §7's security rationale: an observer that does not hold the device must
+// not be able to distinguish "off" from "another app is acquiring".
+func TestObservablePowerHidesOffSuspended(t *testing.T) {
+	e := sim.NewEngine()
+	cfg := DefaultConfig()
+	g := MustNew(e, cfg)
+	offView := g.ObservablePower(false)
+	g.Acquire(1) // some *other* app acquires
+	if g.ObservablePower(false) != offView {
+		t.Fatal("acquisition by others must be invisible")
+	}
+	if g.ObservablePower(true) != cfg.AcquireW {
+		t.Fatal("the acquiring app itself sees acquisition power")
+	}
+	e.RunFor(cfg.ColdStartTTFF)
+	// Operating power is safe to reveal to everyone.
+	if g.ObservablePower(false) != cfg.OperatingW {
+		t.Fatal("operating power should be revealed")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if StateOff.String() != "off" || StateAcquiring.String() != "acquiring" ||
+		StateOperating.String() != "operating" || State(7).String() != "state(7)" {
+		t.Fatal("state strings wrong")
+	}
+}

@@ -1,0 +1,227 @@
+package nic
+
+import (
+	"math"
+	"testing"
+
+	"psbox/internal/sim"
+)
+
+func testCfg() Config {
+	return Config{
+		Name:              "wifi",
+		LinkBytesPerSec:   1e6, // 1 byte/µs
+		PerPacketOverhead: 100 * sim.Microsecond,
+		PSMW:              0.03,
+		ActiveW:           []float64{0.5, 0.8},
+		TailW:             0.35,
+		TailTimeout:       200 * sim.Millisecond,
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	e := sim.NewEngine()
+	bad := []Config{
+		{Name: "a", LinkBytesPerSec: 0, ActiveW: []float64{1}},
+		{Name: "b", LinkBytesPerSec: 1, ActiveW: nil},
+		{Name: "c", LinkBytesPerSec: 1, ActiveW: []float64{1}, TailTimeout: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := New(e, cfg); err == nil {
+			t.Errorf("config %q should fail", cfg.Name)
+		}
+	}
+	if _, err := New(e, DefaultConfig()); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestAirTime(t *testing.T) {
+	e := sim.NewEngine()
+	n := MustNew(e, testCfg())
+	// 1000 bytes at 1 byte/µs + 100µs overhead = 1.1ms
+	if got := n.AirTime(1000); got != 1100*sim.Microsecond {
+		t.Fatalf("airtime = %v", got)
+	}
+}
+
+func TestTransmitLifecycleAndModes(t *testing.T) {
+	e := sim.NewEngine()
+	n := MustNew(e, testCfg())
+	var done *Packet
+	n.OnComplete(func(p *Packet) { done = p })
+
+	if n.Mode() != ModePSM || n.Rail().Power() != 0.03 {
+		t.Fatal("should start in PSM")
+	}
+	p := &Packet{ID: 1, Bytes: 900} // 1ms airtime
+	n.Transmit(p)
+	if n.Mode() != ModeActive || n.Rail().Power() != 0.5 || !n.Busy() {
+		t.Fatal("active state wrong")
+	}
+	e.RunFor(1 * sim.Millisecond)
+	if done == nil || n.Busy() {
+		t.Fatal("transmission should have completed")
+	}
+	if n.Mode() != ModeTail || n.Rail().Power() != 0.35 {
+		t.Fatalf("should be in tail, mode=%v power=%v", n.Mode(), n.Rail().Power())
+	}
+	e.RunFor(199 * sim.Millisecond)
+	if n.Mode() != ModeTail {
+		t.Fatal("tail expired early")
+	}
+	e.RunFor(2 * sim.Millisecond)
+	if n.Mode() != ModePSM {
+		t.Fatal("tail should have expired")
+	}
+	if done.Completed.Sub(done.Dispatched) != 1*sim.Millisecond {
+		t.Fatalf("airtime recorded %v", done.Completed.Sub(done.Dispatched))
+	}
+}
+
+func TestBackToBackTransmissionsExtendTail(t *testing.T) {
+	e := sim.NewEngine()
+	n := MustNew(e, testCfg())
+	n.Transmit(&Packet{ID: 1, Bytes: 900})
+	e.RunFor(1 * sim.Millisecond)
+	e.RunFor(100 * sim.Millisecond) // mid-tail
+	n.Transmit(&Packet{ID: 2, Bytes: 900})
+	e.RunFor(1 * sim.Millisecond)
+	// Tail restarts from the second completion.
+	e.RunFor(150 * sim.Millisecond)
+	if n.Mode() != ModeTail {
+		t.Fatal("tail should have been re-armed")
+	}
+	e.RunFor(51 * sim.Millisecond)
+	if n.Mode() != ModePSM {
+		t.Fatal("re-armed tail should expire 200ms after second tx")
+	}
+}
+
+func TestTransmitWhileBusyPanics(t *testing.T) {
+	e := sim.NewEngine()
+	n := MustNew(e, testCfg())
+	n.Transmit(&Packet{ID: 1, Bytes: 100})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.Transmit(&Packet{ID: 2, Bytes: 100})
+}
+
+func TestTxLevelSelectsPower(t *testing.T) {
+	e := sim.NewEngine()
+	n := MustNew(e, testCfg())
+	n.SetTxLevel(1)
+	n.Transmit(&Packet{ID: 1, Bytes: 100})
+	if n.Rail().Power() != 0.8 {
+		t.Fatalf("power at level 1 = %v", n.Rail().Power())
+	}
+	e.RunFor(1 * sim.Second)
+}
+
+func TestTailEnergyDominatesShortTransfers(t *testing.T) {
+	// The classic WiFi accounting trap: a tiny packet's energy is dwarfed
+	// by the tail it triggers.
+	e := sim.NewEngine()
+	n := MustNew(e, testCfg())
+	n.Transmit(&Packet{ID: 1, Bytes: 100}) // 200µs airtime
+	e.RunFor(250 * sim.Millisecond)
+	active := 0.5 * 200e-6
+	tail := 0.35 * 0.200
+	got := n.Rail().EnergyBetween(0, e.Now())
+	idle := 0.03 * (0.250 - 200e-6 - 0.200)
+	if math.Abs(got-(active+tail+idle)) > 1e-9 {
+		t.Fatalf("energy = %v want %v", got, active+tail+idle)
+	}
+	if tail < 100*active {
+		t.Fatal("test premise broken: tail should dwarf active energy")
+	}
+}
+
+func TestStateSaveRestoreTail(t *testing.T) {
+	e := sim.NewEngine()
+	n := MustNew(e, testCfg())
+	n.SetTxLevel(1)
+	n.Transmit(&Packet{ID: 1, Bytes: 900})
+	e.RunFor(1 * sim.Millisecond)
+	e.RunFor(50 * sim.Millisecond) // 150ms of tail left
+	s := n.State()
+	if s.Mode != ModeTail || s.TxLevel != 1 {
+		t.Fatalf("state = %+v", s)
+	}
+	if s.TailRemaining != 150*sim.Millisecond {
+		t.Fatalf("tail remaining = %v", s.TailRemaining)
+	}
+
+	// Another principal uses the NIC; its state is PSM at level 0.
+	n.Restore(State{TxLevel: 0, Mode: ModePSM})
+	if n.Mode() != ModePSM || n.TxLevel() != 0 {
+		t.Fatal("restore to PSM failed")
+	}
+	e.RunFor(300 * sim.Millisecond)
+
+	// Restoring the saved state resumes the tail where it left off.
+	n.Restore(s)
+	if n.Mode() != ModeTail || n.TxLevel() != 1 {
+		t.Fatal("restore to tail failed")
+	}
+	e.RunFor(149 * sim.Millisecond)
+	if n.Mode() != ModeTail {
+		t.Fatal("restored tail expired early")
+	}
+	e.RunFor(2 * sim.Millisecond)
+	if n.Mode() != ModePSM {
+		t.Fatal("restored tail should expire after its remaining time")
+	}
+}
+
+func TestStateWhileTransmittingPanics(t *testing.T) {
+	e := sim.NewEngine()
+	n := MustNew(e, testCfg())
+	n.Transmit(&Packet{ID: 1, Bytes: 100})
+	for _, f := range []func(){
+		func() { n.State() },
+		func() { n.Restore(State{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRestoreActivePanics(t *testing.T) {
+	e := sim.NewEngine()
+	n := MustNew(e, testCfg())
+	_ = e
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	n.Restore(State{Mode: ModeActive})
+}
+
+func TestRestoreZeroTailCollapsesToPSM(t *testing.T) {
+	e := sim.NewEngine()
+	n := MustNew(e, testCfg())
+	n.Restore(State{Mode: ModeTail, TailRemaining: 0})
+	if n.Mode() != ModePSM {
+		t.Fatalf("mode = %v want psm", n.Mode())
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModePSM.String() != "psm" || ModeActive.String() != "active" || ModeTail.String() != "tail" {
+		t.Fatal("mode strings wrong")
+	}
+	if Mode(9).String() != "mode(9)" {
+		t.Fatal("unknown mode string wrong")
+	}
+}

@@ -1,0 +1,247 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"psbox/internal/sim"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestRailInitial(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewRail(e, "cpu", 0.5)
+	if r.Power() != 0.5 || r.Name() != "cpu" {
+		t.Fatal("initial state wrong")
+	}
+	e.Run(sim.Time(1 * sim.Second))
+	if got := r.EnergyBetween(0, sim.Time(1*sim.Second)); !almost(got, 0.5) {
+		t.Fatalf("energy = %v", got)
+	}
+}
+
+func TestRailSetAndIntegrate(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewRail(e, "cpu", 1.0)
+	e.At(sim.Time(100*sim.Millisecond), func(sim.Time) { r.Set(3.0) })
+	e.At(sim.Time(300*sim.Millisecond), func(sim.Time) { r.Set(0.0) })
+	e.Run(sim.Time(1 * sim.Second))
+	// 0.1s@1W + 0.2s@3W + 0.7s@0W = 0.1 + 0.6 = 0.7 J
+	if got := r.EnergyBetween(0, sim.Time(1*sim.Second)); !almost(got, 0.7) {
+		t.Fatalf("energy = %v", got)
+	}
+	// Sub-intervals.
+	if got := r.EnergyBetween(sim.Time(50*sim.Millisecond), sim.Time(150*sim.Millisecond)); !almost(got, 0.05+0.15) {
+		t.Fatalf("partial energy = %v", got)
+	}
+	if got := r.EnergyBetween(sim.Time(400*sim.Millisecond), sim.Time(900*sim.Millisecond)); !almost(got, 0) {
+		t.Fatalf("zero-power energy = %v", got)
+	}
+}
+
+func TestRailPowerAt(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewRail(e, "gpu", 0.2)
+	e.At(10, func(sim.Time) { r.Set(1.5) })
+	e.Run(20)
+	if r.PowerAt(9) != 0.2 || r.PowerAt(10) != 1.5 || r.PowerAt(20) != 1.5 {
+		t.Fatal("PowerAt wrong around breakpoint")
+	}
+}
+
+func TestRailCoalescing(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewRail(e, "x", 1)
+	e.At(5, func(sim.Time) {
+		r.Set(1) // redundant
+		r.Set(2)
+		r.Set(3) // same-instant overwrite
+	})
+	e.At(7, func(sim.Time) {
+		r.Set(4)
+		r.Set(3) // back to previous value at same instant: segment removed
+	})
+	e.Run(10)
+	if r.Segments() != 2 {
+		t.Fatalf("segments = %d, want 2", r.Segments())
+	}
+	if r.PowerAt(6) != 3 || r.PowerAt(8) != 3 {
+		t.Fatal("coalesced values wrong")
+	}
+}
+
+func TestRailAdjust(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewRail(e, "disp", 0.1)
+	e.At(1, func(sim.Time) { r.Adjust(0.4) })
+	e.At(2, func(sim.Time) { r.Adjust(-0.2) })
+	e.Run(3)
+	if !almost(r.Power(), 0.3) {
+		t.Fatalf("power = %v", r.Power())
+	}
+}
+
+func TestRailSamples(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewRail(e, "cpu", 1)
+	e.At(sim.Time(25*sim.Microsecond), func(sim.Time) { r.Set(2) })
+	e.Run(sim.Time(100 * sim.Microsecond))
+	s := r.SamplesBetween(0, sim.Time(100*sim.Microsecond), 10*sim.Microsecond, nil)
+	if len(s) != 10 {
+		t.Fatalf("got %d samples", len(s))
+	}
+	if s[0].T != 0 || s[0].W != 1 {
+		t.Fatalf("sample 0 = %+v", s[0])
+	}
+	if s[2].W != 1 || s[3].W != 2 {
+		t.Fatalf("samples around breakpoint: %v %v", s[2], s[3])
+	}
+	// Non-aligned start rounds up to the next tick.
+	s2 := r.SamplesBetween(sim.Time(15*sim.Microsecond), sim.Time(45*sim.Microsecond), 10*sim.Microsecond, nil)
+	if len(s2) != 3 || s2[0].T != sim.Time(20*sim.Microsecond) {
+		t.Fatalf("aligned samples wrong: %+v", s2)
+	}
+}
+
+func TestRailBreakpoints(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewRail(e, "cpu", 1)
+	e.At(10, func(sim.Time) { r.Set(2) })
+	e.At(20, func(sim.Time) { r.Set(3) })
+	e.Run(30)
+	bp := r.Breakpoints(5, 25, nil)
+	if len(bp) != 3 || bp[0].T != 5 || bp[0].W != 1 || bp[1].T != 10 || bp[2].T != 20 {
+		t.Fatalf("breakpoints = %+v", bp)
+	}
+}
+
+func TestRailTrimBefore(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewRail(e, "cpu", 1)
+	for i := 1; i <= 10; i++ {
+		w := float64(i)
+		e.At(sim.Time(i*10), func(sim.Time) { r.Set(w) })
+	}
+	e.Run(200)
+	r.TrimBefore(55)
+	if r.PowerAt(55) != 5 || r.PowerAt(60) != 6 || r.Power() != 10 {
+		t.Fatal("TrimBefore lost data")
+	}
+	if got := r.EnergyBetween(55, 65); !almost(got, (5*5+6*5)/1e9) {
+		t.Fatalf("post-trim energy = %v", got)
+	}
+}
+
+func TestRailFuturePanics(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewRail(e, "cpu", 1)
+	e.Run(10)
+	for _, f := range []func(){
+		func() { r.PowerAt(11) },
+		func() { _ = r.EnergyBetween(0, 11) },
+		func() { r.Set(-1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: for any sequence of transitions, integrating the whole interval
+// equals the sum of integrals over an arbitrary split point.
+func TestQuickRailEnergyAdditivity(t *testing.T) {
+	f := func(raw []uint16, splitRaw uint16) bool {
+		e := sim.NewEngine()
+		r := NewRail(e, "q", 0.5)
+		horizon := sim.Time(1_000_000)
+		for i, v := range raw {
+			at := sim.Time(int64(v) % int64(horizon))
+			w := float64(i%5) * 0.25
+			e.At(at, func(sim.Time) { r.Set(w) })
+		}
+		e.Run(horizon)
+		split := sim.Time(int64(splitRaw) % int64(horizon))
+		whole := r.EnergyBetween(0, horizon)
+		parts := r.EnergyBetween(0, split) + r.EnergyBetween(split, horizon)
+		return math.Abs(whole-parts) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: sampled average power converges on exact energy for constant-rate
+// sampling of piecewise-constant signals when transitions align to ticks.
+func TestQuickRailSamplesMatchEnergyOnAligned(t *testing.T) {
+	f := func(raw []uint8) bool {
+		e := sim.NewEngine()
+		r := NewRail(e, "q", 1)
+		period := 10 * sim.Microsecond
+		horizon := sim.Time(1000 * int64(period))
+		for i, v := range raw {
+			tick := int64(v) % 1000
+			at := sim.Time(tick * int64(period))
+			w := float64((i % 4) + 1)
+			e.At(at, func(sim.Time) { r.Set(w) })
+		}
+		e.Run(horizon)
+		samples := r.SamplesBetween(0, horizon, period, nil)
+		var sum float64
+		for _, s := range samples {
+			sum += s.W * period.Seconds()
+		}
+		return math.Abs(sum-r.EnergyBetween(0, horizon)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnChangeFiresOnEffectiveChanges(t *testing.T) {
+	e := sim.NewEngine()
+	r := NewRail(e, "x", 1)
+	var seen []float64
+	r.OnChange(func(w Watts) { seen = append(seen, w) })
+	e.At(1, func(sim.Time) {
+		r.Set(1) // coalesced: no event
+		r.Set(2)
+	})
+	e.At(2, func(sim.Time) { r.Set(3) })
+	e.Run(5)
+	if len(seen) != 2 || seen[0] != 2 || seen[1] != 3 {
+		t.Fatalf("events = %v", seen)
+	}
+}
+
+func TestSumRailTracksInputs(t *testing.T) {
+	e := sim.NewEngine()
+	a := NewRail(e, "a", 1.0)
+	b := NewRail(e, "b", 0.5)
+	bat := SumRail(e, "battery", a, b)
+	if bat.Power() != 1.5 {
+		t.Fatalf("initial sum = %v", bat.Power())
+	}
+	e.At(sim.Time(10*sim.Millisecond), func(sim.Time) { a.Set(2.0) })
+	e.At(sim.Time(20*sim.Millisecond), func(sim.Time) { b.Set(0.0) })
+	e.Run(sim.Time(30 * sim.Millisecond))
+	if bat.Power() != 2.0 {
+		t.Fatalf("final sum = %v", bat.Power())
+	}
+	// Exact integral: 1.5×10ms + 2.5×10ms + 2.0×10ms.
+	want := (1.5 + 2.5 + 2.0) * 0.010
+	if got := bat.EnergyBetween(0, e.Now()); !almost(got, want) {
+		t.Fatalf("sum energy = %v want %v", got, want)
+	}
+	// And it equals the inputs' combined energy at all times.
+	comb := a.EnergyBetween(0, e.Now()) + b.EnergyBetween(0, e.Now())
+	if !almost(bat.EnergyBetween(0, e.Now()), comb) {
+		t.Fatal("sum rail diverged from inputs")
+	}
+}

@@ -1,0 +1,27 @@
+package power
+
+import "psbox/internal/sim"
+
+// SumRail builds an aggregating rail that always carries the sum of its
+// input rails — the "battery rail" view of a platform whose components are
+// metered individually. It subscribes to the inputs' change notifications,
+// so it stays exact (piecewise constant with breakpoints at every input
+// transition).
+//
+// The sum rail is read-only by convention: callers must not Set it.
+func SumRail(eng *sim.Engine, name string, inputs ...*Rail) *Rail {
+	var total Watts
+	for _, in := range inputs {
+		total += in.Power()
+	}
+	out := NewRail(eng, name, total)
+	for _, in := range inputs {
+		in := in
+		prev := in.Power()
+		in.OnChange(func(w Watts) {
+			out.Set(out.Power() - prev + w)
+			prev = w
+		})
+	}
+	return out
+}

@@ -1,0 +1,145 @@
+package accel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"psbox/internal/hw/accelhw"
+	"psbox/internal/sim"
+)
+
+// TestQuickWorkConservationWithBoxes: under random submit patterns and
+// random box enter/leave, every submitted command eventually completes and
+// total retired work matches total submitted work.
+func TestQuickWorkConservationWithBoxes(t *testing.T) {
+	f := func(seed uint64, raw []uint8) bool {
+		fx := newFixture(t, devCfg())
+		r := sim.NewRand(seed)
+		submitted := map[int]float64{}
+		// Random box membership for apps 1..3.
+		for app := 1; app <= 3; app++ {
+			if r.Intn(2) == 0 {
+				fx.drv.BoxEnter(app)
+			}
+		}
+		n := 0
+		for _, v := range raw {
+			if n >= 40 {
+				break
+			}
+			n++
+			app := int(v)%3 + 1
+			work := float64(v%20) + 1
+			at := sim.Duration(r.Intn(200)) * sim.Millisecond
+			fx.eng.After(at, func(sim.Time) {
+				submitted[app] += work
+				fx.drv.Submit(app, &accelhw.Command{Kind: "k", Work: work, DynW: 0.2})
+			})
+		}
+		// Random leave/enter churn.
+		for i := 0; i < 4; i++ {
+			app := r.Intn(3) + 1
+			at := sim.Duration(50+r.Intn(150)) * sim.Millisecond
+			if i%2 == 0 {
+				fx.eng.After(at, func(sim.Time) { fx.drv.BoxLeave(app) })
+			} else {
+				fx.eng.After(at, func(sim.Time) { fx.drv.BoxEnter(app) })
+			}
+		}
+		fx.eng.RunFor(5 * sim.Second)
+		for app := 1; app <= 3; app++ {
+			got := fx.drv.WorkDone(app)
+			want := submitted[app]
+			if got < want-1e-6 || got > want+1e-6 {
+				return false
+			}
+			if fx.drv.Backlog(app) != 0 {
+				return false
+			}
+		}
+		return fx.dev.Busy() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickResidencyNeverOverlapsOthers: whenever a box is resident, the
+// device holds only that box's commands, for random workloads.
+func TestQuickResidencyNeverOverlapsOthers(t *testing.T) {
+	f := func(seed uint64) bool {
+		fx := newFixture(t, devCfg())
+		r := sim.NewRand(seed)
+		fx.drv.BoxEnter(1)
+		fx.feeder(1, float64(3+r.Intn(10)), 2)
+		fx.feeder(2, float64(5+r.Intn(15)), 3)
+		ok := true
+		resident := false
+		fx.drv.cbs.BoxResident = func(app int, res bool) { resident = res }
+		var poll func(sim.Time)
+		poll = func(sim.Time) {
+			if resident {
+				for _, c := range fx.dev.InFlight() {
+					if c.Owner != 1 {
+						ok = false
+					}
+				}
+			}
+			fx.eng.After(200*sim.Microsecond, poll)
+		}
+		fx.eng.After(200*sim.Microsecond, poll)
+		fx.eng.RunFor(1 * sim.Second)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBoxLeaveInEveryPhase: tearing the sandbox down must be safe no
+// matter which balloon phase it lands in.
+func TestBoxLeaveInEveryPhase(t *testing.T) {
+	for _, leaveAt := range []sim.Duration{
+		0,                    // before anything dispatched
+		1 * sim.Millisecond,  // drain-others (other's 20ms cmd in flight)
+		25 * sim.Millisecond, // serve
+		60 * sim.Millisecond, // after balloon closed
+	} {
+		fx := newFixture(t, devCfg())
+		fx.submit(2, 20) // 20ms
+		fx.drv.BoxEnter(1)
+		fx.submit(1, 10)
+		fx.eng.RunFor(leaveAt)
+		fx.drv.BoxLeave(1)
+		fx.eng.RunFor(2 * sim.Second)
+		if fx.drv.Backlog(1) != 0 || fx.drv.Backlog(2) != 0 {
+			t.Fatalf("leaveAt=%v: backlogs stuck", leaveAt)
+		}
+		if fx.drv.Phase() != PhaseNone {
+			t.Fatalf("leaveAt=%v: phase %v", leaveAt, fx.drv.Phase())
+		}
+		// The system keeps working afterwards.
+		fx.submit(1, 5)
+		fx.submit(2, 5)
+		fx.eng.RunFor(1 * sim.Second)
+		if fx.drv.Backlog(1) != 0 || fx.drv.Backlog(2) != 0 {
+			t.Fatalf("leaveAt=%v: post-leave service broken", leaveAt)
+		}
+	}
+}
+
+// TestReenterAfterLeave: the box can cycle enter/leave arbitrarily.
+func TestReenterAfterLeave(t *testing.T) {
+	fx := newFixture(t, devCfg())
+	fx.feeder(1, 5, 2)
+	fx.feeder(2, 5, 2)
+	for i := 0; i < 10; i++ {
+		fx.drv.BoxEnter(1)
+		fx.eng.RunFor(50 * sim.Millisecond)
+		fx.drv.BoxLeave(1)
+		fx.eng.RunFor(50 * sim.Millisecond)
+	}
+	if fx.drv.WorkDone(1) == 0 || fx.drv.WorkDone(2) == 0 {
+		t.Fatal("cycling stalled the device")
+	}
+}

@@ -1,0 +1,143 @@
+// Package kernel is the simulated operating system: it owns the hardware
+// models, the CPU scheduler, the accelerator and packet-scheduler drivers,
+// and executes application programs — sequences of compute bursts, device
+// submissions, and waits — under the scheduler's control.
+package kernel
+
+import (
+	"psbox/internal/sim"
+)
+
+// Action is one step of an application program. A task must be on a CPU to
+// issue actions: compute costs CPU time; submissions are issued instantly
+// between computes (their CPU cost is part of the program's compute
+// bursts); waits block the task.
+type Action interface{ isAction() }
+
+// Compute consumes CPU cycles. Wall time depends on the cluster's current
+// DVFS operating point. MemGBs is the DRAM bandwidth the burst streams
+// while executing (0 for cache-resident code); it drives the §7(4) DRAM
+// power model when a DRAM channel is attached.
+type Compute struct {
+	Cycles float64
+	MemGBs float64
+}
+
+// SubmitAccel asynchronously enqueues a command on an accelerator (GPU or
+// DSP). The task continues immediately.
+type SubmitAccel struct {
+	Dev  string // driver name, e.g. "gpu", "dsp"
+	Kind string // command type; same kind ⇒ same power signature
+	Work float64
+	DynW float64 // dynamic watts while executing (at top frequency)
+}
+
+// SubmitAccelAs enqueues an accelerator command on behalf of another app
+// (§7 "Userspace OS daemon"): a trusted daemon that multiplexes client
+// requests — an Android-style render or media server — must tag its
+// submissions with the requesting client so that resource balloons and
+// power attribution respect the client's psbox boundaries. The kernel
+// would gate this capability; here any task may delegate.
+type SubmitAccelAs struct {
+	Dev        string
+	Kind       string
+	Work       float64
+	DynW       float64
+	OnBehalfOf int // client app ID charged and insulated for this command
+}
+
+// AwaitAccel blocks until the app's backlog (pending + in-flight commands)
+// on the device is at most MaxBacklog.
+type AwaitAccel struct {
+	Dev        string
+	MaxBacklog int
+}
+
+// Send deposits bytes into one of the app's sockets. Non-blocking.
+type Send struct {
+	Socket int // index into the app's sockets
+	Bytes  int
+}
+
+// AwaitNet blocks until the app's unsent bytes are at most MaxBacklog.
+type AwaitNet struct {
+	MaxBacklog int
+}
+
+// SetTxLevel programs the app's NIC transmission power level (§4.2:
+// transmission modes are part of the NIC's virtualizable power state).
+// Non-blocking.
+type SetTxLevel struct {
+	Level int
+}
+
+// SetDisplayRegion updates what the app currently shows on the attached
+// panel (§7(1)). Non-blocking.
+type SetDisplayRegion struct {
+	Pixels    int
+	Luminance float64
+}
+
+// AcquireGPS opens the attached receiver for the app (§7(2)); the first
+// user triggers a cold start. Non-blocking (fixes arrive asynchronously).
+type AcquireGPS struct{}
+
+// ReleaseGPS drops the app's hold on the receiver.
+type ReleaseGPS struct{}
+
+// Sleep blocks the task for a duration.
+type Sleep struct {
+	D sim.Duration
+}
+
+// Exit terminates the task.
+type Exit struct{}
+
+func (Compute) isAction()          {}
+func (SubmitAccel) isAction()      {}
+func (SubmitAccelAs) isAction()    {}
+func (AwaitAccel) isAction()       {}
+func (Send) isAction()             {}
+func (SetTxLevel) isAction()       {}
+func (SetDisplayRegion) isAction() {}
+func (AcquireGPS) isAction()       {}
+func (ReleaseGPS) isAction()       {}
+func (AwaitNet) isAction()         {}
+func (Sleep) isAction()            {}
+func (Exit) isAction()             {}
+
+// Program drives one task. Next is called when the previous action
+// completes; the returned action executes next. Programs may inspect and
+// use the environment (time, randomness, counters, the psbox API).
+type Program interface {
+	Next(env *Env) Action
+}
+
+// ProgramFunc adapts a function to the Program interface.
+type ProgramFunc func(env *Env) Action
+
+// Next implements Program.
+func (f ProgramFunc) Next(env *Env) Action { return f(env) }
+
+// Loop builds a program that repeats a fixed slice of actions forever.
+func Loop(actions ...Action) Program {
+	i := 0
+	return ProgramFunc(func(*Env) Action {
+		a := actions[i%len(actions)]
+		i++
+		return a
+	})
+}
+
+// Sequence builds a program that runs the actions once, then exits.
+func Sequence(actions ...Action) Program {
+	i := 0
+	return ProgramFunc(func(*Env) Action {
+		if i >= len(actions) {
+			return Exit{}
+		}
+		a := actions[i]
+		i++
+		return a
+	})
+}

@@ -1,0 +1,182 @@
+package kernel
+
+import (
+	"fmt"
+
+	"psbox/internal/kernel/netsched"
+	"psbox/internal/kernel/sched"
+	"psbox/internal/sim"
+)
+
+// App is a principal: one application consisting of one or more tasks —
+// the unit a power sandbox encloses.
+type App struct {
+	ID   int
+	Name string
+
+	k        *Kernel
+	tasks    []*Task
+	sockets  []*netsched.Socket
+	counters map[string]float64
+	rand     *sim.Rand
+
+	// CPU demand accounting: time with at least one runnable-or-running
+	// task. The psbox virtual governor uses it to separate voluntary idle
+	// (the app sleeps) from involuntary waiting (runnable but not
+	// scheduled) when reconstructing the app's solo utilization.
+	demandCount int
+	demandSince sim.Time
+	demandAccum sim.Duration
+}
+
+// demandDelta adjusts the count of runnable tasks, folding the elapsed
+// demand stretch first.
+func (a *App) demandDelta(d int) {
+	now := a.k.eng.Now()
+	if a.demandCount > 0 {
+		a.demandAccum += now.Sub(a.demandSince)
+	}
+	a.demandCount += d
+	if a.demandCount < 0 {
+		panic(fmt.Sprintf("kernel: app %s demand count went negative", a.Name))
+	}
+	a.demandSince = now
+}
+
+// TotalDemand reports the accumulated time the app had runnable work.
+func (a *App) TotalDemand() sim.Duration {
+	d := a.demandAccum
+	if a.demandCount > 0 {
+		d += a.k.eng.Now().Sub(a.demandSince)
+	}
+	return d
+}
+
+// NewApp registers an application. The name is suffixed with the app ID so
+// co-running instances of the same program stay distinguishable.
+func (k *Kernel) NewApp(name string) *App {
+	k.nextApp++
+	a := &App{
+		ID:       k.nextApp,
+		Name:     fmt.Sprintf("%s#%d", name, k.nextApp),
+		k:        k,
+		counters: make(map[string]float64),
+		rand:     sim.NewRand(k.rand.Uint64()),
+	}
+	k.apps[a.ID] = a
+	k.appList = append(k.appList, a)
+	return a
+}
+
+// App returns a registered app by ID.
+func (k *Kernel) App(id int) *App {
+	a, ok := k.apps[id]
+	if !ok {
+		panic(fmt.Sprintf("kernel: no app %d", id))
+	}
+	return a
+}
+
+// Kernel returns the owning kernel.
+func (a *App) Kernel() *Kernel { return a.k }
+
+// Counter reads a throughput counter.
+func (a *App) Counter(name string) float64 { return a.counters[name] }
+
+// Tasks lists the app's tasks.
+func (a *App) Tasks() []*Task { return a.tasks }
+
+// CPUTime reports the app's total on-CPU time.
+func (a *App) CPUTime() sim.Duration {
+	var total sim.Duration
+	for _, t := range a.tasks {
+		total += t.st.CPUTime()
+	}
+	return total
+}
+
+// OpenSocket creates a transmission socket on the attached NIC and returns
+// its index for use in Send actions.
+func (a *App) OpenSocket() int {
+	if a.k.net == nil {
+		panic(fmt.Sprintf("kernel: app %s opening socket with no NIC attached", a.Name))
+	}
+	a.sockets = append(a.sockets, a.k.net.NewSocket(a.ID))
+	return len(a.sockets) - 1
+}
+
+// Task is a kernel thread executing a Program.
+type Task struct {
+	Name string
+
+	app  *App
+	st   *sched.Task
+	prog Program
+	env  *Env
+
+	// Execution state of the current Compute action.
+	remaining float64 // cycles left
+	memGBs    float64 // DRAM bandwidth of the current burst
+	core      int     // -1 when off-CPU
+	runStart  sim.Time
+	runRate   float64 // cycles/s at which the current stretch executes
+	compArm   sim.Handle
+
+	// Wait state.
+	waitDev  string // non-empty: waiting on accelerator backlog
+	waitNet  bool
+	waitMax  int
+	sleepArm sim.Handle
+	dead     bool
+}
+
+// App returns the owning app.
+func (t *Task) App() *App { return t.app }
+
+// CPUTime reports the task's on-CPU time.
+func (t *Task) CPUTime() sim.Duration { return t.st.CPUTime() }
+
+// Dead reports whether the task has exited.
+func (t *Task) Dead() bool { return t.dead }
+
+// Spawn creates a task pinned to core running prog and makes it runnable.
+func (a *App) Spawn(name string, core int, prog Program) *Task {
+	t := &Task{
+		Name: fmt.Sprintf("%s/%s", a.Name, name),
+		app:  a,
+		st:   a.k.sch.NewTask(a.ID, fmt.Sprintf("%s/%s", a.Name, name), core, 0),
+		prog: prog,
+		core: -1,
+	}
+	t.env = &Env{k: a.k, app: a, task: t, Rand: sim.NewRand(a.rand.Uint64())}
+	a.tasks = append(a.tasks, t)
+	a.k.tasks[t.st] = t
+	// The task begins with an empty current action; its first Next() is
+	// fetched when it first gets the CPU.
+	t.remaining = 0
+	a.demandDelta(+1)
+	a.k.sch.Wake(t.st)
+	return t
+}
+
+// Env is the execution environment handed to programs.
+type Env struct {
+	k    *Kernel
+	app  *App
+	task *Task
+
+	// Rand is the task's private deterministic randomness.
+	Rand *sim.Rand
+}
+
+// Now reports simulated time.
+func (e *Env) Now() sim.Time { return e.k.eng.Now() }
+
+// App returns the owning app.
+func (e *Env) App() *App { return e.app }
+
+// Kernel returns the kernel.
+func (e *Env) Kernel() *Kernel { return e.k }
+
+// Count adds n to one of the app's throughput counters.
+func (e *Env) Count(name string, n float64) { e.app.counters[name] += n }

@@ -1,0 +1,215 @@
+package kernel
+
+import (
+	"fmt"
+	"sort"
+
+	"psbox/internal/hw/cpu"
+	"psbox/internal/hw/display"
+	"psbox/internal/hw/dram"
+	"psbox/internal/hw/gps"
+	"psbox/internal/kernel/accel"
+	"psbox/internal/kernel/netsched"
+	"psbox/internal/kernel/sched"
+	"psbox/internal/sim"
+)
+
+// Config assembles a kernel over pre-built hardware models.
+type Config struct {
+	CPU   *cpu.CPU
+	Sched sched.Config
+
+	// Seed feeds the deterministic randomness handed to programs.
+	Seed uint64
+}
+
+// Kernel is the simulated OS instance.
+type Kernel struct {
+	eng  *sim.Engine
+	cpu  *cpu.CPU
+	sch  *sched.Scheduler
+	rand *sim.Rand
+
+	accels    map[string]*accel.Driver
+	accelKeys []string
+	net       *netsched.Driver
+	disp      *display.Display
+	gpsDev    *gps.GPS
+	mem       *dram.DRAM
+
+	apps    map[int]*App
+	appList []*App
+	nextApp int
+	tasks   map[*sched.Task]*Task
+	running []*Task // per core
+
+	cpuResidentHooks   []func(appID int, resident bool)
+	accelResidentHooks map[string][]func(appID int, resident bool)
+	netResidentHooks   []func(appID int, resident bool)
+
+	// cpuUsage records per-core occupancy spans for the accounting layer.
+	cpuUsage func(owner, core int, start, end sim.Time)
+}
+
+// New builds a kernel over the given CPU. Accelerators and the NIC are
+// attached afterwards with AttachAccel/AttachNet, before apps start.
+func New(eng *sim.Engine, cfg Config) *Kernel {
+	if cfg.CPU == nil {
+		panic("kernel: need a CPU")
+	}
+	if cfg.Sched.Cores == 0 {
+		cfg.Sched = sched.DefaultConfig(cfg.CPU.Cores())
+	}
+	if cfg.Sched.Cores != cfg.CPU.Cores() {
+		panic("kernel: scheduler core count must match the CPU")
+	}
+	k := &Kernel{
+		eng:                eng,
+		cpu:                cfg.CPU,
+		rand:               sim.NewRand(cfg.Seed ^ 0x9e3779b97f4a7c15),
+		accels:             make(map[string]*accel.Driver),
+		accelResidentHooks: make(map[string][]func(int, bool)),
+		apps:               make(map[int]*App),
+		tasks:              make(map[*sched.Task]*Task),
+		running:            make([]*Task, cfg.CPU.Cores()),
+	}
+	k.sch = sched.New(eng, cfg.Sched, sched.Callbacks{
+		RunTask:       k.onRunTask,
+		StopTask:      k.onStopTask,
+		CoreIdle:      k.onCoreIdle,
+		GroupResident: k.onCPUResident,
+	})
+	k.cpu.OnFreqChange(k.onFreqChange)
+	return k
+}
+
+// Engine exposes the simulation engine.
+func (k *Kernel) Engine() *sim.Engine { return k.eng }
+
+// CPU exposes the CPU model.
+func (k *Kernel) CPU() *cpu.CPU { return k.cpu }
+
+// Scheduler exposes the CPU scheduler.
+func (k *Kernel) Scheduler() *sched.Scheduler { return k.sch }
+
+// AttachAccel registers an accelerator driver under a name ("gpu", "dsp").
+func (k *Kernel) AttachAccel(name string, d *accel.Driver) {
+	if _, dup := k.accels[name]; dup {
+		panic(fmt.Sprintf("kernel: accelerator %q already attached", name))
+	}
+	k.accels[name] = d
+	k.accelKeys = append(k.accelKeys, name)
+	sort.Strings(k.accelKeys)
+	d.SetCallbacks(accel.Callbacks{
+		BacklogChange: func(appID int) { k.checkAccelWaiters(name, appID) },
+		BoxResident: func(appID int, r bool) {
+			for _, fn := range k.accelResidentHooks[name] {
+				fn(appID, r)
+			}
+		},
+		Usage: d.Callbacks().Usage,
+	})
+}
+
+// AttachNet registers the packet scheduler.
+func (k *Kernel) AttachNet(d *netsched.Driver) {
+	if k.net != nil {
+		panic("kernel: NIC already attached")
+	}
+	k.net = d
+	d.SetCallbacks(netsched.Callbacks{
+		BacklogChange: k.checkNetWaiters,
+		BoxResident: func(appID int, r bool) {
+			for _, fn := range k.netResidentHooks {
+				fn(appID, r)
+			}
+		},
+		Usage: d.Callbacks().Usage,
+	})
+}
+
+// Accel returns a named accelerator driver.
+func (k *Kernel) Accel(name string) *accel.Driver {
+	d, ok := k.accels[name]
+	if !ok {
+		panic(fmt.Sprintf("kernel: no accelerator %q", name))
+	}
+	return d
+}
+
+// HasAccel reports whether a named accelerator is attached.
+func (k *Kernel) HasAccel(name string) bool {
+	_, ok := k.accels[name]
+	return ok
+}
+
+// AccelNames lists attached accelerators in stable order.
+func (k *Kernel) AccelNames() []string { return k.accelKeys }
+
+// Net returns the packet scheduler; nil if no NIC is attached.
+func (k *Kernel) Net() *netsched.Driver { return k.net }
+
+// AttachDisplay registers the panel (§7 extension scope).
+func (k *Kernel) AttachDisplay(d *display.Display) {
+	if k.disp != nil {
+		panic("kernel: display already attached")
+	}
+	k.disp = d
+}
+
+// Display returns the panel; nil if absent.
+func (k *Kernel) Display() *display.Display { return k.disp }
+
+// AttachGPS registers the receiver (§7 extension scope).
+func (k *Kernel) AttachGPS(g *gps.GPS) {
+	if k.gpsDev != nil {
+		panic("kernel: GPS already attached")
+	}
+	k.gpsDev = g
+}
+
+// GPS returns the receiver; nil if absent.
+func (k *Kernel) GPS() *gps.GPS { return k.gpsDev }
+
+// AttachDRAM registers the memory channel (§7(4) extension scope).
+func (k *Kernel) AttachDRAM(d *dram.DRAM) {
+	if k.mem != nil {
+		panic("kernel: DRAM already attached")
+	}
+	k.mem = d
+}
+
+// DRAM returns the memory channel; nil if absent.
+func (k *Kernel) DRAM() *dram.DRAM { return k.mem }
+
+// Apps lists the registered apps in creation order.
+func (k *Kernel) Apps() []*App { return k.appList }
+
+// OnCPUResident registers a hook for CPU spatial-balloon residency; the
+// psbox layer uses it for metering and power-state virtualization.
+func (k *Kernel) OnCPUResident(fn func(appID int, resident bool)) {
+	k.cpuResidentHooks = append(k.cpuResidentHooks, fn)
+}
+
+// OnAccelResident registers a hook for a device's temporal-balloon
+// residency.
+func (k *Kernel) OnAccelResident(dev string, fn func(appID int, resident bool)) {
+	k.accelResidentHooks[dev] = append(k.accelResidentHooks[dev], fn)
+}
+
+// OnNetResident registers a hook for NIC balloon residency.
+func (k *Kernel) OnNetResident(fn func(appID int, resident bool)) {
+	k.netResidentHooks = append(k.netResidentHooks, fn)
+}
+
+// SetCPUUsageRecorder installs the accounting recorder for per-core
+// occupancy spans.
+func (k *Kernel) SetCPUUsageRecorder(fn func(owner, core int, start, end sim.Time)) {
+	k.cpuUsage = fn
+}
+
+func (k *Kernel) onCPUResident(appID int, resident bool) {
+	for _, fn := range k.cpuResidentHooks {
+		fn(appID, resident)
+	}
+}

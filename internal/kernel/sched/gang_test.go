@@ -1,0 +1,164 @@
+package sched
+
+import (
+	"testing"
+
+	"psbox/internal/sim"
+)
+
+func TestGangConfigValidation(t *testing.T) {
+	h := newHarness(t, 2)
+	h.hog(1, "a", 0, 0)
+	bad := []GangConfig{
+		{Period: 0, Slot: 1},
+		{Period: 10 * sim.Millisecond, Slot: 0},
+		{Period: 10 * sim.Millisecond, Slot: 10 * sim.Millisecond},
+		{Period: 10 * sim.Millisecond, Slot: 20 * sim.Millisecond},
+	}
+	for _, cfg := range bad {
+		if _, err := h.s.ActivateGang(1, cfg); err == nil {
+			t.Errorf("config %+v should fail", cfg)
+		}
+	}
+}
+
+func TestGangPeriodicResidency(t *testing.T) {
+	h := newHarness(t, 2)
+	h.hog(1, "gang", 0, 0)
+	h.hog(2, "other", 0, 0)
+	var opens []sim.Time
+	var spans []sim.Duration
+	var openAt sim.Time
+	h.s.cbs.GroupResident = func(app int, r bool) {
+		if r {
+			openAt = h.eng.Now()
+			opens = append(opens, openAt)
+		} else {
+			spans = append(spans, h.eng.Now().Sub(openAt))
+		}
+	}
+	cfg := GangConfig{Period: 20 * sim.Millisecond, Slot: 5 * sim.Millisecond}
+	if _, err := h.s.ActivateGang(1, cfg); err != nil {
+		t.Fatal(err)
+	}
+	h.eng.RunFor(500 * sim.Millisecond)
+	if len(opens) < 20 || len(opens) > 30 {
+		t.Fatalf("windows = %d, want ≈25", len(opens))
+	}
+	// Strictly periodic cadence (±tick for retry jitter).
+	for i := 1; i < len(opens); i++ {
+		gap := opens[i].Sub(opens[i-1])
+		if gap < cfg.Period-2*sim.Millisecond || gap > cfg.Period+2*sim.Millisecond {
+			t.Fatalf("window %d gap %v, want ≈%v", i, gap, cfg.Period)
+		}
+	}
+	// Each window lasts the slot (announce may trail the IPI).
+	for i, s := range spans {
+		if s < cfg.Slot-sim.Millisecond || s > cfg.Slot+sim.Millisecond {
+			t.Fatalf("window %d span %v, want ≈%v", i, s, cfg.Slot)
+		}
+	}
+}
+
+// The gang's defining waste: an idle gang still consumes its slot, so a
+// competitor loses exactly the reservation share — unlike loan windows,
+// which return idle capacity.
+func TestGangWastesReservedSlots(t *testing.T) {
+	measure := func(gang bool) float64 {
+		h := newHarness(t, 2)
+		// The sandboxed app sleeps almost always: ~2% demand.
+		h.periodic(1, "idleapp", 0, 200*sim.Microsecond, 10*sim.Millisecond)
+		other := h.hog(2, "other", 0, 0)
+		if gang {
+			if _, err := h.s.ActivateGang(1, GangConfig{
+				Period: 20 * sim.Millisecond, Slot: 5 * sim.Millisecond, // 25% reserved
+			}); err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			h.s.ActivateGroup(1)
+		}
+		h.eng.RunFor(2 * sim.Second)
+		return other.CPUTime().Seconds() / 2
+	}
+	withLoans := measure(false)
+	withGang := measure(true)
+	if withGang >= withLoans-0.10 {
+		t.Fatalf("gang should waste ≈25%% for others: loans %v vs gang %v", withLoans, withGang)
+	}
+	if withGang > 0.80 {
+		t.Fatalf("other share %v under a 25%% reservation", withGang)
+	}
+}
+
+func TestGangExclusivity(t *testing.T) {
+	h := newHarness(t, 2)
+	h.hog(1, "g0", 0, 0)
+	h.hog(1, "g1", 1, 0)
+	h.hog(2, "o0", 0, 0)
+	h.hog(2, "o1", 1, 0)
+	if _, err := h.s.ActivateGang(1, GangConfig{
+		Period: 10 * sim.Millisecond, Slot: 4 * sim.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	tr := &occupancyTracker{h: h, boxed: 1}
+	var poll func(sim.Time)
+	poll = func(sim.Time) {
+		tr.check()
+		h.eng.After(100*sim.Microsecond, poll)
+	}
+	h.eng.After(100*sim.Microsecond, poll)
+	h.eng.RunFor(1 * sim.Second)
+	if tr.overlaps != 0 {
+		t.Fatalf("gang overlapped others at %d instants", tr.overlaps)
+	}
+}
+
+func TestDeactivateGangRestoresSharing(t *testing.T) {
+	h := newHarness(t, 2)
+	a := h.hog(1, "a", 0, 0)
+	b := h.hog(2, "b", 0, 0)
+	if _, err := h.s.ActivateGang(1, GangConfig{
+		Period: 10 * sim.Millisecond, Slot: 5 * sim.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h.eng.RunFor(300 * sim.Millisecond)
+	h.s.DeactivateGang(1)
+	if h.resident[1] {
+		t.Fatal("deactivate should close the window")
+	}
+	aBase, bBase := a.CPUTime(), b.CPUTime()
+	h.eng.RunFor(1 * sim.Second)
+	da := float64(a.CPUTime() - aBase)
+	db := float64(b.CPUTime() - bBase)
+	share := da / (da + db)
+	if share < 0.35 || share > 0.65 {
+		t.Fatalf("post-gang share = %v", share)
+	}
+	h.s.DeactivateGang(1) // idempotent
+	h.eng.RunFor(50 * sim.Millisecond)
+}
+
+func TestGangWithNoRunnableTasksHoldsSlot(t *testing.T) {
+	h := newHarness(t, 2)
+	// The gang app is fully blocked; the other is a hog.
+	tk := h.s.NewTask(1, "blocked", 0, 0)
+	_ = tk // never woken
+	other := h.hog(2, "other", 0, 0)
+	if _, err := h.s.ActivateGang(1, GangConfig{
+		Period: 10 * sim.Millisecond, Slot: 5 * sim.Millisecond,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	h.eng.RunFor(1 * sim.Second)
+	// The other hog loses ≈ the whole reservation share.
+	share := other.CPUTime().Seconds()
+	if share > 0.60 {
+		t.Fatalf("reservation not enforced: other got %v", share)
+	}
+	if share < 0.40 {
+		t.Fatalf("other starved beyond the reservation: %v", share)
+	}
+}

@@ -1,0 +1,355 @@
+package sched
+
+import (
+	"testing"
+
+	"psbox/internal/sim"
+)
+
+// occupancyTracker records, per instant, which app occupies each core, so
+// tests can assert balloon exclusivity.
+type occupancyTracker struct {
+	h        *harness
+	overlaps int // instants where a boxed app and another app co-ran
+	boxed    int
+}
+
+func (o *occupancyTracker) check() {
+	if !o.h.resident[o.boxed] {
+		// During IPI transit the balloon boundary is not yet established
+		// and residency has not been announced; power observation has not
+		// started, so other apps winding down is by design.
+		return
+	}
+	boxedOn, otherOn := false, false
+	for _, t := range o.h.onCore {
+		if t == nil {
+			continue
+		}
+		if t.AppID == o.boxed {
+			boxedOn = true
+		} else {
+			otherOn = true
+		}
+	}
+	if boxedOn && otherOn {
+		o.overlaps++
+	}
+}
+
+func TestGroupExclusivity(t *testing.T) {
+	// The core psbox guarantee: once app 1 is sandboxed, no instant has
+	// app 1 and another app running simultaneously on the two cores.
+	h := newHarness(t, 2)
+	h.hog(1, "boxed0", 0, 0)
+	h.hog(1, "boxed1", 1, 0)
+	h.hog(2, "other0", 0, 0)
+	h.hog(2, "other1", 1, 0)
+	h.eng.RunFor(100 * sim.Millisecond)
+	h.s.ActivateGroup(1)
+	tr := &occupancyTracker{h: h, boxed: 1}
+	var poll func(sim.Time)
+	poll = func(sim.Time) {
+		tr.check()
+		h.eng.After(100*sim.Microsecond, poll)
+	}
+	h.eng.After(100*sim.Microsecond, poll)
+	h.eng.RunFor(1 * sim.Second)
+	if tr.overlaps != 0 {
+		t.Fatalf("boxed app co-ran with others at %d sampled instants", tr.overlaps)
+	}
+}
+
+func TestGroupForcedIdle(t *testing.T) {
+	// A single-threaded boxed app on a dual-core: while its window is open
+	// the second core must be forced idle (nobody runs there).
+	h := newHarness(t, 2)
+	boxed := h.hog(1, "boxed", 0, 0)
+	h.hog(2, "other0", 0, 0)
+	h.hog(2, "other1", 1, 0)
+	h.s.ActivateGroup(1)
+	violations := 0
+	var poll func(sim.Time)
+	poll = func(sim.Time) {
+		if h.resident[1] && h.onCore[0] == boxed && h.onCore[1] != nil {
+			violations++
+		}
+		h.eng.After(50*sim.Microsecond, poll)
+	}
+	h.eng.After(50*sim.Microsecond, poll)
+	h.eng.RunFor(1 * sim.Second)
+	if violations != 0 {
+		t.Fatalf("core 1 ran someone during %d sampled balloon instants", violations)
+	}
+	if boxed.CPUTime() == 0 {
+		t.Fatal("boxed task never ran")
+	}
+}
+
+func TestGroupAloneRunsFullSpeed(t *testing.T) {
+	// The pay-as-you-go promise: with no competition, the sandboxed app
+	// keeps (almost) the whole machine.
+	h := newHarness(t, 2)
+	a0 := h.hog(1, "a0", 0, 0)
+	a1 := h.hog(1, "a1", 1, 0)
+	h.s.ActivateGroup(1)
+	h.eng.RunFor(1 * sim.Second)
+	if shareOf(a0, sim.Second) < 0.99 || shareOf(a1, sim.Second) < 0.99 {
+		t.Fatalf("alone-in-box shares: %v %v", shareOf(a0, sim.Second), shareOf(a1, sim.Second))
+	}
+	if !h.resident[1] {
+		t.Fatal("group should be resident the whole time")
+	}
+}
+
+// The headline fairness property (Fig. 8): when one of three identical
+// apps sandboxes itself, it alone loses throughput; the others keep at
+// least their previous share.
+func TestGroupConfinesThroughputLoss(t *testing.T) {
+	run := func(boxed bool) [3]sim.Duration {
+		h := newHarness(t, 2)
+		var tasks [3][2]*Task
+		for app := 0; app < 3; app++ {
+			tasks[app][0] = h.hog(app+1, "t0", 0, 0)
+			tasks[app][1] = h.hog(app+1, "t1", 1, 0)
+		}
+		h.eng.RunFor(200 * sim.Millisecond)
+		var base [3]sim.Duration
+		for i := range tasks {
+			base[i] = tasks[i][0].CPUTime() + tasks[i][1].CPUTime()
+		}
+		if boxed {
+			h.s.ActivateGroup(1)
+		}
+		h.eng.RunFor(2 * sim.Second)
+		var got [3]sim.Duration
+		for i := range tasks {
+			got[i] = tasks[i][0].CPUTime() + tasks[i][1].CPUTime() - base[i]
+		}
+		return got
+	}
+	before := run(false)
+	after := run(true)
+
+	// Unboxed: all three get ≈1/3 of 2 cores over 2s ≈ 1.33s.
+	for i, d := range before {
+		if d < sim.Duration(float64(before[0])*0.9) || d > sim.Duration(float64(before[0])*1.1) {
+			t.Fatalf("unboxed shares unequal: app %d got %v", i+1, d)
+		}
+	}
+	// Boxed app must lose noticeably.
+	lossBoxed := 1 - float64(after[0])/float64(before[0])
+	if lossBoxed < 0.15 {
+		t.Fatalf("boxed app lost only %.1f%%", lossBoxed*100)
+	}
+	// The others must not lose more than a sliver.
+	for i := 1; i < 3; i++ {
+		loss := 1 - float64(after[i])/float64(before[i])
+		if loss > 0.03 {
+			t.Fatalf("co-runner %d lost %.1f%% — loss not confined", i+1, loss*100)
+		}
+	}
+}
+
+func TestGroupLoanSettlement(t *testing.T) {
+	h := newHarness(t, 2)
+	h.hog(1, "a0", 0, 0)
+	h.hog(1, "a1", 1, 0)
+	h.hog(2, "b0", 0, 0)
+	h.hog(2, "b1", 1, 0)
+	g := h.s.ActivateGroup(1)
+	h.eng.RunFor(1 * sim.Second)
+	if g.Windows() == 0 {
+		t.Fatal("no coscheduling windows opened")
+	}
+	if g.LoanSettled() == 0 {
+		t.Fatal("competition should have produced loans")
+	}
+	if g.ResidentTime() == 0 || g.ResidentTime() > 600*sim.Millisecond {
+		t.Fatalf("resident time = %v", g.ResidentTime())
+	}
+}
+
+func TestGroupPeriodicAppWindowsFollowDemand(t *testing.T) {
+	// A periodic boxed app opens a window per burst and leaves when it
+	// sleeps; others run in between.
+	h := newHarness(t, 2)
+	p := h.periodic(1, "boxed", 0, 2*sim.Millisecond, 8*sim.Millisecond)
+	other := h.hog(2, "other", 0, 0)
+	g := h.s.ActivateGroup(1)
+	h.eng.RunFor(1 * sim.Second)
+	if g.Windows() < 50 {
+		t.Fatalf("expected ≈100 windows, got %d", g.Windows())
+	}
+	sp := shareOf(p, sim.Second)
+	if sp < 0.10 || sp > 0.25 {
+		t.Fatalf("periodic boxed share = %v", sp)
+	}
+	if so := shareOf(other, sim.Second); so < 0.70 {
+		t.Fatalf("other share = %v", so)
+	}
+}
+
+func TestGroupResidencyCallbacks(t *testing.T) {
+	h := newHarness(t, 2)
+	h.periodic(1, "boxed", 0, 1*sim.Millisecond, 9*sim.Millisecond)
+	h.hog(2, "other", 0, 0)
+	var events []bool
+	h.s.cbs.GroupResident = func(app int, r bool) {
+		if app != 1 {
+			t.Fatalf("unexpected app %d", app)
+		}
+		events = append(events, r)
+	}
+	h.s.ActivateGroup(1)
+	h.eng.RunFor(200 * sim.Millisecond)
+	if len(events) < 10 {
+		t.Fatalf("too few residency events: %d", len(events))
+	}
+	for i, r := range events {
+		if r != (i%2 == 0) {
+			t.Fatalf("residency events must alternate, got %v", events)
+		}
+	}
+}
+
+func TestDeactivateRestoresNormalScheduling(t *testing.T) {
+	h := newHarness(t, 2)
+	a := h.hog(1, "a", 0, 0)
+	b := h.hog(2, "b", 0, 0)
+	h.s.ActivateGroup(1)
+	h.eng.RunFor(500 * sim.Millisecond)
+	h.s.DeactivateGroup(1)
+	if h.resident[1] {
+		t.Fatal("deactivate should end residency")
+	}
+	aBase, bBase := a.CPUTime(), b.CPUTime()
+	h.eng.RunFor(1 * sim.Second)
+	da := float64(a.CPUTime() - aBase)
+	db := float64(b.CPUTime() - bBase)
+	// After leaving the box the app still carries its penalty but converges
+	// back to fair sharing.
+	if da/(da+db) < 0.35 || da/(da+db) > 0.55 {
+		t.Fatalf("post-box share = %v", da/(da+db))
+	}
+}
+
+func TestDeactivateIdempotent(t *testing.T) {
+	h := newHarness(t, 2)
+	h.hog(1, "a", 0, 0)
+	h.s.DeactivateGroup(1) // never activated: no-op
+	h.s.ActivateGroup(1)
+	h.s.DeactivateGroup(1)
+	h.s.DeactivateGroup(1)
+	h.eng.RunFor(100 * sim.Millisecond)
+}
+
+func TestReactivationIsNotAnAdvantage(t *testing.T) {
+	// Rapid enter/leave cycling must not let the app dodge its charges.
+	h := newHarness(t, 2)
+	a := h.hog(1, "a", 0, 0)
+	b := h.hog(2, "b", 0, 0)
+	var cycle func(sim.Time)
+	on := false
+	cycle = func(sim.Time) {
+		if on {
+			h.s.DeactivateGroup(1)
+		} else {
+			h.s.ActivateGroup(1)
+		}
+		on = !on
+		h.eng.After(10*sim.Millisecond, cycle)
+	}
+	h.eng.After(10*sim.Millisecond, cycle)
+	h.eng.RunFor(2 * sim.Second)
+	sa, sb := shareOf(a, 2*sim.Second), shareOf(b, 2*sim.Second)
+	if sa > sb {
+		t.Fatalf("cycling app out-ran its competitor: %v vs %v", sa, sb)
+	}
+	if sb < 0.45 {
+		t.Fatalf("competitor share = %v, should be at least its fair half", sb)
+	}
+}
+
+func TestTaskWakeIntoResidentGroupRunsOnForcedIdleCore(t *testing.T) {
+	h := newHarness(t, 2)
+	a0 := h.hog(1, "a0", 0, 0)
+	a1 := h.periodic(1, "a1", 1, 5*sim.Millisecond, 5*sim.Millisecond)
+	h.hog(2, "b0", 0, 0)
+	h.s.ActivateGroup(1)
+	h.eng.RunFor(1 * sim.Second)
+	if a1.CPUTime() == 0 || a0.CPUTime() == 0 {
+		t.Fatal("both group tasks should make progress")
+	}
+	// a1 demands 50% of core 1; inside the box it should get a large part
+	// of that demand whenever the window is open.
+	if got := shareOf(a1, sim.Second); got < 0.10 {
+		t.Fatalf("a1 share = %v", got)
+	}
+}
+
+func TestNewTaskWhileGroupActiveJoinsGroup(t *testing.T) {
+	h := newHarness(t, 2)
+	h.hog(1, "a0", 0, 0)
+	h.hog(2, "b0", 0, 0)
+	h.s.ActivateGroup(1)
+	h.eng.RunFor(100 * sim.Millisecond)
+	late := h.hog(1, "late", 1, 0)
+	if late.ge == nil {
+		t.Fatal("late task should join the active group")
+	}
+	h.eng.RunFor(500 * sim.Millisecond)
+	if late.CPUTime() == 0 {
+		t.Fatal("late group task never ran")
+	}
+	// Exclusivity still holds.
+	tr := &occupancyTracker{h: h, boxed: 1}
+	var poll func(sim.Time)
+	poll = func(sim.Time) {
+		tr.check()
+		h.eng.After(100*sim.Microsecond, poll)
+	}
+	h.eng.After(100*sim.Microsecond, poll)
+	h.eng.RunFor(500 * sim.Millisecond)
+	if tr.overlaps != 0 {
+		t.Fatalf("exclusivity violated %d times", tr.overlaps)
+	}
+}
+
+func TestShootdownCountsAndIPIDelay(t *testing.T) {
+	h := newHarness(t, 2)
+	h.periodic(1, "boxed", 0, 1*sim.Millisecond, 9*sim.Millisecond)
+	h.hog(2, "other0", 0, 0)
+	h.hog(2, "other1", 1, 0)
+	h.s.ActivateGroup(1)
+	h.eng.RunFor(1 * sim.Second)
+	if h.s.Shootdowns() < 100 {
+		t.Fatalf("shootdowns = %d, expected ≥ 2 per window × ~100 windows", h.s.Shootdowns())
+	}
+}
+
+func TestGroupEntityVRuntimeGrowsWithForcedIdle(t *testing.T) {
+	h := newHarness(t, 2)
+	h.hog(1, "a0", 0, 0) // single-threaded app: core 1 forced idle
+	h.hog(2, "b0", 0, 0)
+	h.hog(2, "b1", 1, 0)
+	g := h.s.ActivateGroup(1)
+	h.eng.RunFor(1 * sim.Second)
+	// Core 1's entity never ran a task yet must have been billed.
+	if g.EntityVRuntime(1) == 0 {
+		t.Fatal("forced idle was not billed to the balloon")
+	}
+}
+
+func TestExitLastGroupTaskClosesWindow(t *testing.T) {
+	h := newHarness(t, 2)
+	a := h.hog(1, "a", 0, 0)
+	h.hog(2, "b", 0, 0)
+	h.s.ActivateGroup(1)
+	h.eng.RunFor(100 * sim.Millisecond)
+	h.s.Exit(a)
+	if h.resident[1] {
+		t.Fatal("window should close when the last task exits")
+	}
+	h.eng.RunFor(100 * sim.Millisecond)
+}

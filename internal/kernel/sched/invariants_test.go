@@ -1,0 +1,193 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"psbox/internal/sim"
+)
+
+// The scheduler's global invariants, checked under randomized workload
+// mixes and sandbox toggling.
+
+type invHarness struct {
+	*harness
+	// busy[core] tracks occupancy to check conservation.
+	busySince map[int]sim.Time
+	busyTotal map[int]sim.Duration
+}
+
+func newInvHarness(t *testing.T, cores int) *invHarness {
+	h := &invHarness{
+		harness:   newHarness(t, cores),
+		busySince: map[int]sim.Time{},
+		busyTotal: map[int]sim.Duration{},
+	}
+	prevRun := h.s.cbs.RunTask
+	prevStop := h.s.cbs.StopTask
+	h.s.cbs.RunTask = func(core int, tk *Task) {
+		prevRun(core, tk)
+		h.busySince[core] = h.eng.Now()
+	}
+	h.s.cbs.StopTask = func(core int, tk *Task) {
+		prevStop(core, tk)
+		h.busyTotal[core] += h.eng.Now().Sub(h.busySince[core])
+		delete(h.busySince, core)
+	}
+	return h
+}
+
+// TestQuickCPUTimeConservation: the sum of all tasks' CPU time can never
+// exceed cores × elapsed time, and per-core occupancy equals the sum of
+// its tasks' runtime.
+func TestQuickCPUTimeConservation(t *testing.T) {
+	f := func(seed uint64, mix []uint8) bool {
+		h := newInvHarness(t, 2)
+		r := sim.NewRand(seed)
+		napps := 2 + r.Intn(3)
+		var tasks []*Task
+		for a := 0; a < napps; a++ {
+			n := 1 + r.Intn(2)
+			for i := 0; i < n; i++ {
+				core := r.Intn(2)
+				if r.Intn(2) == 0 {
+					tasks = append(tasks, h.hog(a+1, "hog", core, 0))
+				} else {
+					burst := sim.Duration(1+r.Intn(5)) * sim.Millisecond
+					sleep := sim.Duration(1+r.Intn(8)) * sim.Millisecond
+					tasks = append(tasks, h.periodic(a+1, "p", core, burst, sleep))
+				}
+			}
+		}
+		// Random box toggling on app 1.
+		for i, m := range mix {
+			if i >= 6 {
+				break
+			}
+			delay := sim.Duration(int(m)%40+1) * sim.Millisecond
+			if i%2 == 0 {
+				h.eng.After(delay*sim.Duration(i+1), func(sim.Time) { h.s.ActivateGroup(1) })
+			} else {
+				h.eng.After(delay*sim.Duration(i+1), func(sim.Time) { h.s.DeactivateGroup(1) })
+			}
+		}
+		span := 500 * sim.Millisecond
+		h.eng.RunFor(span)
+		var total sim.Duration
+		for _, tk := range tasks {
+			total += tk.CPUTime()
+		}
+		return total <= 2*span
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickExclusivityUnderToggling: at any sampled instant inside an
+// announced residency window, no other app shares the CPU.
+func TestQuickExclusivityUnderToggling(t *testing.T) {
+	f := func(seed uint64) bool {
+		h := newHarness(t, 2)
+		r := sim.NewRand(seed)
+		h.hog(1, "a0", 0, 0)
+		h.hog(1, "a1", 1, 0)
+		for a := 2; a <= 3; a++ {
+			h.hog(a, "b0", r.Intn(2), 0)
+			h.hog(a, "b1", r.Intn(2), 0)
+		}
+		// Toggle the box with random cadence.
+		on := false
+		var toggle func(sim.Time)
+		toggle = func(sim.Time) {
+			if on {
+				h.s.DeactivateGroup(1)
+			} else {
+				h.s.ActivateGroup(1)
+			}
+			on = !on
+			h.eng.After(sim.Duration(5+r.Intn(30))*sim.Millisecond, toggle)
+		}
+		h.eng.After(10*sim.Millisecond, toggle)
+
+		ok := true
+		var poll func(sim.Time)
+		poll = func(sim.Time) {
+			if h.resident[1] {
+				for _, tk := range h.onCore {
+					if tk != nil && tk.AppID != 1 {
+						ok = false
+					}
+				}
+			}
+			h.eng.After(250*sim.Microsecond, poll)
+		}
+		h.eng.After(250*sim.Microsecond, poll)
+		h.eng.RunFor(700 * sim.Millisecond)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickNoPermanentStarvation: under a persistent sandbox, every
+// runnable competitor still makes progress.
+func TestQuickNoPermanentStarvation(t *testing.T) {
+	f := func(seed uint64) bool {
+		h := newHarness(t, 2)
+		r := sim.NewRand(seed)
+		boxTasks := 1 + r.Intn(2)
+		for i := 0; i < boxTasks; i++ {
+			h.hog(1, "boxed", i%2, 0)
+		}
+		others := []*Task{
+			h.hog(2, "b", r.Intn(2), 0),
+			h.hog(3, "c", r.Intn(2), 0),
+		}
+		h.s.ActivateGroup(1)
+		h.eng.RunFor(1 * sim.Second)
+		mid := []sim.Duration{others[0].CPUTime(), others[1].CPUTime()}
+		h.eng.RunFor(1 * sim.Second)
+		for i, tk := range others {
+			if tk.CPUTime()-mid[i] < 50*sim.Millisecond {
+				return false // starved in the second half
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickResidencyEventsBalanced: GroupResident callbacks strictly
+// alternate true/false under random toggling and workload churn.
+func TestQuickResidencyEventsBalanced(t *testing.T) {
+	f := func(seed uint64) bool {
+		h := newHarness(t, 2)
+		r := sim.NewRand(seed)
+		h.periodic(1, "p", 0, sim.Duration(1+r.Intn(4))*sim.Millisecond,
+			sim.Duration(1+r.Intn(8))*sim.Millisecond)
+		h.hog(2, "hog", 0, 0)
+		var events []bool
+		h.s.cbs.GroupResident = func(app int, res bool) { events = append(events, res) }
+		h.s.ActivateGroup(1)
+		h.eng.After(sim.Duration(100+r.Intn(200))*sim.Millisecond, func(sim.Time) {
+			h.s.DeactivateGroup(1)
+		})
+		h.eng.After(sim.Duration(400+r.Intn(100))*sim.Millisecond, func(sim.Time) {
+			h.s.ActivateGroup(1)
+		})
+		h.eng.RunFor(700 * sim.Millisecond)
+		for i, e := range events {
+			if e != (i%2 == 0) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}

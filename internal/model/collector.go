@@ -1,0 +1,103 @@
+package model
+
+import (
+	psbox "psbox"
+	"psbox/internal/sim"
+)
+
+// CPUFeatureNames are the software-visible signals a kernel-level model
+// regresses on: per-core busy fractions and the DVFS operating point.
+func CPUFeatureNames(cores int) []string {
+	names := make([]string, 0, cores+1)
+	for i := 0; i < cores; i++ {
+		names = append(names, "util"+string(rune('0'+i)))
+	}
+	return append(names, "freq_ghz")
+}
+
+// CollectCPU samples a running system's CPU rail against its
+// software-visible activity: per-core occupancy within each window (from
+// the usage recorder) plus the operating point observed at the window end.
+// It advances the simulation by span.
+func CollectCPU(sys *psbox.System, span sim.Duration, window sim.Duration) []Sample {
+	cores := sys.Kernel.CPU().Cores()
+	type win struct {
+		busy []float64
+		freq float64
+	}
+	var wins []win
+	start := sys.Now()
+	n := int(span / window)
+	// Mark window boundaries: occupancy comes from the recorder afterwards,
+	// frequency is snapshotted live at each boundary.
+	freqAt := make([]float64, n)
+	for i := 0; i < n; i++ {
+		idx := i
+		sys.Eng.After(window*sim.Duration(i+1), func(sim.Time) {
+			freqAt[idx] = sys.Kernel.CPU().FreqMHz() / 1000
+		})
+	}
+	sys.Run(span)
+
+	// Re-play the recorded occupancy spans into per-window busy fractions.
+	// The recorder is per rail, not per core; spread occupancy across
+	// cores by order of appearance within the window (the model only needs
+	// total busy signal; per-core split is a convention).
+	busy := make([][]float64, n)
+	for i := range busy {
+		busy[i] = make([]float64, cores)
+	}
+	for _, s := range sys.Recorders["cpu"].Spans() {
+		if s.End <= start {
+			continue
+		}
+		lo := s.Start
+		if lo < start {
+			lo = start
+		}
+		for t := lo; t < s.End; {
+			w := int(t.Sub(start) / window)
+			if w >= n {
+				break
+			}
+			wEnd := start.Add(window * sim.Duration(w+1))
+			hi := s.End
+			if hi > wEnd {
+				hi = wEnd
+			}
+			frac := hi.Sub(t).Seconds() / window.Seconds()
+			// Fill the least-loaded core slot (occupancies of concurrent
+			// spans land on distinct cores).
+			min := 0
+			for c := 1; c < cores; c++ {
+				if busy[w][c] < busy[w][min] {
+					min = c
+				}
+			}
+			busy[w][min] += frac
+			t = hi
+		}
+	}
+	for i := 0; i < n; i++ {
+		wins = append(wins, win{busy: busy[i], freq: freqAt[i]})
+	}
+
+	out := make([]Sample, 0, n)
+	for i, w := range wins {
+		a := start.Add(window * sim.Duration(i))
+		b := a.Add(window)
+		feat := make([]float64, 0, cores+1)
+		for _, u := range w.busy {
+			if u > 1 {
+				u = 1
+			}
+			feat = append(feat, u)
+		}
+		feat = append(feat, w.freq)
+		out = append(out, Sample{
+			Features: feat,
+			Watts:    sys.Meter.Energy("cpu", a, b) / window.Seconds(),
+		})
+	}
+	return out
+}

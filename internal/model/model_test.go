@@ -1,0 +1,145 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	psbox "psbox"
+	"psbox/internal/sim"
+	"psbox/internal/workload"
+)
+
+func TestFitRecoversExactLinearLaw(t *testing.T) {
+	// P = 0.8 + 1.3·u0 + 0.9·u1
+	var data []Sample
+	for _, u0 := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		for _, u1 := range []float64{0, 0.5, 1} {
+			data = append(data, Sample{
+				Features: []float64{u0, u1},
+				Watts:    0.8 + 1.3*u0 + 0.9*u1,
+			})
+		}
+	}
+	m, err := Fit([]string{"u0", "u1"}, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Intercept-0.8) > 1e-9 ||
+		math.Abs(m.Coef[0]-1.3) > 1e-9 ||
+		math.Abs(m.Coef[1]-0.9) > 1e-9 {
+		t.Fatalf("fit = %v", m)
+	}
+	if m.MAE(data) > 1e-9 || m.R2(data) < 1-1e-9 {
+		t.Fatalf("exact law: MAE=%v R2=%v", m.MAE(data), m.R2(data))
+	}
+	if !strings.Contains(m.String(), "u0") {
+		t.Fatal("String missing feature names")
+	}
+}
+
+func TestFitValidation(t *testing.T) {
+	if _, err := Fit(nil, nil); err == nil {
+		t.Fatal("no features should fail")
+	}
+	if _, err := Fit([]string{"x"}, []Sample{{Features: []float64{1}, Watts: 1}}); err == nil {
+		t.Fatal("too few samples should fail")
+	}
+	if _, err := Fit([]string{"x"}, []Sample{
+		{Features: []float64{1, 2}, Watts: 1},
+		{Features: []float64{1}, Watts: 1},
+	}); err == nil {
+		t.Fatal("ragged features should fail")
+	}
+	// Constant feature ⇒ singular design matrix.
+	if _, err := Fit([]string{"x"}, []Sample{
+		{Features: []float64{2}, Watts: 1},
+		{Features: []float64{2}, Watts: 2},
+		{Features: []float64{2}, Watts: 3},
+	}); err == nil {
+		t.Fatal("collinear design should fail")
+	}
+}
+
+func TestPredictArityPanics(t *testing.T) {
+	m := &Linear{Names: []string{"x"}, Coef: []float64{1}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	m.Predict([]float64{1, 2})
+}
+
+// Property: OLS never fits worse (in squared error) than the mean
+// predictor: R² ≥ 0 on training data.
+func TestQuickFitBeatsMean(t *testing.T) {
+	f := func(seed uint64) bool {
+		r := sim.NewRand(seed)
+		var data []Sample
+		for i := 0; i < 40; i++ {
+			x := []float64{r.Float64(), r.Float64()}
+			w := 0.5 + 2*x[0] + 0.2*x[1] + 0.1*(r.Float64()-0.5)
+			data = append(data, Sample{Features: x, Watts: w})
+		}
+		m, err := Fit([]string{"a", "b"}, data)
+		if err != nil {
+			return false
+		}
+		return m.R2(data) >= -1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The §2.2 demonstration: a model fitted on one workload tracks its
+// training distribution well but degrades out of distribution, while
+// direct measurement (the rail itself) is exact by construction.
+func TestModelDegradesOutOfDistribution(t *testing.T) {
+	collect := func(seed uint64, wl string, saturate bool) []Sample {
+		sys := psbox.NewAM57(seed)
+		workload.Install(sys.Kernel, workload.Catalog()[wl](2, saturate))
+		sys.Run(200 * sim.Millisecond) // warm up
+		return CollectCPU(sys, 2*sim.Second, 5*sim.Millisecond)
+	}
+	train := collect(1, "bodytrack", false)
+	m, err := Fit(CPUFeatureNames(2), train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainErr := m.MAPE(train)
+	if trainErr > 10 {
+		t.Fatalf("model cannot even track its training workload: %.1f%%", trainErr)
+	}
+	// Different workload mix, different DVFS pattern.
+	test := collect(2, "dedup", true)
+	testErr := m.MAPE(test)
+	if testErr < trainErr {
+		t.Fatalf("out-of-distribution error (%.1f%%) should exceed training error (%.1f%%)",
+			testErr, trainErr)
+	}
+}
+
+func TestCollectCPUShape(t *testing.T) {
+	sys := psbox.NewAM57(3)
+	workload.Install(sys.Kernel, workload.Calib3D(2, false))
+	data := CollectCPU(sys, 500*sim.Millisecond, 10*sim.Millisecond)
+	if len(data) != 50 {
+		t.Fatalf("windows = %d", len(data))
+	}
+	for _, s := range data {
+		if len(s.Features) != 3 {
+			t.Fatalf("features = %v", s.Features)
+		}
+		if s.Watts <= 0 {
+			t.Fatal("non-positive window power")
+		}
+		for _, f := range s.Features[:2] {
+			if f < 0 || f > 1 {
+				t.Fatalf("utilization out of range: %v", f)
+			}
+		}
+	}
+}

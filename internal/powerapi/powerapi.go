@@ -1,0 +1,274 @@
+// Package powerapi wraps the psbox native interface under a high-level
+// sensor-style API, the paper's §8.2 adoption path: power becomes one more
+// sensor type. Apps subscribe to the sample stream as they would to an
+// accelerometer, and register callbacks for app-defined power events —
+// "frequent power spikes", "power keeps increasing" — expressed as
+// temporal predicates evaluated continuously over the samples (the role
+// the paper gives to the sensor hub runtime).
+package powerapi
+
+import (
+	"fmt"
+
+	"psbox/internal/core"
+	"psbox/internal/hw/power"
+	"psbox/internal/sim"
+)
+
+// Event is one fired power event.
+type Event struct {
+	At        sim.Time
+	Predicate string
+	// Value is predicate-specific: the observed watts for threshold
+	// predicates, the spike ratio for spike predicates, the slope in W/s
+	// for trend predicates.
+	Value float64
+}
+
+// Predicate is a stateful temporal condition over the power sample stream.
+// Feed consumes a batch of samples in timestamp order and returns any
+// events that fired within it.
+type Predicate interface {
+	Name() string
+	Feed(samples []power.Sample) []Event
+}
+
+// Listener pumps a sandbox's virtual power meter on a batch cadence (the
+// sensor hub's delivery period) and evaluates subscriptions.
+type Listener struct {
+	eng   *sim.Engine
+	box   *core.Box
+	scope core.HW
+	batch sim.Duration
+
+	subs    []subscription
+	running bool
+	stopped bool
+	samples uint64
+}
+
+type subscription struct {
+	pred Predicate
+	fn   func(Event)
+}
+
+// NewListener builds a listener over one bound scope of a sandbox. The
+// batch period plays the role of SensorManager's sampling delay.
+func NewListener(eng *sim.Engine, box *core.Box, scope core.HW, batch sim.Duration) *Listener {
+	if batch <= 0 {
+		batch = 20 * sim.Millisecond
+	}
+	return &Listener{eng: eng, box: box, scope: scope, batch: batch}
+}
+
+// Subscribe registers a callback for a predicate's events
+// (SensorManager.registerListener, with a power event type).
+func (l *Listener) Subscribe(p Predicate, fn func(Event)) {
+	if l.running {
+		panic("powerapi: subscribe after Start")
+	}
+	l.subs = append(l.subs, subscription{pred: p, fn: fn})
+}
+
+// Start begins batch delivery. The listener only yields observations while
+// the app is inside its sandbox — psbox remains the only way to observe
+// power; this API just re-shapes it.
+func (l *Listener) Start() {
+	if l.running {
+		return
+	}
+	l.running = true
+	l.stopped = false
+	l.eng.After(l.batch, l.tick)
+}
+
+// Stop halts delivery after the current batch.
+func (l *Listener) Stop() { l.stopped = true; l.running = false }
+
+// Samples reports how many samples have been delivered to predicates.
+func (l *Listener) Samples() uint64 { return l.samples }
+
+func (l *Listener) tick(now sim.Time) {
+	if l.stopped {
+		return
+	}
+	batch := l.box.Sample(l.scope, 1<<20)
+	l.samples += uint64(len(batch))
+	if len(batch) > 0 {
+		for _, s := range l.subs {
+			for _, ev := range s.pred.Feed(batch) {
+				s.fn(ev)
+			}
+		}
+	}
+	l.eng.After(l.batch, l.tick)
+}
+
+// --- Predicates -----------------------------------------------------------
+
+// above fires when power stays above a threshold for at least a minimum
+// duration; it re-arms once power drops below.
+type above struct {
+	name     string
+	watts    power.Watts
+	minHold  sim.Duration
+	overAt   sim.Time
+	over     bool
+	reported bool
+}
+
+// Above builds a sustained-threshold predicate ("high power").
+func Above(watts power.Watts, minHold sim.Duration) Predicate {
+	return &above{
+		name:    fmt.Sprintf("above(%.3gW,%v)", watts, minHold),
+		watts:   watts,
+		minHold: minHold,
+	}
+}
+
+func (a *above) Name() string { return a.name }
+
+func (a *above) Feed(samples []power.Sample) []Event {
+	var out []Event
+	for _, s := range samples {
+		if s.W > a.watts {
+			if !a.over {
+				a.over = true
+				a.overAt = s.T
+				a.reported = false
+			}
+			if !a.reported && s.T.Sub(a.overAt) >= a.minHold {
+				a.reported = true
+				out = append(out, Event{At: s.T, Predicate: a.name, Value: s.W})
+			}
+		} else {
+			a.over = false
+			a.reported = false
+		}
+	}
+	return out
+}
+
+// spike fires when a sample exceeds factor × the trailing mean of the
+// preceding window ("frequent power spikes" building block).
+type spike struct {
+	name   string
+	factor float64
+	win    int
+	hist   []float64
+	sum    float64
+	cool   int
+}
+
+// Spike builds a spike predicate: a sample more than factor× the trailing
+// mean over window samples. Consecutive spike samples coalesce into one
+// event.
+func Spike(factor float64, window int) Predicate {
+	if window < 4 {
+		window = 4
+	}
+	return &spike{
+		name:   fmt.Sprintf("spike(%.2gx,%d)", factor, window),
+		factor: factor,
+		win:    window,
+	}
+}
+
+func (p *spike) Name() string { return p.name }
+
+func (p *spike) Feed(samples []power.Sample) []Event {
+	var out []Event
+	for _, s := range samples {
+		if len(p.hist) == p.win {
+			mean := p.sum / float64(p.win)
+			if mean > 0 && s.W > p.factor*mean {
+				if p.cool == 0 {
+					out = append(out, Event{At: s.T, Predicate: p.name, Value: s.W / mean})
+				}
+				p.cool = p.win // re-arm after a quiet window
+			} else if p.cool > 0 {
+				p.cool--
+			}
+		}
+		p.hist = append(p.hist, s.W)
+		p.sum += s.W
+		if len(p.hist) > p.win {
+			p.sum -= p.hist[0]
+			p.hist = p.hist[1:]
+		}
+	}
+	return out
+}
+
+// rising fires when the mean power of k consecutive buckets is strictly
+// increasing by at least minSlope watts/second overall ("power keeps
+// increasing").
+type rising struct {
+	name     string
+	bucket   sim.Duration
+	k        int
+	minSlope float64
+
+	curStart sim.Time
+	curSum   float64
+	curN     int
+	means    []float64
+	starts   []sim.Time
+}
+
+// Rising builds a monotone-trend predicate over k buckets of the given
+// width.
+func Rising(bucket sim.Duration, k int, minSlope float64) Predicate {
+	if k < 2 {
+		k = 2
+	}
+	return &rising{
+		name:     fmt.Sprintf("rising(%v×%d,%.3gW/s)", bucket, k, minSlope),
+		bucket:   bucket,
+		k:        k,
+		minSlope: minSlope,
+	}
+}
+
+func (r *rising) Name() string { return r.name }
+
+func (r *rising) Feed(samples []power.Sample) []Event {
+	var out []Event
+	for _, s := range samples {
+		if r.curN == 0 {
+			r.curStart = s.T
+		}
+		if s.T.Sub(r.curStart) >= r.bucket && r.curN > 0 {
+			r.means = append(r.means, r.curSum/float64(r.curN))
+			r.starts = append(r.starts, r.curStart)
+			if len(r.means) > r.k {
+				r.means = r.means[1:]
+				r.starts = r.starts[1:]
+			}
+			r.curStart = s.T
+			r.curSum, r.curN = 0, 0
+			if len(r.means) == r.k && r.monotone() {
+				span := r.starts[r.k-1].Sub(r.starts[0]).Seconds()
+				slope := (r.means[r.k-1] - r.means[0]) / span
+				if slope >= r.minSlope {
+					out = append(out, Event{At: s.T, Predicate: r.name, Value: slope})
+					// Re-arm: require a fresh run of buckets.
+					r.means = r.means[:0]
+					r.starts = r.starts[:0]
+				}
+			}
+		}
+		r.curSum += s.W
+		r.curN++
+	}
+	return out
+}
+
+func (r *rising) monotone() bool {
+	for i := 1; i < len(r.means); i++ {
+		if r.means[i] <= r.means[i-1] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,150 @@
+package powerapi
+
+import (
+	"testing"
+
+	psbox "psbox"
+	"psbox/internal/hw/power"
+	"psbox/internal/sim"
+)
+
+// feed is a test helper converting (tMs, W) pairs into a 1 ms sample grid.
+func feed(p Predicate, pairs ...float64) []Event {
+	var samples []power.Sample
+	for i := 0; i+1 < len(pairs); i += 2 {
+		samples = append(samples, power.Sample{
+			T: sim.Time(int64(pairs[i]) * int64(sim.Millisecond)),
+			W: pairs[i+1],
+		})
+	}
+	return p.Feed(samples)
+}
+
+func TestAbovePredicate(t *testing.T) {
+	p := Above(1.0, 3*sim.Millisecond)
+	// Below threshold: nothing.
+	if evs := feed(p, 0, 0.5, 1, 0.6, 2, 0.9); len(evs) != 0 {
+		t.Fatalf("events below threshold: %v", evs)
+	}
+	// Above, but too briefly: nothing.
+	if evs := feed(p, 3, 1.5, 4, 1.4, 5, 0.5); len(evs) != 0 {
+		t.Fatalf("short excursion fired: %v", evs)
+	}
+	// Sustained: exactly one event at the hold point.
+	evs := feed(p, 6, 1.5, 7, 1.6, 8, 1.4, 9, 1.5, 10, 1.6)
+	if len(evs) != 1 {
+		t.Fatalf("events = %v", evs)
+	}
+	if evs[0].At != sim.Time(9*sim.Millisecond) {
+		t.Fatalf("fired at %v", evs[0].At)
+	}
+	// Stays above: no re-fire until it drops and rises again.
+	if evs := feed(p, 11, 1.7, 12, 1.7); len(evs) != 0 {
+		t.Fatal("re-fired while held")
+	}
+	feed(p, 13, 0.2)
+	if evs := feed(p, 14, 1.5, 15, 1.5, 16, 1.5, 17, 1.5); len(evs) != 1 {
+		t.Fatal("should re-arm after dropping below")
+	}
+}
+
+func TestSpikePredicate(t *testing.T) {
+	p := Spike(2.0, 4)
+	// Establish a baseline of 1 W.
+	if evs := feed(p, 0, 1, 1, 1, 2, 1, 3, 1); len(evs) != 0 {
+		t.Fatal("baseline fired")
+	}
+	// A 3 W sample is a 3× spike.
+	evs := feed(p, 4, 3)
+	if len(evs) != 1 || evs[0].Value < 2.9 || evs[0].Value > 3.1 {
+		t.Fatalf("spike events = %v", evs)
+	}
+	// Immediately following elevated samples coalesce (cooldown).
+	if evs := feed(p, 5, 3); len(evs) != 0 {
+		t.Fatal("coalescing failed")
+	}
+}
+
+func TestRisingPredicate(t *testing.T) {
+	p := Rising(2*sim.Millisecond, 3, 10)
+	// Three strictly increasing 2 ms buckets: 1, 2, 3 W over 4 ms span
+	// → slope 500 W/s ≥ 10.
+	evs := feed(p,
+		0, 1, 1, 1,
+		2, 2, 3, 2,
+		4, 3, 5, 3,
+		6, 3, // closes the third bucket
+	)
+	if len(evs) != 1 {
+		t.Fatalf("events = %v", evs)
+	}
+	if evs[0].Value < 400 || evs[0].Value > 600 {
+		t.Fatalf("slope = %v", evs[0].Value)
+	}
+	// Flat buckets: nothing.
+	p2 := Rising(2*sim.Millisecond, 3, 10)
+	evs = feed(p2,
+		0, 1, 1, 1, 2, 1, 3, 1, 4, 1, 5, 1, 6, 1, 7, 1,
+	)
+	if len(evs) != 0 {
+		t.Fatalf("flat trend fired: %v", evs)
+	}
+}
+
+func TestPredicateNames(t *testing.T) {
+	for _, p := range []Predicate{
+		Above(1, sim.Millisecond), Spike(2, 8), Rising(sim.Millisecond, 3, 1),
+	} {
+		if p.Name() == "" {
+			t.Fatal("empty name")
+		}
+	}
+}
+
+// End to end: a sandboxed app's burst pattern drives the sensor-style API.
+func TestListenerEndToEnd(t *testing.T) {
+	sys := psbox.NewAM57(21)
+	app := sys.Kernel.NewApp("bursty")
+	app.Spawn("t", 0, psbox.Loop(
+		psbox.Compute{Cycles: 12e6}, // long burst: sustained high power
+		psbox.Sleep{D: 60 * psbox.Millisecond},
+	))
+	box := sys.Sandbox.MustCreate(app, psbox.HWCPU)
+	box.Enter()
+
+	l := NewListener(sys.Eng, box, psbox.HWCPU, 10*psbox.Millisecond)
+	var highs []Event
+	idle := sys.Kernel.CPU().IdlePower()
+	l.Subscribe(Above(idle+0.3, 2*psbox.Millisecond), func(e Event) { highs = append(highs, e) })
+	l.Start()
+	sys.Run(1 * psbox.Second)
+	l.Stop()
+	sys.Run(100 * psbox.Millisecond)
+
+	if l.Samples() == 0 {
+		t.Fatal("listener delivered no samples")
+	}
+	// Roughly one high-power event per burst (~12 bursts/s).
+	if len(highs) < 6 || len(highs) > 20 {
+		t.Fatalf("high-power events = %d", len(highs))
+	}
+	after := l.Samples()
+	sys.Run(100 * psbox.Millisecond)
+	if l.Samples() != after {
+		t.Fatal("listener kept running after Stop")
+	}
+}
+
+func TestListenerSubscribeAfterStartPanics(t *testing.T) {
+	sys := psbox.NewAM57(22)
+	app := sys.Kernel.NewApp("a")
+	box := sys.Sandbox.MustCreate(app, psbox.HWCPU)
+	l := NewListener(sys.Eng, box, psbox.HWCPU, 0)
+	l.Start()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	l.Subscribe(Above(1, 0), func(Event) {})
+}

@@ -1,0 +1,226 @@
+// Package scenario runs declarative simulation scenarios: a JSON document
+// picks a platform, a set of workload instances (optionally sandboxed),
+// and a duration; the runner reports per-app throughput, sandbox
+// observations, and rail energies. It is the repository's "driver" for
+// exploring configurations beyond the canned experiments.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	psbox "psbox"
+	"psbox/internal/core"
+	"psbox/internal/workload"
+)
+
+// AppSpec is one workload instance in a scenario.
+type AppSpec struct {
+	// Workload names a Fig. 5 benchmark from the catalog.
+	Workload string `json:"workload"`
+	// Count instantiates this many identical instances (default 1).
+	Count int `json:"count,omitempty"`
+	// Saturate selects the back-to-back variant.
+	Saturate bool `json:"saturate,omitempty"`
+	// Box lists hardware scopes to sandbox each instance on; empty means
+	// unboxed.
+	Box []string `json:"box,omitempty"`
+}
+
+// Spec is a full scenario.
+type Spec struct {
+	// Platform: "am57", "beaglebone" or "mobile".
+	Platform string `json:"platform"`
+	// Seed for deterministic replay.
+	Seed uint64 `json:"seed"`
+	// DurationMs is the simulated run length.
+	DurationMs int       `json:"duration_ms"`
+	Apps       []AppSpec `json:"apps"`
+}
+
+// Parse reads and validates a scenario document.
+func Parse(r io.Reader) (*Spec, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+func (s *Spec) validate() error {
+	switch s.Platform {
+	case "am57", "beaglebone", "mobile":
+	default:
+		return fmt.Errorf("scenario: unknown platform %q (am57, beaglebone, mobile)", s.Platform)
+	}
+	if s.DurationMs <= 0 {
+		return fmt.Errorf("scenario: duration_ms must be positive")
+	}
+	if len(s.Apps) == 0 {
+		return fmt.Errorf("scenario: need at least one app")
+	}
+	catalog := workload.Catalog()
+	for i, a := range s.Apps {
+		if _, ok := catalog[a.Workload]; !ok {
+			return fmt.Errorf("scenario: app %d: unknown workload %q (see fig5 for the catalog)", i, a.Workload)
+		}
+		if a.Count < 0 {
+			return fmt.Errorf("scenario: app %d: negative count", i)
+		}
+		for _, h := range a.Box {
+			switch core.HW(h) {
+			case core.HWCPU, core.HWGPU, core.HWDSP, core.HWWiFi,
+				core.HWDisplay, core.HWGPS, core.HWDRAM:
+			default:
+				return fmt.Errorf("scenario: app %d: unknown scope %q", i, h)
+			}
+		}
+	}
+	return nil
+}
+
+// AppReport is one instance's outcome.
+type AppReport struct {
+	Name     string             `json:"name"`
+	Workload string             `json:"workload"`
+	Boxed    []string           `json:"boxed,omitempty"`
+	Counters map[string]float64 `json:"counters,omitempty"`
+	// CPUTimeS is on-CPU seconds consumed.
+	CPUTimeS float64 `json:"cpu_time_s"`
+	// BoxMJ is the sandbox's observed energy, per scope, if boxed.
+	BoxMJ map[string]float64 `json:"box_mj,omitempty"`
+}
+
+// Report is a scenario's outcome.
+type Report struct {
+	Platform string             `json:"platform"`
+	Seed     uint64             `json:"seed"`
+	SimTimeS float64            `json:"sim_time_s"`
+	Apps     []AppReport        `json:"apps"`
+	RailsMJ  map[string]float64 `json:"rails_mj"`
+}
+
+// counterNames is the set of throughput counters workloads emit.
+var counterNames = []string{"kb", "frames", "chunks", "cmds", "gflops", "bytes", "pages"}
+
+// Run executes the scenario.
+func Run(s *Spec) (*Report, error) {
+	var sys *psbox.System
+	switch s.Platform {
+	case "am57":
+		sys = psbox.NewAM57(s.Seed)
+	case "beaglebone":
+		sys = psbox.NewBeagleBone(s.Seed)
+	case "mobile":
+		sys = psbox.NewMobile(s.Seed)
+	}
+	catalog := workload.Catalog()
+	type inst struct {
+		app  *psbox.App
+		spec AppSpec
+		box  *core.Box
+	}
+	var insts []inst
+	for _, a := range s.Apps {
+		count := a.Count
+		if count == 0 {
+			count = 1
+		}
+		for i := 0; i < count; i++ {
+			app := workload.Install(sys.Kernel, catalog[a.Workload](sys.Kernel.CPU().Cores(), a.Saturate))
+			it := inst{app: app, spec: a}
+			if len(a.Box) > 0 {
+				scopes := make([]core.HW, 0, len(a.Box))
+				for _, h := range a.Box {
+					scopes = append(scopes, core.HW(h))
+				}
+				box, err := sys.Sandbox.Create(app, scopes...)
+				if err != nil {
+					return nil, fmt.Errorf("scenario: boxing %s: %w", app.Name, err)
+				}
+				box.Enter()
+				it.box = box
+			}
+			insts = append(insts, it)
+		}
+	}
+	sys.Run(psbox.Duration(s.DurationMs) * psbox.Millisecond)
+
+	rep := &Report{
+		Platform: s.Platform,
+		Seed:     s.Seed,
+		SimTimeS: sys.Now().Seconds(),
+		RailsMJ:  map[string]float64{},
+	}
+	for _, rail := range sys.Meter.Rails() {
+		rep.RailsMJ[rail] = sys.Meter.Energy(rail, 0, sys.Now()) * 1000
+	}
+	for _, it := range insts {
+		ar := AppReport{
+			Name:     it.app.Name,
+			Workload: it.spec.Workload,
+			Boxed:    it.spec.Box,
+			CPUTimeS: it.app.CPUTime().Seconds(),
+			Counters: map[string]float64{},
+		}
+		for _, c := range counterNames {
+			if v := it.app.Counter(c); v != 0 {
+				ar.Counters[c] = v
+			}
+		}
+		if it.box != nil {
+			ar.BoxMJ = map[string]float64{}
+			for _, h := range it.box.HW() {
+				ar.BoxMJ[string(h)] = it.box.ReadScope(h) * 1000
+			}
+		}
+		rep.Apps = append(rep.Apps, ar)
+	}
+	return rep, nil
+}
+
+// Render prints a human-readable report.
+func (r *Report) Render(w io.Writer) {
+	fmt.Fprintf(w, "scenario: platform=%s seed=%d simulated %.2fs\n\n", r.Platform, r.Seed, r.SimTimeS)
+	fmt.Fprintf(w, "%-16s %-10s %10s  %-24s %s\n", "app", "workload", "cpu (s)", "throughput", "box observation (mJ)")
+	for _, a := range r.Apps {
+		var thr []string
+		keys := make([]string, 0, len(a.Counters))
+		for k := range a.Counters {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			thr = append(thr, fmt.Sprintf("%s=%.0f", k, a.Counters[k]))
+		}
+		var boxed []string
+		bkeys := make([]string, 0, len(a.BoxMJ))
+		for k := range a.BoxMJ {
+			bkeys = append(bkeys, k)
+		}
+		sort.Strings(bkeys)
+		for _, k := range bkeys {
+			boxed = append(boxed, fmt.Sprintf("%s=%.1f", k, a.BoxMJ[k]))
+		}
+		fmt.Fprintf(w, "%-16s %-10s %10.3f  %-24s %s\n",
+			a.Name, a.Workload, a.CPUTimeS, strings.Join(thr, " "), strings.Join(boxed, " "))
+	}
+	fmt.Fprintf(w, "\nrail energies (mJ):")
+	rkeys := make([]string, 0, len(r.RailsMJ))
+	for k := range r.RailsMJ {
+		rkeys = append(rkeys, k)
+	}
+	sort.Strings(rkeys)
+	for _, k := range rkeys {
+		fmt.Fprintf(w, " %s=%.1f", k, r.RailsMJ[k])
+	}
+	fmt.Fprintln(w)
+}

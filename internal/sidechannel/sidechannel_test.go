@@ -1,0 +1,142 @@
+package sidechannel
+
+import (
+	"testing"
+
+	"psbox/internal/sim"
+)
+
+func TestSitesDeterministicAndDistinct(t *testing.T) {
+	a := Sites(10, 42)
+	b := Sites(10, 42)
+	if len(a) != 10 {
+		t.Fatalf("sites = %d", len(a))
+	}
+	for i := range a {
+		if len(a[i].segments) != len(b[i].segments) {
+			t.Fatal("same seed must give identical sites")
+		}
+		for j := range a[i].segments {
+			if a[i].segments[j] != b[i].segments[j] {
+				t.Fatal("same seed must give identical segments")
+			}
+		}
+	}
+	// Different sites must differ (signature distinctness).
+	same := 0
+	for i := 1; i < len(a); i++ {
+		if len(a[i].segments) == len(a[0].segments) {
+			same++
+		}
+	}
+	if same == len(a)-1 {
+		t.Fatal("suspiciously uniform site lengths")
+	}
+}
+
+func TestObservationString(t *testing.T) {
+	if ObserveUnrestricted.String() != "unrestricted" || ObservePSBox.String() != "psbox" {
+		t.Fatal("strings wrong")
+	}
+}
+
+// The §2.5 headline: with unrestricted power observation the attacker
+// beats random guessing by a wide margin; behind psbox it collapses to
+// ≈random. Small configuration to keep the test fast; the full experiment
+// runs via the bench harness.
+func TestAttackSucceedsUnrestrictedFailsUnderPSBox(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := Config{
+		Sites:   6,
+		Trials:  2,
+		Seed:    99,
+		Span:    1200 * sim.Millisecond,
+		Bucket:  10 * sim.Millisecond,
+		Window:  25,
+		Observe: ObserveUnrestricted,
+	}
+	open := Run(cfg)
+	cfg.Observe = ObservePSBox
+	closed := Run(cfg)
+
+	if open.Total != 12 || closed.Total != 12 {
+		t.Fatalf("totals: %d %d", open.Total, closed.Total)
+	}
+	if open.SuccessRate < 3*open.RandomGuess {
+		t.Fatalf("unrestricted attack too weak: %.2f (random %.2f)", open.SuccessRate, open.RandomGuess)
+	}
+	if closed.SuccessRate > open.SuccessRate/2 {
+		t.Fatalf("psbox did not suppress the channel: %.2f vs %.2f", closed.SuccessRate, open.SuccessRate)
+	}
+}
+
+func TestLeakageBits(t *testing.T) {
+	// A perfect 4-site classifier leaks log2(4) = 2 bits.
+	perfect := Result{Total: 8, Confusion: [][]int{
+		{2, 0, 0, 0}, {0, 2, 0, 0}, {0, 0, 2, 0}, {0, 0, 0, 2},
+	}}
+	if got := perfect.LeakageBits(); got < 1.999 || got > 2.001 {
+		t.Fatalf("perfect leakage = %v bits", got)
+	}
+	if perfect.MaxLeakageBits() != 2 {
+		t.Fatalf("max = %v", perfect.MaxLeakageBits())
+	}
+	// A constant guesser leaks nothing.
+	blind := Result{Total: 8, Confusion: [][]int{
+		{2, 0, 0, 0}, {2, 0, 0, 0}, {2, 0, 0, 0}, {2, 0, 0, 0},
+	}}
+	if got := blind.LeakageBits(); got > 1e-9 {
+		t.Fatalf("blind leakage = %v bits", got)
+	}
+	// Empty result is safe.
+	if (Result{}).LeakageBits() != 0 || (Result{}).MaxLeakageBits() != 0 {
+		t.Fatal("empty result leakage")
+	}
+}
+
+func TestLeakageOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := Config{
+		Sites: 5, Trials: 2, Seed: 31,
+		Span: 900 * sim.Millisecond, Bucket: 10 * sim.Millisecond,
+		Window: 20, Observe: ObserveUnrestricted,
+	}
+	open := Run(cfg)
+	cfg.Observe = ObservePSBox
+	closed := Run(cfg)
+	if open.LeakageBits() <= closed.LeakageBits() {
+		t.Fatalf("unrestricted leakage %v bits should exceed psbox %v bits",
+			open.LeakageBits(), closed.LeakageBits())
+	}
+	if open.LeakageBits() < 0.5 {
+		t.Fatalf("unrestricted channel too weak: %v bits", open.LeakageBits())
+	}
+}
+
+func TestConfusionMatrixShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	cfg := Config{
+		Sites: 3, Trials: 1, Seed: 5,
+		Span: 600 * sim.Millisecond, Bucket: 10 * sim.Millisecond,
+		Window: 20, Observe: ObserveUnrestricted,
+	}
+	r := Run(cfg)
+	if len(r.Confusion) != 3 {
+		t.Fatal("confusion rows")
+	}
+	total := 0
+	for _, row := range r.Confusion {
+		for _, v := range row {
+			total += v
+		}
+	}
+	if total != r.Total {
+		t.Fatalf("confusion sums to %d, total %d", total, r.Total)
+	}
+}

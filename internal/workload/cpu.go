@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"psbox/internal/kernel"
+	"psbox/internal/sim"
+)
+
+// cpuPipeline builds a frame-paced multi-thread CPU program: every period
+// each thread burns ≈cycles (with jitter), counts progress, and sleeps the
+// residual. Saturating variants never sleep.
+func cpuPipeline(name string, threads int, cores int, cycles float64,
+	period sim.Duration, jitter float64, counter string, unitsPerIter float64,
+	saturate bool) AppSpec {
+
+	spec := AppSpec{Name: instanceName(name)}
+	for i := 0; i < threads; i++ {
+		c := cycles
+		spec.Threads = append(spec.Threads, ThreadSpec{
+			Name: "worker",
+			Core: i % cores,
+			Prog: kernel.ProgramFunc(func() func(*kernel.Env) kernel.Action {
+				step := 0
+				return func(env *kernel.Env) kernel.Action {
+					step++
+					if step%2 == 1 {
+						return kernel.Compute{Cycles: float64(env.Rand.Jitter(int64(c), jitter))}
+					}
+					env.Count(counter, unitsPerIter)
+					if saturate {
+						return kernel.Compute{Cycles: 1}
+					}
+					return kernel.Sleep{D: period}
+				}
+			}()),
+		})
+	}
+	return spec
+}
+
+// Calib3D models OpenCV camera calibration and 3D reconstruction: two
+// worker threads detecting chessboard corners per frame (Fig. 5 "O").
+// Throughput is reported in KB of frame data processed, matching Fig. 8(a).
+func Calib3D(cores int, saturate bool) AppSpec {
+	spec := cpuPipeline("calib3d", 2, cores, 9e6, 44*sim.Millisecond, 0.15,
+		"kb", 2.0, saturate)
+	spec.Domain = "cpu"
+	spec.Desc = "Camera calibration and 3D reconstruction (OpenCV 3.1)"
+	return spec
+}
+
+// Bodytrack models the PARSEC 3 body-tracking pipeline: two annealing
+// worker threads per frame, with input-dependent work variation.
+func Bodytrack(cores int, saturate bool) AppSpec {
+	spec := cpuPipeline("bodytrack", 2, cores, 16e6, 66*sim.Millisecond, 0.35,
+		"frames", 1, saturate)
+	spec.Domain = "cpu"
+	spec.Desc = "A vision program tracking human body move (PARSEC 3)"
+	return spec
+}
+
+// Dedup models the PARSEC deduplicating compressor: chunk-paced bursts
+// with bimodal chunk sizes and minimal think time.
+func Dedup(cores int, saturate bool) AppSpec {
+	spec := AppSpec{
+		Name:   instanceName("dedup"),
+		Domain: "cpu",
+		Desc:   "Compressing data stream with deduplication (PARSEC 3)",
+	}
+	for i := 0; i < 2; i++ {
+		spec.Threads = append(spec.Threads, ThreadSpec{
+			Name: "chunker",
+			Core: i % cores,
+			Prog: kernel.ProgramFunc(func() func(*kernel.Env) kernel.Action {
+				step := 0
+				return func(env *kernel.Env) kernel.Action {
+					step++
+					if step%2 == 1 {
+						// Bimodal: most chunks dedup cheaply, some compress.
+						cycles := int64(2e6)
+						if env.Rand.Float64() < 0.3 {
+							cycles = 7e6
+						}
+						return kernel.Compute{Cycles: float64(env.Rand.Jitter(cycles, 0.2))}
+					}
+					env.Count("chunks", 1)
+					if saturate {
+						return kernel.Compute{Cycles: 1}
+					}
+					return kernel.Sleep{D: 3 * sim.Millisecond}
+				}
+			}()),
+		})
+	}
+	return spec
+}
+
+// Spin is a minimal always-busy single-thread app, used by the Fig. 3(a)
+// entanglement demonstration.
+func Spin(core int) AppSpec {
+	return AppSpec{
+		Name:   instanceName("spin"),
+		Domain: "cpu",
+		Desc:   "Synthetic busy loop",
+		Threads: []ThreadSpec{{
+			Name: "spin",
+			Core: core,
+			Prog: kernel.Loop(kernel.Compute{Cycles: 1e6}),
+		}},
+	}
+}

@@ -1,0 +1,85 @@
+package workload
+
+import (
+	"psbox/internal/kernel"
+	"psbox/internal/sim"
+)
+
+// dspKernel builds an offload loop: submit one DSP command of `work`
+// units (kernels run on one C66x core; the other core serves other apps,
+// which is how commands of different apps overlap — Fig. 7(c)), wait for
+// completion, count FLOPs, rest.
+func dspKernel(name, desc, kind string, work float64, dynW float64,
+	gflopsPerIter float64, rest sim.Duration, cores int, saturate bool) AppSpec {
+	if saturate {
+		rest = 0
+	}
+	return AppSpec{
+		Name:   instanceName(name),
+		Domain: "dsp",
+		Desc:   desc,
+		Threads: []ThreadSpec{{
+			Name: "offload",
+			Core: 0 % cores,
+			Prog: kernel.ProgramFunc(func() func(*kernel.Env) kernel.Action {
+				step := 0
+				var iterStart sim.Time
+				var period sim.Duration
+				return func(env *kernel.Env) kernel.Action {
+					step++
+					switch step % 4 {
+					case 1:
+						iterStart = env.Now()
+						if period == 0 {
+							// Deadline pacing: the iteration period is the
+							// nominal kernel time plus think time, so
+							// scheduling delays eat slack rather than
+							// stretching the offload rate.
+							period = sim.Duration(work/1e6*1e9) + rest
+						}
+						// Marshalling/cache-flush CPU work around the call.
+						return kernel.Compute{Cycles: float64(env.Rand.Jitter(6e5, 0.1))}
+					case 2:
+						return kernel.SubmitAccel{Dev: "dsp", Kind: kind,
+							Work: float64(env.Rand.Jitter(int64(work), 0.08)), DynW: dynW}
+					case 3:
+						return kernel.AwaitAccel{Dev: "dsp", MaxBacklog: 0}
+					default:
+						env.Count("gflops", gflopsPerIter)
+						env.Count("cmds", 1)
+						if saturate {
+							return kernel.Compute{Cycles: 1}
+						}
+						if spent := env.Now().Sub(iterStart); spent < period {
+							return kernel.Sleep{D: period - spent}
+						}
+						return kernel.Compute{Cycles: 1}
+					}
+				}
+			}()),
+		}},
+	}
+}
+
+// SGEMM models single-precision matrix multiplication offload (Fig. 5 "T").
+func SGEMM(cores int, saturate bool) AppSpec {
+	return dspKernel("sgemm",
+		"Single-precision matrix-multiplication (TI am57 SDK)",
+		"sgemm", 1.8e4, 0.50, 1.2, 24*sim.Millisecond, cores, saturate)
+}
+
+// DGEMM models double-precision matrix multiplication: the Fig. 6 DSP-row
+// subject. Long ~100 ms commands paced with think time.
+func DGEMM(cores int, saturate bool) AppSpec {
+	return dspKernel("dgemm",
+		"Double-precision matrix-multiplication (TI am57 SDK)",
+		"dgemm", 1e5, 0.55, 2.0, 170*sim.Millisecond, cores, saturate)
+}
+
+// Monte models a Monte Carlo simulation: many short DSP commands.
+func Monte(cores int, saturate bool) AppSpec {
+	spec := dspKernel("monte",
+		"Monte Carlo simulation (TI am57 SDK)",
+		"monte", 8e3, 0.40, 0.25, 14*sim.Millisecond, cores, saturate)
+	return spec
+}

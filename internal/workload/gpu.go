@@ -1,0 +1,134 @@
+package workload
+
+import (
+	"psbox/internal/kernel"
+	"psbox/internal/sim"
+)
+
+// BrowserGPU models a WebKit browser rendering a page (Fig. 5 "T"): light
+// bursts of heterogeneous GPU commands — layout, paint, composite — every
+// interaction interval. Distinct command kinds have distinct power
+// signatures, which is what the §2.5 side channel exploits.
+func BrowserGPU(cores int, saturate bool) AppSpec {
+	rest := 180 * sim.Millisecond
+	if saturate {
+		rest = 0
+	}
+	return AppSpec{
+		Name:   instanceName("browser"),
+		Domain: "gpu",
+		Desc:   "A webkit browser opening a Google homepage (TI am57 SDK)",
+		Threads: []ThreadSpec{{
+			Name: "render",
+			Core: 0 % cores,
+			Prog: kernel.ProgramFunc(func() func(*kernel.Env) kernel.Action {
+				step := 0
+				return func(env *kernel.Env) kernel.Action {
+					step++
+					switch step % 6 {
+					case 1:
+						return kernel.Compute{Cycles: float64(env.Rand.Jitter(8e5, 0.2))}
+					case 2:
+						return kernel.SubmitAccel{Dev: "gpu", Kind: "layout",
+							Work: float64(env.Rand.Jitter(800, 0.25)), DynW: 0.45}
+					case 3:
+						return kernel.SubmitAccel{Dev: "gpu", Kind: "paint",
+							Work: float64(env.Rand.Jitter(1500, 0.25)), DynW: 0.60}
+					case 4:
+						return kernel.SubmitAccel{Dev: "gpu", Kind: "composite",
+							Work: float64(env.Rand.Jitter(600, 0.2)), DynW: 0.50}
+					case 5:
+						return kernel.AwaitAccel{Dev: "gpu", MaxBacklog: 0}
+					default:
+						env.Count("cmds", 3)
+						return restAction(sim.Duration(env.Rand.Jitter(int64(rest), 0.3)))
+					}
+				}
+			}()),
+		}},
+	}
+}
+
+// renderLoop builds a frame-paced GPU renderer.
+func renderLoop(name, desc, kind string, work float64, dynW float64,
+	frame sim.Duration, cores int, saturate bool) AppSpec {
+	rest := frame
+	if saturate {
+		rest = 0
+	}
+	return AppSpec{
+		Name:   instanceName(name),
+		Domain: "gpu",
+		Desc:   desc,
+		Threads: []ThreadSpec{{
+			Name: "render",
+			Core: 0 % cores,
+			Prog: kernel.ProgramFunc(func() func(*kernel.Env) kernel.Action {
+				step := 0
+				return func(env *kernel.Env) kernel.Action {
+					step++
+					switch step % 4 {
+					case 1:
+						return kernel.Compute{Cycles: float64(env.Rand.Jitter(4e5, 0.15))}
+					case 2:
+						return kernel.SubmitAccel{Dev: "gpu", Kind: kind,
+							Work: float64(env.Rand.Jitter(int64(work), 0.1)), DynW: dynW}
+					case 3:
+						return kernel.AwaitAccel{Dev: "gpu", MaxBacklog: 0}
+					default:
+						env.Count("frames", 1)
+						env.Count("cmds", 1)
+						return restAction(rest)
+					}
+				}
+			}()),
+		}},
+	}
+}
+
+// Magic models the PowerVR SDK "magic lantern" demo at 60 fps (Fig. 5 "V").
+func Magic(cores int, saturate bool) AppSpec {
+	return renderLoop("magic",
+		`Rendering a "magic lantern" scene at 60fps (PowerVR SDK)`,
+		"lantern", 6000, 0.70, 10*sim.Millisecond, cores, saturate)
+}
+
+// Cube models the Qt SDK rotating-cube scene at 60 fps (Fig. 5 "Q").
+func Cube(cores int, saturate bool) AppSpec {
+	return renderLoop("cube",
+		"Rendering a rotating cube scene at 60fps (Qt SDK)",
+		"cube", 2500, 0.50, 13*sim.Millisecond, cores, saturate)
+}
+
+// Triangle is the synthetic offscreen stressor drawing 100k triangles/sec:
+// it keeps the GPU saturated regardless of the saturate flag.
+func Triangle(cores int, saturate bool) AppSpec {
+	return AppSpec{
+		Name:   instanceName("triangle"),
+		Domain: "gpu",
+		Desc:   "A synthetic app drawing 100k triangles/sec offscreen",
+		Threads: []ThreadSpec{{
+			Name: "draw",
+			Core: 1 % cores,
+			Prog: kernel.ProgramFunc(func() func(*kernel.Env) kernel.Action {
+				step := 0
+				return func(env *kernel.Env) kernel.Action {
+					step++
+					switch step % 3 {
+					case 1:
+						return kernel.Compute{Cycles: 1e5}
+					case 2:
+						env.Count("cmds", 1)
+						return kernel.SubmitAccel{Dev: "gpu", Kind: "tri",
+							Work: float64(env.Rand.Jitter(30000, 0.05)), DynW: 0.85}
+					default:
+						// Keep the GPU ring deep, as a real triangle-storm
+						// benchmark does; draining this backlog is what
+						// makes a co-located sandbox expensive (§6.3).
+						return kernel.AwaitAccel{Dev: "gpu", MaxBacklog: 5}
+					}
+				}
+			}()),
+		}},
+	}
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"psbox/internal/kernel"
+	"psbox/internal/sim"
+)
+
+// BrowserWiFi models a Links browser fetching a page: a small request
+// followed by a burst of response-sized segments, then think time. (Only
+// the transmit side is modelled; the paper's prototype could not insulate
+// reception either, §5.)
+func BrowserWiFi(cores int, saturate bool) AppSpec {
+	rest := 500 * sim.Millisecond
+	if saturate {
+		rest = 0
+	}
+	return AppSpec{
+		Name:    instanceName("browserw"),
+		Domain:  "wifi",
+		Desc:    "A Links browser opening a Yahoo homepage",
+		Sockets: 1,
+		Threads: []ThreadSpec{{
+			Name: "fetch",
+			Core: 0 % cores,
+			Prog: kernel.ProgramFunc(func() func(*kernel.Env) kernel.Action {
+				step := 0
+				burst := 0
+				return func(env *kernel.Env) kernel.Action {
+					step++
+					switch {
+					case step%8 == 1:
+						return kernel.Compute{Cycles: float64(env.Rand.Jitter(4e5, 0.2))}
+					case step%8 == 2:
+						return kernel.Send{Socket: 0, Bytes: int(env.Rand.Jitter(320, 0.2))}
+					case step%8 >= 3 && step%8 <= 6:
+						burst++
+						return kernel.Send{Socket: 0, Bytes: int(env.Rand.Jitter(1200, 0.15))}
+					case step%8 == 7:
+						return kernel.AwaitNet{MaxBacklog: 0}
+					default:
+						env.Count("pages", 1)
+						env.Count("kb", 5)
+						return restAction(sim.Duration(env.Rand.Jitter(int64(rest), 0.25)))
+					}
+				}
+			}()),
+		}},
+	}
+}
+
+// bulkTransfer builds a windowed bulk sender (scp/wget-style): it keeps up
+// to window unsent bytes outstanding, counting throughput. Bulk senders
+// select the high transmission power level (long-range/high-rate mode) —
+// a lingering NIC power state that, unvirtualized, entangles the power of
+// other apps' frames.
+func bulkTransfer(name, desc string, pkt, window int, think sim.Duration,
+	cores int, saturate bool) AppSpec {
+	if saturate {
+		think = 0
+	}
+	return AppSpec{
+		Name:    instanceName(name),
+		Domain:  "wifi",
+		Desc:    desc,
+		Sockets: 1,
+		Threads: []ThreadSpec{{
+			Name: "xfer",
+			Core: 0 % cores,
+			Prog: kernel.ProgramFunc(func() func(*kernel.Env) kernel.Action {
+				step := -1
+				return func(env *kernel.Env) kernel.Action {
+					step++
+					if step == 0 {
+						return kernel.SetTxLevel{Level: 1}
+					}
+					switch step % 4 {
+					case 1:
+						return kernel.Compute{Cycles: float64(env.Rand.Jitter(2e5, 0.15))}
+					case 2:
+						env.Count("bytes", float64(pkt))
+						return kernel.Send{Socket: 0, Bytes: pkt}
+					case 3:
+						return kernel.AwaitNet{MaxBacklog: window}
+					default:
+						return restAction(think)
+					}
+				}
+			}()),
+		}},
+	}
+}
+
+// SCP models transmitting a 50 MB file over ssh: steady windowed stream.
+func SCP(cores int, saturate bool) AppSpec {
+	return bulkTransfer("scp", "Transmitting a 50MB data file over ssh",
+		1400, 4*1400, 0, cores, saturate)
+}
+
+// Wget models transmitting a 50 MB file over http: slightly larger
+// segments, shallower window, small pacing gaps.
+func Wget(cores int, saturate bool) AppSpec {
+	return bulkTransfer("wget", "Transmitting a 50MB data file over http",
+		1448, 2*1448, 2*sim.Millisecond, cores, saturate)
+}

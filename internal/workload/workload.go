@@ -1,0 +1,91 @@
+// Package workload provides the benchmark applications of the paper's
+// Fig. 5 as synthetic programs with matching resource signatures: CPU
+// vision/compression pipelines, GPU rendering apps, DSP compute kernels,
+// and WiFi transfer apps, plus the §6.4 VR scenario.
+//
+// Each workload is periodic by default (frame- or request-paced, as the
+// real apps are); a zero period yields the saturating variant used in the
+// throughput-fairness experiments.
+package workload
+
+import (
+	"sort"
+
+	"psbox/internal/kernel"
+	"psbox/internal/sim"
+)
+
+// ThreadSpec is one thread of an app: a program pinned to a core.
+type ThreadSpec struct {
+	Name string
+	Core int
+	Prog kernel.Program
+}
+
+// AppSpec is an instantiable benchmark application.
+type AppSpec struct {
+	Name    string
+	Domain  string // "cpu", "gpu", "dsp", "wifi"
+	Desc    string // the Fig. 5 description
+	Sockets int    // WiFi sockets to open
+	Threads []ThreadSpec
+}
+
+// Install registers the app with a kernel and spawns its threads.
+func Install(k *kernel.Kernel, spec AppSpec) *kernel.App {
+	app := k.NewApp(spec.Name)
+	for i := 0; i < spec.Sockets; i++ {
+		app.OpenSocket()
+	}
+	for _, th := range spec.Threads {
+		app.Spawn(th.Name, th.Core, th.Prog)
+	}
+	return app
+}
+
+// Factory builds an AppSpec for a platform with the given core count.
+// Saturate selects the back-to-back variant.
+type Factory func(cores int, saturate bool) AppSpec
+
+// Catalog lists the Fig. 5 benchmarks by name.
+func Catalog() map[string]Factory {
+	return map[string]Factory{
+		"bodytrack": Bodytrack,
+		"calib3d":   Calib3D,
+		"dedup":     Dedup,
+		"browser":   BrowserGPU,
+		"magic":     Magic,
+		"cube":      Cube,
+		"triangle":  Triangle,
+		"sgemm":     SGEMM,
+		"dgemm":     DGEMM,
+		"monte":     Monte,
+		"browserw":  BrowserWiFi,
+		"scp":       SCP,
+		"wget":      Wget,
+	}
+}
+
+// Names lists the catalog in stable order.
+func Names() []string {
+	c := Catalog()
+	names := make([]string, 0, len(c))
+	for n := range c {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// instanceName passes the base name through; the kernel suffixes every app
+// with its ID, so co-running instances stay distinguishable and naming is
+// deterministic per system (no global counters).
+func instanceName(base string) string { return base }
+
+// sleepOrNothing pads a periodic loop; zero duration means saturating.
+func restAction(d sim.Duration) kernel.Action {
+	if d <= 0 {
+		return kernel.Compute{Cycles: 1} // negligible; keeps the loop legal
+	}
+	return kernel.Sleep{D: d}
+}

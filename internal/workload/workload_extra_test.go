@@ -1,0 +1,90 @@
+package workload_test
+
+import (
+	"testing"
+
+	psbox "psbox"
+	"psbox/internal/workload"
+)
+
+func TestSpinWorkload(t *testing.T) {
+	sys := psbox.NewAM57(71)
+	app := workload.Install(sys.Kernel, workload.Spin(0))
+	sys.Run(200 * psbox.Millisecond)
+	if got := app.CPUTime().Seconds(); got < 0.199 {
+		t.Fatalf("spin used only %vs", got)
+	}
+}
+
+func TestVRSplitSpecs(t *testing.T) {
+	sys := psbox.NewAM57(72)
+	vr := workload.NewVR(2)
+	g := workload.Install(sys.Kernel, vr.GestureSpec(2))
+	r := workload.Install(sys.Kernel, vr.RenderSpec(2))
+	if g.ID == r.ID {
+		t.Fatal("split specs must be distinct principals")
+	}
+	sys.Run(1 * psbox.Second)
+	if g.Counter("gesture_frames") == 0 {
+		t.Fatal("gesture principal idle")
+	}
+	if r.Counter("render_frames") == 0 {
+		t.Fatal("render principal idle")
+	}
+	if g.Counter("render_frames") != 0 || r.Counter("gesture_frames") != 0 {
+		t.Fatal("counters crossed principals")
+	}
+}
+
+func TestVRInvalidFidelityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	workload.NewVR(99)
+}
+
+func TestAllWorkloadsSaturatingSmoke(t *testing.T) {
+	// Every catalog workload must run in its saturating variant without
+	// stalling or panicking, on the platform that hosts its domain.
+	for _, name := range workload.Names() {
+		f := workload.Catalog()[name]
+		spec := f(1, true)
+		var sys *psbox.System
+		if spec.Domain == "wifi" {
+			sys = psbox.NewBeagleBone(73)
+		} else {
+			sys = psbox.NewAM57(73)
+		}
+		app := workload.Install(sys.Kernel, f(sys.Kernel.CPU().Cores(), true))
+		sys.Run(500 * psbox.Millisecond)
+		if app.CPUTime() == 0 {
+			t.Errorf("%s (saturating) never ran", name)
+		}
+	}
+}
+
+func TestWorkloadJitterIsPerTaskDeterministic(t *testing.T) {
+	run := func() float64 {
+		sys := psbox.NewAM57(74)
+		app := workload.Install(sys.Kernel, workload.Bodytrack(2, false))
+		sys.Run(1 * psbox.Second)
+		return app.Counter("frames")
+	}
+	if run() != run() {
+		t.Fatal("same seed diverged")
+	}
+}
+
+func TestBrowserWiFiCountsPages(t *testing.T) {
+	sys := psbox.NewBeagleBone(75)
+	app := workload.Install(sys.Kernel, workload.BrowserWiFi(1, false))
+	sys.Run(3 * psbox.Second)
+	if app.Counter("pages") < 3 {
+		t.Fatalf("pages = %v", app.Counter("pages"))
+	}
+	if app.Counter("kb") == 0 {
+		t.Fatal("kb counter missing")
+	}
+}

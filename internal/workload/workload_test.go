@@ -1,0 +1,156 @@
+package workload_test
+
+import (
+	"testing"
+
+	psbox "psbox"
+	"psbox/internal/workload"
+)
+
+func installOn(t *testing.T, sys *psbox.System, name string, saturate bool) *psbox.App {
+	t.Helper()
+	f, ok := workload.Catalog()[name]
+	if !ok {
+		t.Fatalf("no workload %q", name)
+	}
+	return workload.Install(sys.Kernel, f(sys.Kernel.CPU().Cores(), saturate))
+}
+
+func TestCatalogComplete(t *testing.T) {
+	want := []string{"bodytrack", "browser", "browserw", "calib3d", "cube",
+		"dedup", "dgemm", "magic", "monte", "scp", "sgemm", "triangle", "wget"}
+	got := workload.Names()
+	if len(got) != len(want) {
+		t.Fatalf("catalog = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("catalog = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCPUWorkloadsMakeProgress(t *testing.T) {
+	for name, counter := range map[string]string{
+		"calib3d": "kb", "bodytrack": "frames", "dedup": "chunks",
+	} {
+		sys := psbox.NewAM57(11)
+		app := installOn(t, sys, name, false)
+		sys.Run(2 * psbox.Second)
+		if app.Counter(counter) == 0 {
+			t.Errorf("%s made no progress", name)
+		}
+		if app.CPUTime() == 0 {
+			t.Errorf("%s used no CPU", name)
+		}
+		// Periodic workloads must leave slack (they are rate-limited).
+		if util := app.CPUTime().Seconds() / 2 / 2; util > 0.9 {
+			t.Errorf("%s is not rate-limited: utilization %v", name, util)
+		}
+	}
+}
+
+func TestGPUWorkloadsSubmitCommands(t *testing.T) {
+	for _, name := range []string{"browser", "magic", "cube", "triangle"} {
+		sys := psbox.NewAM57(12)
+		app := installOn(t, sys, name, false)
+		sys.Run(2 * psbox.Second)
+		if sys.Kernel.Accel("gpu").Completed(app.ID) == 0 {
+			t.Errorf("%s retired no GPU commands", name)
+		}
+		if app.Counter("cmds") == 0 {
+			t.Errorf("%s counted no commands", name)
+		}
+	}
+}
+
+func TestDSPWorkloadsSubmitCommands(t *testing.T) {
+	for _, name := range []string{"sgemm", "dgemm", "monte"} {
+		sys := psbox.NewAM57(13)
+		app := installOn(t, sys, name, false)
+		sys.Run(3 * psbox.Second)
+		if sys.Kernel.Accel("dsp").Completed(app.ID) == 0 {
+			t.Errorf("%s retired no DSP commands", name)
+		}
+		if app.Counter("gflops") == 0 {
+			t.Errorf("%s counted no GFLOPs", name)
+		}
+	}
+}
+
+func TestWiFiWorkloadsTransmit(t *testing.T) {
+	for _, name := range []string{"browserw", "scp", "wget"} {
+		sys := psbox.NewBeagleBone(14)
+		app := installOn(t, sys, name, false)
+		sys.Run(3 * psbox.Second)
+		if sys.Kernel.Net().SentBytes(app.ID) == 0 {
+			t.Errorf("%s sent nothing", name)
+		}
+	}
+}
+
+func TestSaturatingVariantsUseMore(t *testing.T) {
+	measure := func(saturate bool) float64 {
+		sys := psbox.NewAM57(15)
+		app := installOn(t, sys, "calib3d", saturate)
+		sys.Run(1 * psbox.Second)
+		return app.CPUTime().Seconds()
+	}
+	paced, sat := measure(false), measure(true)
+	if sat < paced*1.5 {
+		t.Fatalf("saturating variant barely used more CPU: %v vs %v", sat, paced)
+	}
+}
+
+func TestInstanceNamesUnique(t *testing.T) {
+	sys := psbox.NewAM57(16)
+	a := installOn(t, sys, "calib3d", false)
+	b := installOn(t, sys, "calib3d", false)
+	if a.Name == b.Name {
+		t.Fatal("co-run instances must have distinct names")
+	}
+}
+
+func TestVRScenario(t *testing.T) {
+	sys := psbox.NewAM57(17)
+	vr := workload.NewVR(2)
+	app := workload.Install(sys.Kernel, vr.Spec(2))
+	sys.Run(2 * psbox.Second)
+	if app.Counter("gesture_frames") == 0 || app.Counter("render_frames") == 0 {
+		t.Fatal("both VR tasks should run")
+	}
+	fpsMedium := app.Counter("render_frames") / 2
+
+	// Fidelity changes take effect.
+	vr.SetFidelity(4)
+	base := app.Counter("render_frames")
+	sys.Run(2 * psbox.Second)
+	fpsUltra := (app.Counter("render_frames") - base) / 2
+	if fpsUltra <= fpsMedium {
+		t.Fatalf("ultra fps %v should exceed medium %v", fpsUltra, fpsMedium)
+	}
+	// Clamping.
+	vr.SetFidelity(99)
+	if vr.Fidelity() != len(workload.VRFidelityLevels)-1 {
+		t.Fatal("fidelity should clamp high")
+	}
+	vr.SetFidelity(-3)
+	if vr.Fidelity() != 0 {
+		t.Fatal("fidelity should clamp low")
+	}
+}
+
+func TestVRPowerScalesWithFidelity(t *testing.T) {
+	measure := func(level int) float64 {
+		sys := psbox.NewAM57(18)
+		vr := workload.NewVR(level)
+		app := workload.Install(sys.Kernel, vr.Spec(2))
+		_ = app
+		sys.Run(2 * psbox.Second)
+		return sys.Meter.Energy("cpu", 0, sys.Now())
+	}
+	low, high := measure(0), measure(4)
+	if high < low*1.2 {
+		t.Fatalf("fidelity barely moves energy: %v vs %v", low, high)
+	}
+}

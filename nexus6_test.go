@@ -1,0 +1,108 @@
+package psbox_test
+
+import (
+	"math"
+	"testing"
+
+	psbox "psbox"
+	"psbox/internal/workload"
+)
+
+func TestNexus6PlatformShape(t *testing.T) {
+	sys := psbox.NewNexus6(1)
+	if sys.Kernel.CPU().Cores() != 4 {
+		t.Fatalf("cores = %d", sys.Kernel.CPU().Cores())
+	}
+	if !sys.Meter.HasRail("gpu") || sys.Meter.HasRail("dsp") {
+		t.Fatal("Nexus 6 has a GPU and no DSP")
+	}
+	dev := sys.Kernel.Accel("gpu").Device()
+	if dev.ExecWidth() != 4 {
+		t.Fatalf("Adreno exec width = %d", dev.ExecWidth())
+	}
+}
+
+// Spatial balloons must hold across a four-core shootdown.
+func TestNexus6QuadCoreExclusivity(t *testing.T) {
+	sys := psbox.NewNexus6(2)
+	victim := sys.Kernel.NewApp("victim")
+	for c := 0; c < 4; c++ {
+		victim.Spawn("t", c, psbox.Loop(
+			psbox.Compute{Cycles: 2e6},
+			psbox.Sleep{D: 4 * psbox.Millisecond},
+		))
+	}
+	noise := sys.Kernel.NewApp("noise")
+	for c := 0; c < 4; c++ {
+		noise.Spawn("h", c, psbox.Loop(psbox.Compute{Cycles: 1e6}))
+	}
+	box := sys.Sandbox.MustCreate(victim, psbox.HWCPU)
+	box.Enter()
+	sys.Run(1 * psbox.Second)
+	if box.Read() <= 0 {
+		t.Fatal("no observation")
+	}
+	if victim.Counter("x") != 0 { // sanity on counters API
+		t.Fatal("unexpected counter")
+	}
+	// All four victim threads progressed inside balloons.
+	for _, tk := range victim.Tasks() {
+		if tk.CPUTime() == 0 {
+			t.Fatal("a victim thread starved")
+		}
+	}
+	if sys.Kernel.Scheduler().Shootdowns() == 0 {
+		t.Fatal("no shootdowns on a 4-core balloon")
+	}
+}
+
+// The Fig. 6 GPU-insulation property must hold on the second GPU platform
+// too (§5: "the two GPUs belong to different families").
+func TestNexus6GPUInsulation(t *testing.T) {
+	measure := func(co bool) float64 {
+		sys := psbox.NewNexus6(3)
+		victim := workload.Install(sys.Kernel, workload.BrowserGPU(4, false))
+		if co {
+			workload.Install(sys.Kernel, workload.Triangle(4, true))
+		}
+		box := sys.Sandbox.MustCreate(victim, psbox.HWGPU)
+		box.Enter()
+		sys.Run(2 * psbox.Second)
+		return box.Read()
+	}
+	alone, co := measure(false), measure(true)
+	if diff := math.Abs(co-alone) / alone; diff > 0.05 {
+		t.Fatalf("Adreno observation shifted %.1f%% under triangle", diff*100)
+	}
+}
+
+func TestNexus6FourCoreFairness(t *testing.T) {
+	sys := psbox.NewNexus6(4)
+	var apps [4]*psbox.App
+	for i := range apps {
+		apps[i] = sys.Kernel.NewApp("hog")
+		for c := 0; c < 4; c++ {
+			apps[i].Spawn("t", c, psbox.Loop(psbox.Compute{Cycles: 1e6}))
+		}
+	}
+	sys.Run(500 * psbox.Millisecond)
+	box := sys.Sandbox.MustCreate(apps[0], psbox.HWCPU)
+	box.Enter()
+	var base [4]float64
+	for i, a := range apps {
+		base[i] = a.CPUTime().Seconds()
+	}
+	sys.Run(2 * psbox.Second)
+	boxedGain := apps[0].CPUTime().Seconds() - base[0]
+	for i := 1; i < 4; i++ {
+		gain := apps[i].CPUTime().Seconds() - base[i]
+		// Co-runners must not lose relative to their pre-box rate (1 core
+		// each over 2s = 2 core-seconds).
+		if gain < 1.9 {
+			t.Fatalf("co-runner %d got %v core-seconds of 2", i, gain)
+		}
+		if boxedGain > gain {
+			t.Fatalf("boxed app out-ran co-runner %d: %v vs %v", i, boxedGain, gain)
+		}
+	}
+}

@@ -1,0 +1,350 @@
+// Package psbox is a from-scratch reproduction of "Power Sandbox: Power
+// Awareness Redefined" (EuroSys 2018) as a deterministic full-stack
+// simulation: embedded hardware models (multicore CPU with cluster DVFS, a
+// pipelined GPU, a multicore DSP, a WiFi NIC with tail power states), an
+// in-situ power meter, a work-conserving kernel — and, on top, the power
+// sandbox (psbox) OS principal with spatial/temporal resource balloons,
+// scheduling loans, and per-sandbox power-state virtualization.
+//
+// Quick start:
+//
+//	sys := psbox.NewAM57(42)
+//	app := sys.Kernel.NewApp("vision")
+//	app.Spawn("worker", 0, psbox.Loop(
+//		psbox.Compute{Cycles: 3e6},
+//		psbox.Sleep{D: 5 * psbox.Millisecond},
+//	))
+//	box := sys.Sandbox.MustCreate(app, psbox.HWCPU)
+//	box.Enter()
+//	sys.Run(1 * psbox.Second)
+//	fmt.Printf("observed %.1f mJ\n", box.Read()*1000)
+//
+// Everything is simulated time; Run advances the world deterministically.
+package psbox
+
+import (
+	"psbox/internal/account"
+	"psbox/internal/core"
+	"psbox/internal/hw/accelhw"
+	"psbox/internal/hw/cpu"
+	"psbox/internal/hw/display"
+	"psbox/internal/hw/dram"
+	"psbox/internal/hw/gps"
+	"psbox/internal/hw/nic"
+	"psbox/internal/hw/power"
+	"psbox/internal/kernel"
+	"psbox/internal/kernel/accel"
+	"psbox/internal/kernel/netsched"
+	"psbox/internal/kernel/sched"
+	"psbox/internal/meter"
+	"psbox/internal/sim"
+)
+
+// Re-exported simulation time types and units.
+type (
+	// Time is a simulated instant (nanoseconds since simulation start).
+	Time = sim.Time
+	// Duration is a simulated time span.
+	Duration = sim.Duration
+)
+
+// Common duration units.
+const (
+	Nanosecond  = sim.Nanosecond
+	Microsecond = sim.Microsecond
+	Millisecond = sim.Millisecond
+	Second      = sim.Second
+)
+
+// Re-exported psbox API types (Listing 1 of the paper).
+type (
+	// Box is a power sandbox.
+	Box = core.Box
+	// HW names a bindable hardware metering scope.
+	HW = core.HW
+	// Sample is one timestamped power reading from a virtual power meter.
+	Sample = power.Sample
+	// App is an application principal.
+	App = kernel.App
+	// Task is an application thread.
+	Task = kernel.Task
+	// Env is the execution environment handed to programs.
+	Env = kernel.Env
+	// Program drives a task.
+	Program = kernel.Program
+	// ProgramFunc adapts a function to Program.
+	ProgramFunc = kernel.ProgramFunc
+	// Action is one step of a program.
+	Action = kernel.Action
+)
+
+// Hardware scopes of the simulated platforms.
+const (
+	HWCPU     = core.HWCPU
+	HWGPU     = core.HWGPU
+	HWDSP     = core.HWDSP
+	HWWiFi    = core.HWWiFi
+	HWDisplay = core.HWDisplay
+	HWGPS     = core.HWGPS
+	HWDRAM    = core.HWDRAM
+)
+
+// Re-exported program actions.
+type (
+	// Compute consumes CPU cycles.
+	Compute = kernel.Compute
+	// SubmitAccel enqueues an accelerator command asynchronously.
+	SubmitAccel = kernel.SubmitAccel
+	// SubmitAccelAs delegates a command to another app's identity (for
+	// psbox-aware userspace daemons, §7).
+	SubmitAccelAs = kernel.SubmitAccelAs
+	// AwaitAccel blocks on the app's accelerator backlog.
+	AwaitAccel = kernel.AwaitAccel
+	// Send deposits bytes into a socket buffer.
+	Send = kernel.Send
+	// SetTxLevel programs the app's NIC transmission power level.
+	SetTxLevel = kernel.SetTxLevel
+	// SetDisplayRegion updates what the app shows on the panel.
+	SetDisplayRegion = kernel.SetDisplayRegion
+	// AcquireGPS opens the GPS receiver for the app.
+	AcquireGPS = kernel.AcquireGPS
+	// ReleaseGPS drops the app's hold on the receiver.
+	ReleaseGPS = kernel.ReleaseGPS
+	// AwaitNet blocks on the app's unsent bytes.
+	AwaitNet = kernel.AwaitNet
+	// Sleep blocks for a duration.
+	Sleep = kernel.Sleep
+	// Exit terminates the task.
+	Exit = kernel.Exit
+)
+
+// Loop repeats a fixed slice of actions forever.
+func Loop(actions ...kernel.Action) Program { return kernel.Loop(actions...) }
+
+// Sequence runs actions once, then exits.
+func Sequence(actions ...kernel.Action) Program { return kernel.Sequence(actions...) }
+
+// PlatformConfig assembles a simulated platform.
+type PlatformConfig struct {
+	CPU     cpu.Config
+	GPU     *accelhw.Config // nil: absent
+	DSP     *accelhw.Config // nil: absent
+	WiFi    *nic.Config     // nil: absent
+	Net     netsched.Config
+	Display *display.Config // nil: absent (§7 extension scope)
+	GPS     *gps.Config     // nil: absent (§7 extension scope)
+	DRAM    *dram.Config    // nil: absent (§7 extension scope)
+
+	// MeterPeriod is the DAQ sampling interval (default 10 µs = 100 kHz,
+	// the paper's prototypes).
+	MeterPeriod sim.Duration
+	Seed        uint64
+
+	// Sched overrides the CPU scheduler configuration (nil: defaults for
+	// the CPU's core count). The ablation studies use it.
+	Sched *sched.Config
+}
+
+// AM57Config models the paper's Fig. 4(a) platform: TI AM57x EVM with a
+// dual Cortex-A15 cluster, PowerVR SGX544 GPU and TI C66x DSP, each on its
+// own metered power rail.
+func AM57Config(seed uint64) PlatformConfig {
+	g := accelhw.GPUConfig()
+	d := accelhw.DSPConfig()
+	return PlatformConfig{
+		CPU:  cpu.DefaultConfig(),
+		GPU:  &g,
+		DSP:  &d,
+		Seed: seed,
+	}
+}
+
+// BeagleBoneConfig models the paper's Fig. 4(b) platform: BeagleBone Black
+// (single Cortex-A8) with a TI WiLink8 WiFi module.
+func BeagleBoneConfig(seed uint64) PlatformConfig {
+	c := cpu.Config{
+		Name:           "cpu",
+		Cores:          1,
+		FreqsMHz:       []float64{300, 600, 1000},
+		ActiveW:        []power.Watts{0.20, 0.35, 0.60},
+		IdleCoreW:      0.05,
+		RailBaseW:      0.25,
+		GovernorWindow: 20 * sim.Millisecond,
+		UpThreshold:    0.80,
+		DownThreshold:  0.30,
+	}
+	w := nic.DefaultConfig()
+	return PlatformConfig{
+		CPU:  c,
+		WiFi: &w,
+		Net:  netsched.DefaultConfig(),
+		Seed: seed,
+	}
+}
+
+// System is an assembled platform: hardware, kernel, meter, psbox service,
+// and the usage recorders that feed the baseline accounting comparator.
+type System struct {
+	Eng     *sim.Engine
+	Kernel  *kernel.Kernel
+	Meter   *meter.Meter
+	Sandbox *core.Manager
+
+	// Recorders holds per-rail hardware-usage recorders ("cpu", "gpu",
+	// "dsp", "wifi") for the baseline accounting of §6.1.
+	Recorders map[string]*account.Recorder
+}
+
+// NewSystem assembles a platform from a config.
+func NewSystem(cfg PlatformConfig) *System {
+	eng := sim.NewEngine()
+	c := cpu.MustNew(eng, cfg.CPU)
+	schedCfg := sched.DefaultConfig(cfg.CPU.Cores)
+	if cfg.Sched != nil {
+		schedCfg = *cfg.Sched
+	}
+	k := kernel.New(eng, kernel.Config{CPU: c, Sched: schedCfg, Seed: cfg.Seed})
+	m := meter.New(eng, cfg.MeterPeriod)
+	m.AddRail(c.Rail())
+
+	recorders := map[string]*account.Recorder{"cpu": {}}
+	k.SetCPUUsageRecorder(func(owner, _ int, start, end sim.Time) {
+		recorders["cpu"].Record(owner, start, end)
+	})
+
+	attach := func(name string, hw *accelhw.Config) {
+		if hw == nil {
+			return
+		}
+		dev := accelhw.MustNew(eng, *hw)
+		rec := &account.Recorder{}
+		recorders[name] = rec
+		drv := accel.New(eng, dev, accel.Callbacks{
+			Usage: func(owner int, s, e sim.Time) { rec.Record(owner, s, e) },
+		})
+		k.AttachAccel(name, drv)
+		m.AddRail(dev.Rail())
+	}
+	attach("gpu", cfg.GPU)
+	attach("dsp", cfg.DSP)
+
+	if cfg.Display != nil {
+		d := display.MustNew(eng, *cfg.Display)
+		k.AttachDisplay(d)
+		m.AddRail(d.Rail())
+	}
+	if cfg.GPS != nil {
+		g := gps.MustNew(eng, *cfg.GPS)
+		k.AttachGPS(g)
+		m.AddRail(g.Rail())
+	}
+	if cfg.DRAM != nil {
+		d := dram.MustNew(eng, *cfg.DRAM, cfg.CPU.Cores)
+		k.AttachDRAM(d)
+		m.AddRail(d.Rail())
+	}
+	if cfg.WiFi != nil {
+		n := nic.MustNew(eng, *cfg.WiFi)
+		rec := &account.Recorder{}
+		recorders["wifi"] = rec
+		netCfg := cfg.Net
+		if netCfg.DrainSettle == 0 {
+			netCfg = netsched.DefaultConfig()
+		}
+		nd := netsched.NewWithConfig(eng, netCfg, n, netsched.Callbacks{
+			Usage: func(owner int, s, e sim.Time) { rec.Record(owner, s, e) },
+		})
+		k.AttachNet(nd)
+		m.AddRail(n.Rail())
+	}
+
+	// The battery rail: the whole-platform view an end-to-end power meter
+	// (or a fuel gauge) would expose — the exact sum of every component
+	// rail.
+	var components []*power.Rail
+	for _, name := range m.Rails() {
+		components = append(components, m.Rail(name))
+	}
+	m.AddRail(power.SumRail(eng, "battery", components...))
+
+	return &System{
+		Eng:       eng,
+		Kernel:    k,
+		Meter:     m,
+		Sandbox:   core.NewManager(k, m),
+		Recorders: recorders,
+	}
+}
+
+// NewAM57 builds the Fig. 4(a) platform.
+func NewAM57(seed uint64) *System { return NewSystem(AM57Config(seed)) }
+
+// NewBeagleBone builds the Fig. 4(b) platform.
+func NewBeagleBone(seed uint64) *System { return NewSystem(BeagleBoneConfig(seed)) }
+
+// Nexus6Config models the paper's second GPU platform (§5): a quad-core
+// phone SoC with the Qualcomm Adreno 420. The wider cluster exercises
+// task shootdown across four cores.
+func Nexus6Config(seed uint64) PlatformConfig {
+	c := cpu.Config{
+		Name:           "cpu",
+		Cores:          4,
+		FreqsMHz:       []float64{300, 880, 1500, 2700},
+		ActiveW:        []power.Watts{0.18, 0.45, 0.95, 2.40},
+		IdleCoreW:      0.06,
+		RailBaseW:      0.55,
+		GovernorWindow: 20 * sim.Millisecond,
+		UpThreshold:    0.80,
+		DownThreshold:  0.30,
+	}
+	g := accelhw.AdrenoConfig()
+	return PlatformConfig{
+		CPU:  c,
+		GPU:  &g,
+		Seed: seed,
+	}
+}
+
+// NewNexus6 builds the second GPU platform.
+func NewNexus6(seed uint64) *System { return NewSystem(Nexus6Config(seed)) }
+
+// MobileConfig models a phone-class device for the §7 extension scopes:
+// the AM57-style compute complex plus an OLED display, a GPS receiver, and
+// a WiFi module.
+func MobileConfig(seed uint64) PlatformConfig {
+	cfg := AM57Config(seed)
+	d := display.DefaultConfig()
+	g := gps.DefaultConfig()
+	w := nic.DefaultConfig()
+	mem := dram.DefaultConfig()
+	cfg.Display = &d
+	cfg.GPS = &g
+	cfg.WiFi = &w
+	cfg.DRAM = &mem
+	cfg.Net = netsched.DefaultConfig()
+	return cfg
+}
+
+// NewMobile builds the §7 extension platform.
+func NewMobile(seed uint64) *System { return NewSystem(MobileConfig(seed)) }
+
+// Run advances simulated time by d.
+func (s *System) Run(d Duration) { s.Eng.RunFor(d) }
+
+// Now reports the current simulated time.
+func (s *System) Now() Time { return s.Eng.Now() }
+
+// Accountant builds the baseline comparator over one rail — the "existing
+// approach" columns of Fig. 6.
+func (s *System) Accountant(rail string, policy account.Policy) *account.Accountant {
+	rec, ok := s.Recorders[rail]
+	if !ok {
+		panic("psbox: no usage recorder for rail " + rail)
+	}
+	return &account.Accountant{
+		Rail:   s.Meter.Rail(rail),
+		Rec:    rec,
+		Window: s.Meter.Period(),
+		Policy: policy,
+	}
+}
