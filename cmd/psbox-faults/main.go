@@ -1,0 +1,102 @@
+// Command psbox-faults runs a seeded fault-injection scenario and prints a
+// deterministic report: the fault log, the recovery counters of every
+// layer, and the sandboxes' final observations. Two runs with the same
+// seed must print byte-identical output — the CI determinism job runs it
+// twice and diffs.
+//
+// Usage:
+//
+//	psbox-faults [-seed N] [-ms D]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"psbox"
+	"psbox/internal/faults"
+	"psbox/internal/sim"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	ms := flag.Int64("ms", 2000, "simulated duration in milliseconds")
+	flag.Parse()
+	if *ms <= 0 {
+		fmt.Fprintln(os.Stderr, "psbox-faults: -ms must be positive")
+		os.Exit(2)
+	}
+
+	sys := psbox.NewMobile(*seed)
+	sys.EnableAccelWatchdogs(psbox.DefaultWatchdogConfig())
+
+	// A GPU-bound vision pipeline in a sandbox over cpu+gpu.
+	vision := sys.Kernel.NewApp("vision")
+	vision.Spawn("render", 0, psbox.Loop(
+		psbox.Compute{Cycles: 2e6},
+		psbox.SubmitAccel{Dev: "gpu", Kind: "frame", Work: 3e4, DynW: 0.9},
+		psbox.AwaitAccel{Dev: "gpu", MaxBacklog: 2},
+		psbox.Sleep{D: 4 * psbox.Millisecond},
+	))
+	visionBox := sys.Sandbox.MustCreate(vision, psbox.HWCPU, psbox.HWGPU)
+	visionBox.Enter()
+
+	// A streaming uploader in a sandbox over cpu+wifi.
+	stream := sys.Kernel.NewApp("stream")
+	sock := stream.OpenSocket()
+	stream.Spawn("uplink", 1, psbox.Loop(
+		psbox.Compute{Cycles: 8e5},
+		psbox.Send{Socket: sock, Bytes: 24_000},
+		psbox.AwaitNet{MaxBacklog: 48_000},
+		psbox.Sleep{D: 6 * psbox.Millisecond},
+	))
+	streamBox := sys.Sandbox.MustCreate(stream, psbox.HWCPU, psbox.HWWiFi)
+	streamBox.Enter()
+
+	// An unsandboxed competitor keeping the DSP and CPU entangled.
+	noise := sys.Kernel.NewApp("noise")
+	noise.Spawn("grind", 1, psbox.Loop(
+		psbox.Compute{Cycles: 3e6},
+		psbox.SubmitAccel{Dev: "dsp", Kind: "fft", Work: 4e4, DynW: 0.5},
+		psbox.Sleep{D: 9 * psbox.Millisecond},
+	))
+
+	// The fixed fault schedule: one of each kind at staggered instants,
+	// plus a seeded random campaign over the remaining horizon.
+	horizon := sim.Duration(*ms) * psbox.Millisecond
+	at := func(frac float64) psbox.Time { return psbox.Time(float64(horizon) * frac) }
+	sys.Faults.HangAccelAt(at(0.10), "gpu")
+	sys.Faults.FlapLinkAt(at(0.25), "wifi", 15*psbox.Millisecond)
+	sys.Faults.StallDVFSAt(at(0.40), "cpu", 25*psbox.Millisecond)
+	sys.Faults.DropMeterAt(at(0.55), "gpu", 30*psbox.Millisecond)
+	sys.Faults.Randomize(faults.Campaign{
+		Horizon:       horizon,
+		AccelHangs:    2,
+		NICFlaps:      2,
+		DVFSStalls:    2,
+		MeterDropouts: 3,
+	})
+
+	sys.Run(horizon)
+
+	fmt.Println("== fault log ==")
+	fmt.Print(sys.Faults.FormatLog())
+
+	fmt.Println("== recovery ==")
+	for _, name := range sys.Kernel.AccelNames() {
+		d := sys.Kernel.Accel(name)
+		fmt.Printf("%-6s watchdog resets=%d resubmits=%d dropped=%d\n",
+			name, d.WatchdogResets(), d.Resubmits(), d.DroppedCommands())
+	}
+	fmt.Printf("net    flaps=%d retries=%d\n", sys.Kernel.Net().NIC().Flaps(), sys.Kernel.Net().LinkRetries())
+
+	fmt.Println("== observations ==")
+	for _, b := range []*psbox.Box{visionBox, streamBox} {
+		direct, est, gaps := b.ReadDetail()
+		fmt.Printf("%-7s read=%.9f J direct=%.9f J estimated=%.9f J gaps=%d degraded=%v\n",
+			b.App().Name, direct+est, direct, est, gaps, b.Degraded())
+	}
+	fmt.Printf("battery=%.9f J\n", sys.Meter.Energy("battery", 0, sys.Now()))
+	fmt.Println("invariants: ok")
+}

@@ -67,20 +67,53 @@ type Manager struct {
 	// ablation study uses it to show the Fig. 3(c) lingering-state leak
 	// returning into sandbox observations.
 	DisableStateVirt bool
+
+	// resident tracks which app (if any) currently holds each scope's
+	// balloon; exclViolations records every instant the exclusivity
+	// invariant broke, for the Checker to drain.
+	resident       map[HW]int
+	exclViolations []string
 }
 
 // NewManager builds the psbox service over a kernel and its meter.
 func NewManager(k *kernel.Kernel, m *meter.Meter) *Manager {
-	mgr := &Manager{k: k, m: m, boxes: make(map[int]*Box)}
+	mgr := &Manager{k: k, m: m, boxes: make(map[int]*Box), resident: make(map[HW]int)}
 	k.OnCPUResident(mgr.onCPUResident)
 	for _, dev := range k.AccelNames() {
 		name := dev
 		k.OnAccelResident(name, func(appID int, r bool) { mgr.onDevResident(HW(name), appID, r) })
 	}
-	// The WiFi scope needs no residency routing: its virtual meter reads
-	// the per-sandbox virtual NIC (§5), which by construction sees only
-	// the enclosed app's frames and tail.
+	// The WiFi scope needs no residency routing for metering: its virtual
+	// meter reads the per-sandbox virtual NIC (§5), which by construction
+	// sees only the enclosed app's frames and tail. The balloon events
+	// still feed the exclusivity invariant.
+	k.OnNetResident(func(appID int, r bool) { mgr.trackResidency(HWWiFi, appID, r) })
 	return mgr
+}
+
+// trackResidency maintains the balloon-exclusivity invariant record: a
+// scope's balloon must never be held by two apps at once.
+func (mgr *Manager) trackResidency(h HW, appID int, r bool) {
+	cur, held := mgr.resident[h]
+	if r {
+		if held && cur != appID {
+			mgr.exclViolations = append(mgr.exclViolations, fmt.Sprintf(
+				"exclusivity: app %d became resident on %s at %v while app %d still holds it",
+				appID, h, mgr.k.Engine().Now(), cur))
+		}
+		mgr.resident[h] = appID
+		return
+	}
+	if held && cur == appID {
+		delete(mgr.resident, h)
+	}
+}
+
+// takeExclusivityViolations drains the recorded exclusivity violations.
+func (mgr *Manager) takeExclusivityViolations() []string {
+	v := mgr.exclViolations
+	mgr.exclViolations = nil
+	return v
 }
 
 // Box is one power sandbox (Listing 1): created around an app, bound to
@@ -133,20 +166,25 @@ func (mgr *Manager) Create(app *kernel.App, hw ...HW) (*Box, error) {
 		if !mgr.m.HasRail(string(h)) {
 			return nil, fmt.Errorf("psbox: scope %q has no metered rail", h)
 		}
+		// A dropout on the scope's DAQ channel blinds every observation
+		// derived from it — including the virtualized per-app rails, which
+		// are reconstructed from the same samples.
+		scope := string(h)
+		gaps := func(a, bnd sim.Time) []meter.Window { return mgr.m.Dropouts(scope, a, bnd) }
 		switch h {
 		case HWWiFi:
 			// The sandbox observes its own virtual NIC rail; it is
 			// "resident" on that rail for all entered time.
-			b.vmeters[h] = newVirtualMeter(mgr.k.Net().VirtualRail(app.ID), idle, mgr.m.Period())
+			b.vmeters[h] = newVirtualMeter(mgr.k.Net().VirtualRail(app.ID), idle, mgr.m.Period(), gaps)
 		case HWDisplay:
 			// Exact per-app attribution (no entanglement to insulate).
-			b.vmeters[h] = newVirtualMeter(mgr.k.Display().OwnerRail(app.ID), idle, mgr.m.Period())
+			b.vmeters[h] = newVirtualMeter(mgr.k.Display().OwnerRail(app.ID), idle, mgr.m.Period(), gaps)
 		case HWGPS:
 			// The observable-power rail already applies the §7 hiding
 			// rule for off/suspended state.
-			b.vmeters[h] = newVirtualMeter(mgr.k.GPS().OwnerRail(app.ID), idle, mgr.m.Period())
+			b.vmeters[h] = newVirtualMeter(mgr.k.GPS().OwnerRail(app.ID), idle, mgr.m.Period(), gaps)
 		default:
-			b.vmeters[h] = newVirtualMeter(mgr.m.Rail(string(h)), idle, mgr.m.Period())
+			b.vmeters[h] = newVirtualMeter(mgr.m.Rail(string(h)), idle, mgr.m.Period(), gaps)
 		}
 		b.hw = append(b.hw, h)
 	}
@@ -206,6 +244,7 @@ func (mgr *Manager) Box(appID int) *Box { return mgr.boxes[appID] }
 // onCPUResident handles spatial-balloon residency: power-state
 // virtualization plus virtual-meter bracketing.
 func (mgr *Manager) onCPUResident(appID int, resident bool) {
+	mgr.trackResidency(HWCPU, appID, resident)
 	b, ok := mgr.boxes[appID]
 	if !ok {
 		return
@@ -250,6 +289,7 @@ func (mgr *Manager) onCPUResident(appID int, resident bool) {
 // onDevResident handles temporal-balloon residency on accelerators and the
 // NIC (their drivers already virtualize the device power state).
 func (mgr *Manager) onDevResident(h HW, appID int, resident bool) {
+	mgr.trackResidency(h, appID, resident)
 	b, ok := mgr.boxes[appID]
 	if !ok {
 		return
@@ -418,6 +458,29 @@ func (b *Box) Read() power.Joules {
 		e += b.vmeters[h].Energy(now)
 	}
 	return e
+}
+
+// ReadDetail splits the box's observation (psbox_read) into DAQ-backed
+// energy, degraded-mode estimated energy, and the number of meter dropout
+// gaps the estimate bridged. est and gaps are zero in a healthy run; when
+// the DAQ dropped samples, Read() = direct + est stays monotone and the
+// caller can see exactly how much of it is model-based.
+func (b *Box) ReadDetail() (direct, est power.Joules, gaps int) {
+	now := b.mgr.k.Engine().Now()
+	for _, h := range b.hw {
+		d, e, g := b.vmeters[h].EnergyDetail(now)
+		direct += d
+		est += e
+		gaps += g
+	}
+	return direct, est, gaps
+}
+
+// Degraded reports whether any part of the box's observation so far was
+// estimated across meter dropout windows rather than DAQ-backed.
+func (b *Box) Degraded() bool {
+	_, _, gaps := b.ReadDetail()
+	return gaps > 0
 }
 
 // ReadScope returns the accumulated energy of one bound scope.

@@ -14,7 +14,7 @@ const us = sim.Microsecond
 func newVMFixture() (*sim.Engine, *power.Rail, *VirtualMeter) {
 	eng := sim.NewEngine()
 	rail := power.NewRail(eng, "r", 2.0)
-	vm := newVirtualMeter(rail, 0.5, 10*us)
+	vm := newVirtualMeter(rail, 0.5, 10*us, nil)
 	return eng, rail, vm
 }
 
@@ -136,7 +136,7 @@ func TestQuickVMeterEnergyDecomposition(t *testing.T) {
 	f := func(seed uint64, script []uint8) bool {
 		eng := sim.NewEngine()
 		rail := power.NewRail(eng, "r", 1.0)
-		vm := newVirtualMeter(rail, 0.25, 10*us)
+		vm := newVirtualMeter(rail, 0.25, 10*us, nil)
 		r := sim.NewRand(seed)
 		vm.enter(eng.Now())
 

@@ -36,6 +36,7 @@ type RenderServer struct {
 
 	queue    []Request
 	accepted map[int]uint64
+	dropped  uint64
 }
 
 // NewRenderServer registers the daemon app and spawns its server loop on
@@ -75,25 +76,37 @@ func (s *RenderServer) Accepted(client int) uint64 { return s.accepted[client] }
 // QueueLen reports requests waiting in the daemon.
 func (s *RenderServer) QueueLen() int { return len(s.queue) }
 
+// Dropped reports how many queued requests were discarded at serve time
+// because their client had already exited.
+func (s *RenderServer) Dropped() uint64 { return s.dropped }
+
 // step is the daemon's server loop: poll the request queue, marshal, and
 // submit to the device — under the client's identity when aware, under the
 // daemon's own otherwise.
 func (s *RenderServer) step(env *kernel.Env) kernel.Action {
-	if len(s.queue) == 0 {
-		// An event-driven server parks between requests; the poll period
-		// stands in for its wakeup latency.
-		return kernel.Sleep{D: 500 * sim.Microsecond}
-	}
-	req := s.queue[0]
-	s.queue = s.queue[1:]
-	env.Count("served", 1)
-	if s.aware {
-		return kernel.SubmitAccelAs{
-			Dev: s.dev, Kind: req.Kind, Work: req.Work, DynW: req.DynW,
-			OnBehalfOf: req.Client,
+	for len(s.queue) > 0 {
+		req := s.queue[0]
+		s.queue = s.queue[1:]
+		if c := s.app.Kernel().FindApp(req.Client); c == nil || !c.Alive() {
+			// The client exited between the IPC and service. Rendering the
+			// frame anyway would burn device power nobody consumes — and
+			// under the naive daemon, bill it to the daemon's identity with
+			// no principal left to answer for it. Discard at serve time.
+			s.dropped++
+			continue
 		}
+		env.Count("served", 1)
+		if s.aware {
+			return kernel.SubmitAccelAs{
+				Dev: s.dev, Kind: req.Kind, Work: req.Work, DynW: req.DynW,
+				OnBehalfOf: req.Client,
+			}
+		}
+		return kernel.SubmitAccel{Dev: s.dev, Kind: req.Kind, Work: req.Work, DynW: req.DynW}
 	}
-	return kernel.SubmitAccel{Dev: s.dev, Kind: req.Kind, Work: req.Work, DynW: req.DynW}
+	// An event-driven server parks between requests; the poll period
+	// stands in for its wakeup latency.
+	return kernel.Sleep{D: 500 * sim.Microsecond}
 }
 
 // Client builds a frame-paced client program that renders through the

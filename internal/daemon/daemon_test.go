@@ -117,3 +117,42 @@ func TestDelegationForUnknownAppPanics(t *testing.T) {
 	))
 	sys.Run(10 * psbox.Millisecond)
 }
+
+// A client that exits with requests still queued must not have them
+// rendered: the daemon discards them at serve time and counts the drops,
+// while a live client's requests are served as usual. Both daemon modes
+// must drop — the naive one would otherwise bill orphaned frames to its
+// own identity forever.
+func TestDaemonDropsRequestsFromDeadClients(t *testing.T) {
+	for _, aware := range []bool{true, false} {
+		sys := psbox.NewAM57(7)
+		srv := daemon.NewRenderServer(sys.Kernel, "gpu", 0, aware)
+
+		ghost := sys.Kernel.NewApp("ghost")
+		ghost.Spawn("noop", 1, psbox.Sequence()) // exits immediately
+		live := sys.Kernel.NewApp("live")
+		live.Spawn("park", 1, psbox.Loop(psbox.Sleep{D: 50 * sim.Millisecond}))
+
+		for i := 0; i < 3; i++ {
+			srv.Submit(daemon.Request{Client: ghost.ID, Kind: "orphan", Work: 1000, DynW: 0.5})
+		}
+		srv.Submit(daemon.Request{Client: live.ID, Kind: "frame", Work: 1000, DynW: 0.5})
+
+		sys.Run(100 * psbox.Millisecond)
+
+		if got := srv.Dropped(); got != 3 {
+			t.Fatalf("aware=%v: dropped = %d, want 3", aware, got)
+		}
+		if srv.QueueLen() != 0 {
+			t.Fatalf("aware=%v: queue stuck at %d", aware, srv.QueueLen())
+		}
+		drv := sys.Kernel.Accel("gpu")
+		if drv.Completed(ghost.ID) != 0 {
+			t.Fatalf("aware=%v: dead client's work reached the device", aware)
+		}
+		served := drv.Completed(live.ID) + drv.Completed(srv.App().ID)
+		if served != 1 {
+			t.Fatalf("aware=%v: live client's request not served: %d", aware, served)
+		}
+	}
+}

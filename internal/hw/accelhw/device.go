@@ -12,6 +12,7 @@ package accelhw
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"psbox/internal/hw/power"
 	"psbox/internal/sim"
@@ -148,7 +149,12 @@ type Command struct {
 	Started    sim.Time // execution begins (leaves the ring)
 	Completed  sim.Time // device interrupt
 
+	// Retries counts how many times a kernel watchdog has resubmitted the
+	// command after a device reset.
+	Retries int
+
 	remaining float64
+	hung      bool
 }
 
 // Device is a simulated accelerator.
@@ -166,6 +172,9 @@ type Device struct {
 
 	windowStart sim.Time
 	busyAccum   sim.Duration // busy slot-time
+
+	hangNext bool
+	resets   uint64
 
 	onComplete   []func(*Command)
 	onFreqChange []func(oldIdx, newIdx int)
@@ -277,6 +286,11 @@ func (d *Device) Dispatch(c *Command) {
 	d.advance()
 	c.Dispatched = d.eng.Now()
 	c.remaining = c.Work
+	c.hung = false
+	if d.hangNext {
+		d.hangNext = false
+		c.hung = true
+	}
 	if len(d.running) < d.execWidth {
 		c.Started = d.eng.Now()
 		d.running = append(d.running, c)
@@ -285,6 +299,71 @@ func (d *Device) Dispatch(c *Command) {
 		d.ring = append(d.ring, c)
 	}
 	d.updatePower()
+}
+
+// InjectHang wedges the device: the oldest executing command stops retiring
+// work while keeping its slot and its dynamic power (a stuck shader still
+// burns), and it will never raise a completion interrupt. With no command
+// executing, the next dispatched one hangs instead. Only a Reset clears the
+// condition. It reports whether a command was wedged immediately.
+func (d *Device) InjectHang() bool {
+	d.advance()
+	if len(d.running) == 0 {
+		d.hangNext = true
+		return false
+	}
+	c := d.running[0]
+	c.hung = true
+	if h, ok := d.completion[c]; ok {
+		d.eng.Cancel(h)
+		delete(d.completion, c)
+	}
+	d.reschedule()
+	return true
+}
+
+// Hung reports how many in-device commands are wedged.
+func (d *Device) Hung() int {
+	n := 0
+	for _, c := range d.running {
+		if c.hung {
+			n++
+		}
+	}
+	return n
+}
+
+// Resets reports how many times the device has been reset.
+func (d *Device) Resets() uint64 { return d.resets }
+
+// Reset reinitializes the device, as a kernel watchdog would after
+// detecting a stuck command: every in-flight command (executing or ringed)
+// is aborted and returned in dispatch order for the driver to resubmit, the
+// hang condition is cleared, and the device cold-starts at its initial
+// operating point.
+func (d *Device) Reset() []*Command {
+	d.advance()
+	aborted := make([]*Command, 0, len(d.running)+len(d.ring))
+	aborted = append(aborted, d.running...)
+	aborted = append(aborted, d.ring...)
+	sort.Slice(aborted, func(i, j int) bool { return aborted[i].ID < aborted[j].ID })
+	for _, c := range aborted {
+		if h, ok := d.completion[c]; ok {
+			d.eng.Cancel(h)
+			delete(d.completion, c)
+		}
+		c.hung = false
+		c.remaining = 0
+	}
+	d.running = d.running[:0]
+	d.ring = d.ring[:0]
+	d.hangNext = false
+	d.resets++
+	d.setFreq(d.cfg.InitialFreqIdx)
+	d.windowStart = d.eng.Now()
+	d.busyAccum = 0
+	d.updatePower()
+	return aborted
 }
 
 // slotRate is the work-unit retire rate per busy slot right now.
@@ -306,6 +385,9 @@ func (d *Device) advance() {
 	if dt > 0 {
 		rate := d.slotRate(len(d.running))
 		for _, c := range d.running {
+			if c.hung {
+				continue // a wedged command retires nothing
+			}
 			c.remaining -= rate * dt
 		}
 		d.busyAccum += sim.Duration(float64(now.Sub(d.lastAdv)) * float64(len(d.running)))
@@ -319,6 +401,10 @@ func (d *Device) reschedule() {
 	for _, c := range d.running {
 		if h, ok := d.completion[c]; ok {
 			d.eng.Cancel(h)
+		}
+		if c.hung {
+			delete(d.completion, c)
+			continue // never completes until a reset
 		}
 		rem := c.remaining
 		if rem < 0 {

@@ -96,6 +96,14 @@ type CPU struct {
 	govArmed     bool
 	govSuspended bool
 
+	// DVFS stall fault: while stallUntil is in the future, operating-point
+	// changes are latched instead of applied; the latest request is applied
+	// when the stall clears.
+	stallUntil   sim.Time
+	stallPending int // -1: nothing latched
+	stallArm     sim.Handle
+	stalls       uint64
+
 	onFreqChange []func(oldIdx, newIdx int)
 }
 
@@ -105,12 +113,13 @@ func New(eng *sim.Engine, cfg Config) (*CPU, error) {
 		return nil, err
 	}
 	c := &CPU{
-		eng:       eng,
-		cfg:       cfg,
-		freqIdx:   cfg.InitialFreqIdx,
-		busy:      make([]bool, cfg.Cores),
-		busySince: make([]sim.Time, cfg.Cores),
-		busyAccum: make([]sim.Duration, cfg.Cores),
+		eng:          eng,
+		cfg:          cfg,
+		freqIdx:      cfg.InitialFreqIdx,
+		busy:         make([]bool, cfg.Cores),
+		busySince:    make([]sim.Time, cfg.Cores),
+		busyAccum:    make([]sim.Duration, cfg.Cores),
+		stallPending: -1,
 	}
 	c.rail = power.NewRail(eng, cfg.Name, c.currentPower())
 	c.windowStart = eng.Now()
@@ -228,7 +237,52 @@ func (c *CPU) currentPower() power.Watts {
 	return p
 }
 
+// Stalled reports whether a DVFS transition stall is in effect.
+func (c *CPU) Stalled() bool { return c.eng.Now() < c.stallUntil }
+
+// Stalls reports how many stall faults have been injected.
+func (c *CPU) Stalls() uint64 { return c.stalls }
+
+// InjectDVFSStall wedges the frequency-transition path for d (fault
+// injection: a voltage regulator handshake timing out, clock-tree PLL
+// relock). Operating-point changes requested meanwhile — by the governor,
+// by psbox power-state restores — are latched, and the latest one is
+// applied when the stall clears. Overlapping injections extend the stall.
+func (c *CPU) InjectDVFSStall(d sim.Duration) {
+	if d <= 0 {
+		return
+	}
+	c.stalls++
+	until := c.eng.Now().Add(d)
+	if until <= c.stallUntil {
+		return
+	}
+	c.stallUntil = until
+	if c.stallArm != (sim.Handle{}) {
+		c.eng.Cancel(c.stallArm)
+	}
+	c.stallArm = c.eng.At(until, c.endStall)
+}
+
+func (c *CPU) endStall(sim.Time) {
+	c.stallArm = sim.Handle{}
+	if c.eng.Now() < c.stallUntil {
+		// An overlapping injection extended the stall after this event was
+		// armed; the extension armed its own.
+		return
+	}
+	pend := c.stallPending
+	c.stallPending = -1
+	if pend >= 0 {
+		c.setFreq(pend)
+	}
+}
+
 func (c *CPU) setFreq(idx int) {
+	if c.Stalled() {
+		c.stallPending = idx
+		return
+	}
 	if idx == c.freqIdx {
 		return
 	}

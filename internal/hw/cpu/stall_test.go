@@ -1,0 +1,77 @@
+package cpu
+
+import (
+	"testing"
+
+	"psbox/internal/hw/power"
+	"psbox/internal/sim"
+)
+
+func stallCfg() Config {
+	return Config{
+		Name:           "cpu",
+		Cores:          2,
+		FreqsMHz:       []float64{500, 1000},
+		ActiveW:        []power.Watts{0.3, 0.8},
+		IdleCoreW:      0.05,
+		RailBaseW:      0.2,
+		InitialFreqIdx: 0, // no governor: explicit control
+	}
+}
+
+func TestDVFSStallLatchesAndAppliesLastRequest(t *testing.T) {
+	eng := sim.NewEngine()
+	c := MustNew(eng, stallCfg())
+	c.InjectDVFSStall(10 * sim.Millisecond)
+	if !c.Stalled() || c.Stalls() != 1 {
+		t.Fatal("stall not in effect")
+	}
+	c.SetFreqIdx(1)
+	if c.FreqIdx() != 0 {
+		t.Fatal("frequency changed during a transition stall")
+	}
+	c.SetFreqIdx(0)
+	c.SetFreqIdx(1) // latest request wins
+	eng.RunFor(5 * sim.Millisecond)
+	if c.FreqIdx() != 0 {
+		t.Fatal("stall cleared early")
+	}
+	eng.RunFor(6 * sim.Millisecond)
+	if c.Stalled() {
+		t.Fatal("stall should have cleared")
+	}
+	if c.FreqIdx() != 1 {
+		t.Fatalf("latched request not applied: freq %d", c.FreqIdx())
+	}
+}
+
+func TestDVFSStallExtensionsOverlap(t *testing.T) {
+	eng := sim.NewEngine()
+	c := MustNew(eng, stallCfg())
+	c.InjectDVFSStall(10 * sim.Millisecond)
+	eng.RunFor(5 * sim.Millisecond)
+	c.InjectDVFSStall(20 * sim.Millisecond) // extends to t=25ms
+	c.SetFreqIdx(1)
+	eng.RunFor(10 * sim.Millisecond) // t=15ms: first stall's end passed
+	if !c.Stalled() || c.FreqIdx() != 0 {
+		t.Fatal("extension ignored")
+	}
+	eng.RunFor(11 * sim.Millisecond) // t=26ms
+	if c.Stalled() || c.FreqIdx() != 1 {
+		t.Fatalf("stalled=%v freq=%d after extension end", c.Stalled(), c.FreqIdx())
+	}
+	if c.Stalls() != 2 {
+		t.Fatalf("stalls = %d", c.Stalls())
+	}
+}
+
+func TestDVFSStallNoPendingKeepsFrequency(t *testing.T) {
+	eng := sim.NewEngine()
+	c := MustNew(eng, stallCfg())
+	c.SetFreqIdx(1)
+	c.InjectDVFSStall(5 * sim.Millisecond)
+	eng.RunFor(10 * sim.Millisecond)
+	if c.FreqIdx() != 1 {
+		t.Fatalf("frequency moved with no request pending: %d", c.FreqIdx())
+	}
+}

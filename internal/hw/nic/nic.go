@@ -95,6 +95,10 @@ type Packet struct {
 	Enqueued   sim.Time // app → socket buffer
 	Dispatched sim.Time // scheduler → NIC
 	Completed  sim.Time // NIC interrupt
+
+	// Retries counts failed transmission attempts (link flap mid-frame);
+	// the packet scheduler backs off and retransmits.
+	Retries int
 }
 
 // NIC is a simulated wireless interface. It transmits one frame at a time;
@@ -109,8 +113,14 @@ type NIC struct {
 	inflight *Packet
 	tailArm  sim.Handle
 	tailAt   sim.Time // when the armed tail timer fires
+	txArm    sim.Handle
+
+	linkDown bool
+	flaps    uint64
 
 	onComplete []func(*Packet)
+	onTxFail   []func(*Packet)
+	onLinkUp   []func()
 	onIdle     []func()
 }
 
@@ -164,6 +174,52 @@ func (n *NIC) SetTxLevel(level int) {
 // OnComplete registers the transmission-done interrupt handler.
 func (n *NIC) OnComplete(fn func(*Packet)) { n.onComplete = append(n.onComplete, fn) }
 
+// OnTxFail registers the transmission-failed interrupt handler: the frame
+// was on the air when the link dropped and must be retransmitted.
+func (n *NIC) OnTxFail(fn func(*Packet)) { n.onTxFail = append(n.onTxFail, fn) }
+
+// OnLinkUp registers a handler fired when a downed link recovers; the
+// packet scheduler uses it to resume dispatching.
+func (n *NIC) OnLinkUp(fn func()) { n.onLinkUp = append(n.onLinkUp, fn) }
+
+// LinkUp reports whether the link is usable.
+func (n *NIC) LinkUp() bool { return !n.linkDown }
+
+// Flaps reports how many times the link has gone down.
+func (n *NIC) Flaps() uint64 { return n.flaps }
+
+// SetLink raises or drops the link (fault injection: an AP roam, deep
+// fade, or firmware watchdog). Dropping the link with a frame on the air
+// fails that transmission — the airtime is burned, the radio falls into its
+// tail state, and OnTxFail handlers must arrange retransmission. Raising it
+// fires OnLinkUp so the scheduler can resume.
+func (n *NIC) SetLink(up bool) {
+	if up == !n.linkDown {
+		return
+	}
+	if !up {
+		n.linkDown = true
+		n.flaps++
+		if p := n.inflight; p != nil {
+			if n.txArm != (sim.Handle{}) {
+				n.eng.Cancel(n.txArm)
+				n.txArm = sim.Handle{}
+			}
+			n.inflight = nil
+			n.setMode(ModeTail)
+			n.armTail(n.cfg.TailTimeout)
+			for _, fn := range n.onTxFail {
+				fn(p)
+			}
+		}
+		return
+	}
+	n.linkDown = false
+	for _, fn := range n.onLinkUp {
+		fn()
+	}
+}
+
 // OnIdle registers a handler fired whenever the NIC enters PSM (e.g. the
 // tail timer expired). The packet scheduler uses it to advance balloon
 // state that waits on the tail.
@@ -184,14 +240,18 @@ func (n *NIC) Transmit(p *Packet) {
 	if p.Bytes <= 0 {
 		panic(fmt.Sprintf("nic %s: empty packet %d", n.cfg.Name, p.ID))
 	}
+	if n.linkDown {
+		panic(fmt.Sprintf("nic %s: transmit with link down", n.cfg.Name))
+	}
 	n.disarmTail()
 	n.inflight = p
 	p.Dispatched = n.eng.Now()
 	n.setMode(ModeActive)
-	n.eng.After(n.AirTime(p.Bytes), func(sim.Time) { n.finish(p) })
+	n.txArm = n.eng.After(n.AirTime(p.Bytes), func(sim.Time) { n.finish(p) })
 }
 
 func (n *NIC) finish(p *Packet) {
+	n.txArm = sim.Handle{}
 	p.Completed = n.eng.Now()
 	n.inflight = nil
 	n.setMode(ModeTail)

@@ -99,6 +99,14 @@ type Driver struct {
 	minVrFloor float64
 	nextCmdID  uint64
 
+	// Watchdog state (nil wd: disabled). The deadline is per executing
+	// command: the oldest one must complete within wd.Timeout of starting.
+	wd          *WatchdogConfig
+	wdArm       sim.Handle
+	wdResets    uint64
+	wdResubmits uint64
+	wdDropped   uint64
+
 	// BillDrainIdleOnly switches drain-others billing to the paper's
 	// literal "unutilized portion" rule; see settleBalloonBill. Exposed
 	// for the ablation bench.
@@ -253,6 +261,7 @@ func (d *Driver) BoxLeave(appID int) {
 
 // onComplete is the device interrupt handler.
 func (d *Driver) onComplete(cmd *accelhw.Command) {
+	d.feedWatchdog()
 	a := d.app(cmd.Owner)
 	a.inflight--
 	a.completed++
@@ -374,6 +383,7 @@ func (d *Driver) dispatch(a *appState) {
 	d.dev.Dispatch(cmd)
 	a.latencySum += cmd.Dispatched.Sub(cmd.Submitted)
 	a.latencyN++
+	d.feedWatchdog()
 }
 
 // pump advances the driver's scheduling state machine. It is invoked after

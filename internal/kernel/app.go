@@ -77,6 +77,9 @@ func (k *Kernel) App(id int) *App {
 	return a
 }
 
+// FindApp returns a registered app, or nil when no app has that ID.
+func (k *Kernel) FindApp(id int) *App { return k.apps[id] }
+
 // Kernel returns the owning kernel.
 func (a *App) Kernel() *Kernel { return a.k }
 
@@ -85,6 +88,21 @@ func (a *App) Counter(name string) float64 { return a.counters[name] }
 
 // Tasks lists the app's tasks.
 func (a *App) Tasks() []*Task { return a.tasks }
+
+// Alive reports whether the app still has a live task. An app that has
+// not spawned any tasks yet counts as alive: it has not exited, it merely
+// has not started.
+func (a *App) Alive() bool {
+	if len(a.tasks) == 0 {
+		return true
+	}
+	for _, t := range a.tasks {
+		if !t.dead {
+			return true
+		}
+	}
+	return false
+}
 
 // CPUTime reports the app's total on-CPU time.
 func (a *App) CPUTime() sim.Duration {

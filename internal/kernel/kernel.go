@@ -146,6 +146,14 @@ func (k *Kernel) HasAccel(name string) bool {
 // AccelNames lists attached accelerators in stable order.
 func (k *Kernel) AccelNames() []string { return k.accelKeys }
 
+// EnableAccelWatchdogs arms the completion-deadline watchdog on every
+// attached accelerator driver.
+func (k *Kernel) EnableAccelWatchdogs(cfg accel.WatchdogConfig) {
+	for _, name := range k.accelKeys {
+		k.accels[name].EnableWatchdog(cfg)
+	}
+}
+
 // Net returns the packet scheduler; nil if no NIC is attached.
 func (k *Kernel) Net() *netsched.Driver { return k.net }
 

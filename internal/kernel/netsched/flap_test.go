@@ -1,0 +1,122 @@
+package netsched
+
+import (
+	"testing"
+
+	"psbox/internal/sim"
+)
+
+func TestLinkFlapRetransmitsLostPacket(t *testing.T) {
+	f := newFixture(t)
+	s := f.drv.NewSocket(1)
+	f.drv.Send(s, 900) // 1 ms airtime
+	if !f.n.Busy() {
+		t.Fatal("packet should be on the air")
+	}
+	f.eng.RunFor(200 * sim.Microsecond)
+	f.n.SetLink(false) // mid-flight: the frame is lost
+	if f.drv.SentBytes(1) != 0 {
+		t.Fatal("lost frame counted as sent")
+	}
+	if f.drv.Backlog(1) == 0 {
+		t.Fatal("lost frame must return to the backlog")
+	}
+	f.eng.RunFor(10 * sim.Millisecond)
+	f.n.SetLink(true)
+	f.eng.RunFor(20 * sim.Millisecond)
+	if f.drv.SentBytes(1) != 900 || f.drv.SentPackets(1) != 1 {
+		t.Fatalf("after recovery sent = %d bytes %d pkts",
+			f.drv.SentBytes(1), f.drv.SentPackets(1))
+	}
+	if f.drv.LinkRetries() != 1 {
+		t.Fatalf("retries = %d, want 1", f.drv.LinkRetries())
+	}
+	if f.drv.Backlog(1) != 0 {
+		t.Fatal("backlog should drain after retransmit")
+	}
+}
+
+func TestLinkFlapWhileIdleIsHarmless(t *testing.T) {
+	f := newFixture(t)
+	s := f.drv.NewSocket(1)
+	f.n.SetLink(false)
+	f.n.SetLink(true)
+	f.drv.Send(s, 900)
+	f.eng.RunFor(5 * sim.Millisecond)
+	if f.drv.SentPackets(1) != 1 || f.drv.LinkRetries() != 0 {
+		t.Fatalf("sent=%d retries=%d", f.drv.SentPackets(1), f.drv.LinkRetries())
+	}
+}
+
+func TestLinkDownHoldsTransmissionUntilRecovery(t *testing.T) {
+	f := newFixture(t)
+	s := f.drv.NewSocket(1)
+	f.n.SetLink(false)
+	f.drv.Send(s, 900) // queued while down: must not panic, must not transmit
+	f.eng.RunFor(30 * sim.Millisecond)
+	if f.n.Busy() || f.drv.SentPackets(1) != 0 {
+		t.Fatal("transmitted into a dead link")
+	}
+	f.n.SetLink(true)
+	f.eng.RunFor(5 * sim.Millisecond)
+	if f.drv.SentPackets(1) != 1 {
+		t.Fatal("queued packet not sent after link recovery")
+	}
+}
+
+func TestLinkFlapBurnedAirtimeIsBilled(t *testing.T) {
+	f := newFixture(t)
+	s1 := f.drv.NewSocket(1)
+	before := f.drv.VRuntime(1)
+	f.drv.Send(s1, 900)
+	f.eng.RunFor(500 * sim.Microsecond)
+	f.n.SetLink(false)
+	// The lost frame's airtime was burned for nothing; the owner pays its
+	// byte cost anyway, exactly like any other occupancy.
+	if got := f.drv.VRuntime(1) - before; got < 900 {
+		t.Fatalf("burned airtime billed %v bytes, want >= 900", got)
+	}
+	f.eng.RunFor(2 * sim.Millisecond)
+	f.n.SetLink(true)
+	f.eng.RunFor(20 * sim.Millisecond)
+	if f.drv.SentPackets(1) != 1 {
+		t.Fatal("retransmit did not complete")
+	}
+}
+
+func TestRepeatedFlapsBackOff(t *testing.T) {
+	f := newFixture(t)
+	s := f.drv.NewSocket(1)
+	f.drv.Send(s, 900) // 1 ms airtime
+	// Kill the same frame on three consecutive attempts. The retry backoff
+	// doubles each time (5, 10, 20 ms by default), so each retransmission
+	// starts later than the last; losing it mid-air each time must keep
+	// counting retries without losing the frame.
+	down := func() {
+		if !f.n.Busy() {
+			t.Fatal("expected a retransmission on the air")
+		}
+		f.n.SetLink(false)
+		f.eng.RunFor(sim.Millisecond)
+		f.n.SetLink(true)
+	}
+	f.eng.RunFor(300 * sim.Microsecond)
+	down()                               // retry 1: backoff 5 ms
+	f.eng.RunFor(4500 * sim.Microsecond) // retransmission mid-air again
+	down()                               // retry 2: backoff 10 ms
+	f.eng.RunFor(9500 * sim.Microsecond) // retransmission mid-air again
+	down()                               // retry 3: backoff 20 ms
+	f.eng.RunFor(100 * sim.Millisecond)  // let the final attempt land
+	if f.n.Flaps() != 3 {
+		t.Fatalf("flaps = %d, want 3", f.n.Flaps())
+	}
+	if f.drv.LinkRetries() != 3 {
+		t.Fatalf("retries = %d, want 3", f.drv.LinkRetries())
+	}
+	if f.drv.SentPackets(1) != 1 {
+		t.Fatalf("sent = %d packets after flaps", f.drv.SentPackets(1))
+	}
+	if f.drv.Backlog(1) != 0 {
+		t.Fatal("backlog stuck after repeated flaps")
+	}
+}

@@ -59,11 +59,23 @@ type Config struct {
 	// momentarily idle competitors before its balloon opens anyway (the
 	// starvation backstop of the balloon admission gate).
 	Grace sim.Duration
+
+	// RetryBackoff is the retransmission delay after a frame fails on a
+	// link flap; it doubles per retry of the same frame, capped at
+	// RetryBackoffCap. The failed airtime is still billed to the owner.
+	RetryBackoff    sim.Duration
+	RetryBackoffCap sim.Duration
 }
 
 // DefaultConfig mirrors the BeagleBone/WiLink8 behaviour of §6.2.
 func DefaultConfig() Config {
-	return Config{DrainSettle: 12 * sim.Millisecond, Quantum: 8192, Grace: 5 * sim.Millisecond}
+	return Config{
+		DrainSettle:     12 * sim.Millisecond,
+		Quantum:         8192,
+		Grace:           5 * sim.Millisecond,
+		RetryBackoff:    5 * sim.Millisecond,
+		RetryBackoffCap: 80 * sim.Millisecond,
+	}
 }
 
 // Callbacks connect the scheduler to the kernel and psbox layers.
@@ -108,6 +120,7 @@ type appState struct {
 	sentBytes   uint64
 	sentPackets uint64
 	inflight    int // bytes on the air
+	retrying    int // bytes lost to a link flap, waiting out retry backoff
 
 	latencySum sim.Duration
 	latencyN   uint64
@@ -139,6 +152,11 @@ type Driver struct {
 	minVrFloor float64
 	nextSockID int
 	nextPktID  uint64
+
+	// Link-flap recovery: the socket whose frame is on the air (for
+	// requeueing on failure) and the retransmission counter.
+	curSock     *Socket
+	linkRetries uint64
 }
 
 // New wires a driver to the NIC.
@@ -156,6 +174,15 @@ func NewWithConfig(eng *sim.Engine, cfg Config, n *nic.NIC, cbs Callbacks) *Driv
 	if cfg.Grace == 0 {
 		cfg.Grace = def.Grace
 	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = def.RetryBackoff
+	}
+	if cfg.RetryBackoffCap == 0 {
+		cfg.RetryBackoffCap = def.RetryBackoffCap
+	}
+	if cfg.RetryBackoffCap < cfg.RetryBackoff {
+		cfg.RetryBackoffCap = cfg.RetryBackoff
+	}
 	d := &Driver{
 		eng:  eng,
 		cfg:  cfg,
@@ -165,6 +192,8 @@ func NewWithConfig(eng *sim.Engine, cfg Config, n *nic.NIC, cbs Callbacks) *Driv
 	}
 	n.OnComplete(d.onComplete)
 	n.OnIdle(func() { d.pump() }) // tail expiry advances balloon state
+	n.OnTxFail(d.onTxFail)
+	n.OnLinkUp(func() { d.pump() }) // link recovery resumes dispatching
 	return d
 }
 
@@ -223,7 +252,8 @@ func (d *Driver) Send(s *Socket, bytes int) {
 	d.pump()
 }
 
-// Backlog reports an app's unsent bytes (buffered plus on the air).
+// Backlog reports an app's unsent bytes (buffered, on the air, or waiting
+// out a link-flap retry backoff).
 func (d *Driver) Backlog(appID int) int {
 	total := 0
 	for _, s := range d.socks {
@@ -232,7 +262,7 @@ func (d *Driver) Backlog(appID int) int {
 		}
 	}
 	if a, ok := d.apps[appID]; ok {
-		total += a.inflight
+		total += a.inflight + a.retrying
 	}
 	return total
 }
@@ -471,10 +501,58 @@ func (d *Driver) transmit(a *appState, s *Socket) {
 	s.queue = s.queue[1:]
 	s.queuedBytes -= p.Bytes
 	a.inflight += p.Bytes
+	d.curSock = s
 	d.n.Transmit(p)
 	d.vnicActive(a)
 	a.latencySum += p.Dispatched.Sub(p.Enqueued)
 	a.latencyN++
+}
+
+// LinkRetries reports how many transmissions failed on link flaps and were
+// requeued for retransmission.
+func (d *Driver) LinkRetries() uint64 { return d.linkRetries }
+
+// onTxFail is the transmission-failure interrupt handler: the link dropped
+// with the frame on the air. The burned airtime is billed to the owner in
+// byte-credit (the radio spent the energy either way; under a balloon the
+// sandbox's confinement charge keeps covering it), the frame returns to the
+// head of its socket after a capped exponential backoff, and its own tail
+// is reflected on the owner's virtual NIC just like a completed frame.
+func (d *Driver) onTxFail(p *nic.Packet) {
+	a := d.app(p.Owner)
+	a.inflight -= p.Bytes
+	a.retrying += p.Bytes
+	a.vr += float64(p.Bytes)
+	d.vnicTail(a)
+	s := d.curSock
+	d.curSock = nil
+	p.Retries++
+	d.linkRetries++
+	backoff := d.cfg.RetryBackoff
+	for r := 1; r < p.Retries && backoff < d.cfg.RetryBackoffCap; r++ {
+		backoff *= 2
+	}
+	if backoff > d.cfg.RetryBackoffCap {
+		backoff = d.cfg.RetryBackoffCap
+	}
+	pp, ss := p, s
+	d.eng.After(backoff, func(sim.Time) { d.requeue(pp, ss) })
+	d.pump()
+	if d.cbs.BacklogChange != nil {
+		d.cbs.BacklogChange(p.Owner)
+	}
+}
+
+// requeue returns a failed frame to the head of its socket once its retry
+// backoff expires.
+func (d *Driver) requeue(p *nic.Packet, s *Socket) {
+	d.app(p.Owner).retrying -= p.Bytes
+	s.queue = append([]*nic.Packet{p}, s.queue...)
+	s.queuedBytes += p.Bytes
+	if d.activeBox != nil && s.Owner != d.activeBox.id {
+		d.balloonBlocked = true
+	}
+	d.pump()
 }
 
 // settleLostOpportunity closes out the balloon's billing: the bytes other
@@ -548,7 +626,7 @@ func (d *Driver) pumpNone() {
 		d.armSettle()
 		return
 	}
-	if other == nil || d.n.Busy() {
+	if other == nil || d.n.Busy() || !d.n.LinkUp() {
 		return
 	}
 	d.transmit(other, d.headSocket(other.id))
@@ -628,6 +706,9 @@ func (d *Driver) pumpServe() {
 	if min, ok := d.minOtherCredit(); ok && a.vr > min+float64(d.cfg.Quantum) {
 		d.closeBalloon()
 		return
+	}
+	if !d.n.LinkUp() {
+		return // hold the balloon; retries resume when the link returns
 	}
 	d.transmit(a, s)
 }

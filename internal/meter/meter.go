@@ -15,12 +15,21 @@ import (
 // DefaultPeriod is the paper's 100 kHz sampling interval.
 const DefaultPeriod = 10 * sim.Microsecond
 
+// Window is one half-open span [From, To) of simulated time.
+type Window struct {
+	From, To sim.Time
+}
+
 // Meter is the DAQ: a set of rails sampled at one rate.
 type Meter struct {
 	eng    *sim.Engine
 	period sim.Duration
 	rails  map[string]*power.Rail
 	names  []string
+
+	// drops holds per-rail sample-dropout windows (fault injection: a DAQ
+	// buffer overrun, a flaky sense line). Sorted, non-overlapping.
+	drops map[string][]Window
 }
 
 // New builds a meter. A non-positive period falls back to DefaultPeriod.
@@ -28,7 +37,8 @@ func New(eng *sim.Engine, period sim.Duration) *Meter {
 	if period <= 0 {
 		period = DefaultPeriod
 	}
-	return &Meter{eng: eng, period: period, rails: make(map[string]*power.Rail)}
+	return &Meter{eng: eng, period: period, rails: make(map[string]*power.Rail),
+		drops: make(map[string][]Window)}
 }
 
 // Period reports the sampling interval.
@@ -62,12 +72,80 @@ func (m *Meter) HasRail(name string) bool {
 // Rails lists attached scopes in stable order.
 func (m *Meter) Rails() []string { return m.names }
 
-// Samples returns the DAQ samples of one rail over [from, to).
+// Samples returns the DAQ samples of one rail over [from, to). Samples
+// inside injected dropout windows are missing, exactly as a DAQ overrun
+// loses them.
 func (m *Meter) Samples(rail string, from, to sim.Time) []power.Sample {
-	return m.Rail(rail).SamplesBetween(from, to, m.period, nil)
+	all := m.Rail(rail).SamplesBetween(from, to, m.period, nil)
+	drops := m.drops[rail]
+	if len(drops) == 0 {
+		return all
+	}
+	kept := all[:0]
+	for _, s := range all {
+		if !m.dropped(rail, s.T) {
+			kept = append(kept, s)
+		}
+	}
+	return kept
 }
 
 // Energy integrates one rail exactly over [from, to).
 func (m *Meter) Energy(rail string, from, to sim.Time) power.Joules {
 	return m.Rail(rail).EnergyBetween(from, to)
+}
+
+// InjectDropout marks [from, to) of one rail's sample stream as lost.
+// Overlapping or adjacent windows merge. The window must not start in the
+// past: samples already delivered cannot be un-delivered, and consumers
+// (the virtual meters) rely on closed history staying immutable.
+func (m *Meter) InjectDropout(rail string, from, to sim.Time) {
+	m.Rail(rail) // validate
+	if to <= from {
+		panic(fmt.Sprintf("meter: dropout window [%v, %v) is empty", from, to))
+	}
+	if from < m.eng.Now() {
+		panic(fmt.Sprintf("meter: dropout window [%v, %v) starts in the past (now %v)",
+			from, to, m.eng.Now()))
+	}
+	ws := append(m.drops[rail], Window{From: from, To: to})
+	sort.Slice(ws, func(i, j int) bool { return ws[i].From < ws[j].From })
+	merged := ws[:1]
+	for _, w := range ws[1:] {
+		last := &merged[len(merged)-1]
+		if w.From <= last.To {
+			if w.To > last.To {
+				last.To = w.To
+			}
+			continue
+		}
+		merged = append(merged, w)
+	}
+	m.drops[rail] = merged
+}
+
+// Dropouts returns the dropout windows of one rail overlapping [from, to),
+// clipped to that span.
+func (m *Meter) Dropouts(rail string, from, to sim.Time) []Window {
+	var out []Window
+	for _, w := range m.drops[rail] {
+		if w.To <= from || w.From >= to {
+			continue
+		}
+		if w.From < from {
+			w.From = from
+		}
+		if w.To > to {
+			w.To = to
+		}
+		out = append(out, w)
+	}
+	return out
+}
+
+// dropped reports whether instant t falls inside a dropout window of rail.
+func (m *Meter) dropped(rail string, t sim.Time) bool {
+	ws := m.drops[rail]
+	i := sort.Search(len(ws), func(i int) bool { return ws[i].To > t })
+	return i < len(ws) && ws[i].From <= t
 }

@@ -162,6 +162,9 @@ func (e *Engine) Drain(maxEvents uint64) bool {
 		}
 		next := heap.Pop(&e.queue).(*item)
 		delete(e.byName, next.seq)
+		if next.at < e.now {
+			panic("sim: event queue time went backwards")
+		}
 		e.now = next.at
 		e.fired++
 		next.fn(e.now)

@@ -23,8 +23,11 @@
 package psbox
 
 import (
+	"strings"
+
 	"psbox/internal/account"
 	"psbox/internal/core"
+	"psbox/internal/faults"
 	"psbox/internal/hw/accelhw"
 	"psbox/internal/hw/cpu"
 	"psbox/internal/hw/display"
@@ -190,6 +193,15 @@ type System struct {
 	Meter   *meter.Meter
 	Sandbox *core.Manager
 
+	// Faults schedules deterministic hardware failures (accelerator hangs,
+	// link flaps, DVFS stalls, meter dropouts) on this system's engine.
+	Faults *faults.Injector
+
+	// Invariants audits runtime invariants (energy conservation, balloon
+	// exclusivity, non-negative backlogs, monotone observations) after
+	// every Run; a violation panics.
+	Invariants *core.Checker
+
 	// Recorders holds per-rail hardware-usage recorders ("cpu", "gpu",
 	// "dsp", "wifi") for the baseline accounting of §6.1.
 	Recorders map[string]*account.Recorder
@@ -207,6 +219,10 @@ func NewSystem(cfg PlatformConfig) *System {
 	m := meter.New(eng, cfg.MeterPeriod)
 	m.AddRail(c.Rail())
 
+	inj := faults.New(eng, cfg.Seed)
+	inj.RegisterCPU(cfg.CPU.Name, c)
+	inj.RegisterMeter(m)
+
 	recorders := map[string]*account.Recorder{"cpu": {}}
 	k.SetCPUUsageRecorder(func(owner, _ int, start, end sim.Time) {
 		recorders["cpu"].Record(owner, start, end)
@@ -217,6 +233,7 @@ func NewSystem(cfg PlatformConfig) *System {
 			return
 		}
 		dev := accelhw.MustNew(eng, *hw)
+		inj.RegisterAccel(name, dev)
 		rec := &account.Recorder{}
 		recorders[name] = rec
 		drv := accel.New(eng, dev, accel.Callbacks{
@@ -245,6 +262,7 @@ func NewSystem(cfg PlatformConfig) *System {
 	}
 	if cfg.WiFi != nil {
 		n := nic.MustNew(eng, *cfg.WiFi)
+		inj.RegisterNIC("wifi", n)
 		rec := &account.Recorder{}
 		recorders["wifi"] = rec
 		netCfg := cfg.Net
@@ -267,12 +285,15 @@ func NewSystem(cfg PlatformConfig) *System {
 	}
 	m.AddRail(power.SumRail(eng, "battery", components...))
 
+	sandbox := core.NewManager(k, m)
 	return &System{
-		Eng:       eng,
-		Kernel:    k,
-		Meter:     m,
-		Sandbox:   core.NewManager(k, m),
-		Recorders: recorders,
+		Eng:        eng,
+		Kernel:     k,
+		Meter:      m,
+		Sandbox:    sandbox,
+		Faults:     inj,
+		Invariants: core.NewChecker(sandbox, "battery"),
+		Recorders:  recorders,
 	}
 }
 
@@ -328,8 +349,31 @@ func MobileConfig(seed uint64) PlatformConfig {
 // NewMobile builds the §7 extension platform.
 func NewMobile(seed uint64) *System { return NewSystem(MobileConfig(seed)) }
 
-// Run advances simulated time by d.
-func (s *System) Run(d Duration) { s.Eng.RunFor(d) }
+// Run advances simulated time by d, then audits the runtime invariants
+// over the advanced window; a violation panics. Every test that drives a
+// system through Run therefore doubles as an invariant audit.
+func (s *System) Run(d Duration) {
+	s.Eng.RunFor(d)
+	if s.Invariants != nil {
+		if v := s.Invariants.Check(); len(v) > 0 {
+			panic("psbox: invariant violation:\n  " + strings.Join(v, "\n  "))
+		}
+	}
+}
+
+// WatchdogConfig tunes the kernel accelerator watchdogs.
+type WatchdogConfig = accel.WatchdogConfig
+
+// DefaultWatchdogConfig returns the standard watchdog tuning.
+func DefaultWatchdogConfig() WatchdogConfig { return accel.DefaultWatchdogConfig() }
+
+// EnableAccelWatchdogs arms the completion-deadline watchdog on every
+// attached accelerator: wedged devices are reset and their orphaned
+// commands resubmitted with capped exponential backoff, the wasted
+// occupancy billed to the owning sandbox.
+func (s *System) EnableAccelWatchdogs(cfg WatchdogConfig) {
+	s.Kernel.EnableAccelWatchdogs(cfg)
+}
 
 // Now reports the current simulated time.
 func (s *System) Now() Time { return s.Eng.Now() }
