@@ -2,7 +2,8 @@
 // deterministic report: the fault log, the recovery counters of every
 // layer, and the sandboxes' final observations. Two runs with the same
 // seed must print byte-identical output — the CI determinism job runs it
-// twice and diffs.
+// twice (once under -race), diffs the runs, and diffs both seeds against
+// the golden reports committed under testdata/.
 //
 // Usage:
 //
@@ -13,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"psbox"
 	"psbox/internal/faults"
@@ -27,8 +29,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "psbox-faults: -ms must be positive")
 		os.Exit(2)
 	}
+	fmt.Print(buildReport(*seed, *ms))
+}
 
-	sys := psbox.NewMobile(*seed)
+// buildReport runs the canonical fault scenario and renders the full
+// report. It is the unit the determinism harness snapshots: the golden
+// files under testdata/ hold its output verbatim for two (seed, ms) pairs.
+func buildReport(seed uint64, ms int64) string {
+	sys := psbox.NewMobile(seed)
 	sys.EnableAccelWatchdogs(psbox.DefaultWatchdogConfig())
 
 	// A GPU-bound vision pipeline in a sandbox over cpu+gpu.
@@ -64,7 +72,7 @@ func main() {
 
 	// The fixed fault schedule: one of each kind at staggered instants,
 	// plus a seeded random campaign over the remaining horizon.
-	horizon := sim.Duration(*ms) * psbox.Millisecond
+	horizon := sim.Duration(ms) * psbox.Millisecond
 	at := func(frac float64) psbox.Time { return psbox.Time(float64(horizon) * frac) }
 	sys.Faults.HangAccelAt(at(0.10), "gpu")
 	sys.Faults.FlapLinkAt(at(0.25), "wifi", 15*psbox.Millisecond)
@@ -80,23 +88,25 @@ func main() {
 
 	sys.Run(horizon)
 
-	fmt.Println("== fault log ==")
-	fmt.Print(sys.Faults.FormatLog())
+	var b strings.Builder
+	fmt.Fprintln(&b, "== fault log ==")
+	b.WriteString(sys.Faults.FormatLog())
 
-	fmt.Println("== recovery ==")
+	fmt.Fprintln(&b, "== recovery ==")
 	for _, name := range sys.Kernel.AccelNames() {
 		d := sys.Kernel.Accel(name)
-		fmt.Printf("%-6s watchdog resets=%d resubmits=%d dropped=%d\n",
+		fmt.Fprintf(&b, "%-6s watchdog resets=%d resubmits=%d dropped=%d\n",
 			name, d.WatchdogResets(), d.Resubmits(), d.DroppedCommands())
 	}
-	fmt.Printf("net    flaps=%d retries=%d\n", sys.Kernel.Net().NIC().Flaps(), sys.Kernel.Net().LinkRetries())
+	fmt.Fprintf(&b, "net    flaps=%d retries=%d\n", sys.Kernel.Net().NIC().Flaps(), sys.Kernel.Net().LinkRetries())
 
-	fmt.Println("== observations ==")
-	for _, b := range []*psbox.Box{visionBox, streamBox} {
-		direct, est, gaps := b.ReadDetail()
-		fmt.Printf("%-7s read=%.9f J direct=%.9f J estimated=%.9f J gaps=%d degraded=%v\n",
-			b.App().Name, direct+est, direct, est, gaps, b.Degraded())
+	fmt.Fprintln(&b, "== observations ==")
+	for _, bx := range []*psbox.Box{visionBox, streamBox} {
+		direct, est, gaps := bx.ReadDetail()
+		fmt.Fprintf(&b, "%-7s read=%.9f J direct=%.9f J estimated=%.9f J gaps=%d degraded=%v\n",
+			bx.App().Name, direct+est, direct, est, gaps, bx.Degraded())
 	}
-	fmt.Printf("battery=%.9f J\n", sys.Meter.Energy("battery", 0, sys.Now()))
-	fmt.Println("invariants: ok")
+	fmt.Fprintf(&b, "battery=%.9f J\n", sys.Meter.Energy("battery", 0, sys.Now()))
+	fmt.Fprintln(&b, "invariants: ok")
+	return b.String()
 }

@@ -1,0 +1,44 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestReportMatchesGolden regenerates both seeded reports in-process and
+// compares them byte-for-byte against the goldens committed under
+// testdata/ at the module root. CI additionally re-runs the binary under
+// -race on the second seed; any divergence — across runs, seeds, or
+// toolchains — is a determinism bug, never a flake.
+func TestReportMatchesGolden(t *testing.T) {
+	cases := []struct {
+		seed   uint64
+		ms     int64
+		golden string
+	}{
+		{42, 2000, "psbox-faults-seed42-ms2000.golden"},
+		{7, 1000, "psbox-faults-seed7-ms1000.golden"},
+	}
+	for _, c := range cases {
+		want, err := os.ReadFile(filepath.Join("..", "..", "testdata", c.golden))
+		if err != nil {
+			t.Fatalf("golden missing (regenerate with `go run ./cmd/psbox-faults -seed %d -ms %d > testdata/%s`): %v",
+				c.seed, c.ms, c.golden, err)
+		}
+		got := buildReport(c.seed, c.ms)
+		if got != string(want) {
+			t.Errorf("seed=%d ms=%d: report diverged from %s\ngot:\n%s", c.seed, c.ms, c.golden, got)
+		}
+	}
+}
+
+// TestReportRepeatable runs the same seed twice in one process: the two
+// reports must be identical even without the golden as referee.
+func TestReportRepeatable(t *testing.T) {
+	a := buildReport(3, 500)
+	b := buildReport(3, 500)
+	if a != b {
+		t.Fatal("two runs with the same seed diverged within one process")
+	}
+}

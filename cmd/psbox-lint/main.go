@@ -1,0 +1,95 @@
+// Command psbox-lint runs psbox's determinism and energy-accounting
+// analyzers over the whole module and exits non-zero on any finding. It is
+// the static half of the determinism contract: the CI determinism job
+// catches divergence after the fact; psbox-lint rejects the constructs
+// that cause it before they merge.
+//
+// Usage:
+//
+//	go run ./cmd/psbox-lint ./...
+//
+// The package patterns are accepted for familiarity but the tool always
+// analyzes the entire module containing the working directory; the
+// analyzers' package scopes (below) are fixed by DESIGN.md, not by the
+// command line.
+//
+// Scopes:
+//
+//	nowallclock   — psbox/internal/... (cmd tools may report host time)
+//	nomathrand    — every package (internal/sim/rand.go itself exempt)
+//	noconcurrency — every package (escape: //psbox:allow-noconcurrency)
+//	maporder      — every package
+//	energyaccum   — every package (internal/meter, core/vmeter.go exempt)
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"psbox/internal/analysis"
+)
+
+func main() {
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psbox-lint:", err)
+		os.Exit(2)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psbox-lint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psbox-lint:", err)
+		os.Exit(2)
+	}
+
+	total := 0
+	for _, pkg := range pkgs {
+		var suite []*analysis.Analyzer
+		for _, a := range analysis.All() {
+			if !analysis.InScope(a, pkg.Path) {
+				continue
+			}
+			suite = append(suite, a)
+		}
+		for _, d := range analysis.RunAnalyzers(pkg, suite) {
+			fmt.Println(relativize(root, d))
+			total++
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "psbox-lint: %d finding(s)\n", total)
+		os.Exit(1)
+	}
+}
+
+// moduleRoot walks up from the working directory to the enclosing go.mod.
+func moduleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// relativize shortens diagnostic paths to module-relative form.
+func relativize(root string, d analysis.Diagnostic) string {
+	if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+		d.Pos.Filename = rel
+	}
+	return d.String()
+}

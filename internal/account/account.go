@@ -112,6 +112,7 @@ func (a *Accountant) Series(owner int, from, to sim.Time, step sim.Duration) []p
 		}
 		b := int(wStart.Sub(from) / step)
 		if b >= 0 && b < nBuckets {
+			//psbox:allow-energyaccum summing already-integrated window shares in deterministic replay order, not raw power×dt
 			energy[b] += e
 		}
 	})
@@ -127,8 +128,15 @@ func (a *Accountant) Series(owner int, from, to sim.Time, step sim.Duration) []p
 
 func (a *Accountant) walk(from, to sim.Time, emit func(owner int, e power.Joules)) {
 	a.walkWindows(from, to, func(_ sim.Time, shares map[int]power.Joules) {
-		for o, e := range shares {
-			emit(o, e)
+		// Emit in sorted-owner order so callers that fold the stream into
+		// order-sensitive state (float totals, output) stay deterministic.
+		owners := make([]int, 0, len(shares))
+		for o := range shares {
+			owners = append(owners, o)
+		}
+		sort.Ints(owners)
+		for _, o := range owners {
+			emit(o, shares[o])
 		}
 	})
 }
@@ -240,13 +248,21 @@ func (a *Accountant) divide(energy power.Joules, usage map[int]float64, lastUser
 }
 
 func (a *Accountant) usageShares(energy power.Joules, usage map[int]float64) map[int]power.Joules {
+	// Sum in sorted-owner order: float addition is not associative, so a
+	// map-order sum would make each app's share depend on iteration order
+	// and two seeded runs would differ in the last bits.
+	owners := make([]int, 0, len(usage))
+	for o := range usage {
+		owners = append(owners, o)
+	}
+	sort.Ints(owners)
 	var total float64
-	for _, u := range usage {
-		total += u
+	for _, o := range owners {
+		total += usage[o]
 	}
 	out := make(map[int]power.Joules, len(usage))
-	for o, u := range usage {
-		out[o] = energy * u / total
+	for _, o := range owners {
+		out[o] = energy * usage[o] / total
 	}
 	return out
 }

@@ -1,0 +1,225 @@
+// Package analysis implements psbox's static determinism and
+// energy-accounting checks as a small self-contained analyzer framework.
+//
+// The framework mirrors the shape of golang.org/x/tools/go/analysis —
+// an Analyzer holds a name, a doc string, and a Run function over a
+// type-checked package — but is built only on the standard library so the
+// module stays dependency-free. Five analyzers enforce the simulator's
+// determinism contract (see DESIGN.md §"Determinism contract"):
+//
+//	nowallclock   — no time.Now/Sleep/Since/After inside internal/
+//	nomathrand    — no math/rand outside internal/sim/rand.go
+//	noconcurrency — no goroutines, channels, or sync in sim packages
+//	maporder      — no order-sensitive work inside map-range loops
+//	energyaccum   — no ad-hoc += into energy/joule/charge accumulators
+//
+// A finding can be suppressed with an explicit, reasoned directive on the
+// offending line (or the line above, or file-wide in the header):
+//
+//	//psbox:allow-<analyzer> <reason>
+//
+// The reason is mandatory: a bare directive is itself reported.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named static check.
+type Analyzer struct {
+	Name string // short lower-case identifier, used in directives and output
+	Doc  string // one-paragraph description of the rule
+	Run  func(*Pass)
+}
+
+// A Diagnostic is one finding, positioned in the analyzed source.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String formats the diagnostic the way go vet does.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	PkgPath  string
+	Pkg      *types.Package
+	Info     *types.Info
+
+	diags      *[]Diagnostic
+	directives map[string]*fileDirectives // keyed by filename
+}
+
+// fileDirectives records the //psbox:allow-* lines of one file.
+type fileDirectives struct {
+	fileScope map[string]bool // analyzer name → allowed for whole file
+	lines     map[string]map[int]bool
+}
+
+var directiveRe = regexp.MustCompile(`^//psbox:allow-([a-z]+)(?:\s+(.*))?$`)
+
+// scanDirectives indexes every allow directive in the package and reports
+// directives that omit the mandatory reason.
+func scanDirectives(fset *token.FileSet, files []*ast.File, report func(token.Pos, string)) map[string]*fileDirectives {
+	out := make(map[string]*fileDirectives)
+	for _, f := range files {
+		fd := &fileDirectives{
+			fileScope: make(map[string]bool),
+			lines:     make(map[string]map[int]bool),
+		}
+		out[fset.Position(f.Pos()).Filename] = fd
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := directiveRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				name, reason := m[1], strings.TrimSpace(m[2])
+				if reason == "" {
+					report(c.Pos(), fmt.Sprintf("psbox:allow-%s directive requires a reason", name))
+					continue
+				}
+				if c.Pos() < f.Package {
+					// Header comment: the whole file is exempt.
+					fd.fileScope[name] = true
+					continue
+				}
+				if fd.lines[name] == nil {
+					fd.lines[name] = make(map[int]bool)
+				}
+				fd.lines[name][fset.Position(c.Pos()).Line] = true
+			}
+		}
+	}
+	return out
+}
+
+// allowed reports whether an analyzer finding at pos is covered by a
+// directive on the same line, the line above, or the file header.
+func (p *Pass) allowed(pos token.Pos) bool {
+	position := p.Fset.Position(pos)
+	fd := p.directives[position.Filename]
+	if fd == nil {
+		return false
+	}
+	if fd.fileScope[p.Analyzer.Name] {
+		return true
+	}
+	lines := fd.lines[p.Analyzer.Name]
+	return lines[position.Line] || lines[position.Line-1]
+}
+
+// Reportf records a finding unless an allow directive covers it.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	if p.allowed(pos) {
+		return
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Filename returns the file a node was parsed from.
+func (p *Pass) Filename(n ast.Node) string {
+	return p.Fset.Position(n.Pos()).Filename
+}
+
+// All is the complete suite in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{NoWallClock, NoMathRand, NoConcurrency, MapOrder, EnergyAccum}
+}
+
+// InScope reports whether an analyzer applies to a package, per the
+// determinism contract in DESIGN.md: nowallclock covers only
+// psbox/internal/... (cmd tools may legitimately report host time); every
+// other analyzer covers the whole module, with their file-level
+// exemptions (sim/rand.go, internal/meter, core/vmeter.go) and allow
+// directives as the only escape hatches.
+func InScope(a *Analyzer, pkgPath string) bool {
+	if a.Name == "nowallclock" {
+		return strings.HasPrefix(pkgPath, "psbox/internal")
+	}
+	return true
+}
+
+// RunAnalyzers applies each analyzer to the package and returns the
+// findings sorted by position. Malformed allow directives are reported
+// once per package under the pseudo-analyzer name "directive".
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	dirs := scanDirectives(pkg.Fset, pkg.Files, func(pos token.Pos, msg string) {
+		diags = append(diags, Diagnostic{
+			Pos:      pkg.Fset.Position(pos),
+			Analyzer: "directive",
+			Message:  msg,
+		})
+	})
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:   a,
+			Fset:       pkg.Fset,
+			Files:      pkg.Files,
+			PkgPath:    pkg.Path,
+			Pkg:        pkg.Types,
+			Info:       pkg.Info,
+			diags:      &diags,
+			directives: dirs,
+		}
+		a.Run(pass)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags
+}
+
+// pkgNameOf resolves an identifier to the import path of the package it
+// names, or "" when it is not a package qualifier.
+func pkgNameOf(info *types.Info, id *ast.Ident) string {
+	if pn, ok := info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}
+
+// qualifiedCall matches expressions of the form pkg.Name where pkg is an
+// import of pkgPath, returning the selected name.
+func qualifiedName(info *types.Info, e ast.Expr, pkgPath string) (string, bool) {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	if pkgNameOf(info, id) != pkgPath {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}

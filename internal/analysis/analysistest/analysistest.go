@@ -1,0 +1,115 @@
+// Package analysistest runs an analyzer over fixture packages and checks
+// its findings against // want comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture line carrying one or more expected findings annotates itself:
+//
+//	out = append(out, k) // want `append to out inside range over map`
+//
+// Each backquoted or double-quoted string after "want" is a regular
+// expression that must match the message of exactly one finding reported
+// on that line; findings without a matching want, and wants without a
+// matching finding, fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"psbox/internal/analysis"
+)
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantArgRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// Run loads each fixture package under root (GOPATH-style: the package's
+// import path is its directory relative to root) and applies the analyzer,
+// comparing findings against the fixtures' want comments.
+func Run(t *testing.T, root string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	for _, path := range pkgs {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %q: %v", path, err)
+		}
+		diags := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+		check(t, pkg, diags)
+	}
+}
+
+func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				args := wantArgRe.FindAllString(rest, -1)
+				if len(args) == 0 {
+					t.Errorf("%s: malformed want comment %q", pos, c.Text)
+					continue
+				}
+				for _, arg := range args {
+					pat, err := unquoteArg(arg)
+					if err != nil {
+						t.Errorf("%s: bad want pattern %s: %v", pos, arg, err)
+						continue
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %s: %v", pos, arg, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func unquoteArg(s string) (string, error) {
+	if strings.HasPrefix(s, "`") {
+		return strings.Trim(s, "`"), nil
+	}
+	u, err := strconv.Unquote(s)
+	if err != nil {
+		return "", fmt.Errorf("unquote: %w", err)
+	}
+	return u, nil
+}

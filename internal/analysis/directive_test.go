@@ -1,0 +1,87 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"psbox/internal/analysis"
+)
+
+// writeFixture lays out a throwaway GOPATH-style tree and loads pkg from it.
+func loadFixture(t *testing.T, pkg, src string) *analysis.Package {
+	t.Helper()
+	root := t.TempDir()
+	dir := filepath.Join(root, pkg)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "a.go"), []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := loader.Load(pkg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestBareDirectiveIsReported(t *testing.T) {
+	pkg := loadFixture(t, "p", `package p
+
+func f() {
+	//psbox:allow-noconcurrency
+	go f()
+}
+`)
+	diags := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{analysis.NoConcurrency})
+	var haveDirective, haveGo bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "directive":
+			haveDirective = strings.Contains(d.Message, "requires a reason")
+		case "noconcurrency":
+			haveGo = true
+		}
+	}
+	if !haveDirective {
+		t.Errorf("bare directive not reported: %v", diags)
+	}
+	if !haveGo {
+		t.Errorf("bare directive must not suppress the finding it precedes: %v", diags)
+	}
+}
+
+func TestDirectiveOnSameLineSuppresses(t *testing.T) {
+	pkg := loadFixture(t, "p", `package p
+
+func f() {
+	go f() //psbox:allow-noconcurrency fire-and-forget host logging
+}
+`)
+	diags := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{analysis.NoConcurrency})
+	if len(diags) != 0 {
+		t.Errorf("same-line directive did not suppress: %v", diags)
+	}
+}
+
+func TestDirectiveDoesNotLeakAcrossAnalyzers(t *testing.T) {
+	pkg := loadFixture(t, "p", `package p
+
+import "time"
+
+func f() {
+	//psbox:allow-noconcurrency wrong analyzer name for this finding
+	_ = time.Now()
+}
+`)
+	diags := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{analysis.NoWallClock})
+	if len(diags) != 1 {
+		t.Errorf("directive for another analyzer must not suppress nowallclock: %v", diags)
+	}
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+)
+
+// energyName matches identifiers that by convention hold energy totals.
+var energyName = regexp.MustCompile(`(?i)(energy|joule|charge)`)
+
+// EnergyAccum flags direct `+=`/`-=` into energy-named accumulators
+// outside the approved integration helpers. Energy in psbox is the
+// integral of piecewise-constant power; summing ad-hoc `power × dt`
+// products with raw float addition drifts from the exact segment
+// integrator in internal/meter and internal/core/vmeter.go, and two code
+// paths that integrate the same rail then disagree in the last bits —
+// which the byte-determinism diff turns into a hard failure. Accumulations
+// that are genuinely sums of already-integrated window energies escape
+// with:
+//
+//	//psbox:allow-energyaccum <reason>
+var EnergyAccum = &Analyzer{
+	Name: "energyaccum",
+	Doc: `flag direct += / -= into fields or variables named *energy*,
+*joule*, or *charge* outside internal/meter and internal/core/vmeter.go;
+all energy totals must go through the exact piecewise-constant integrator.`,
+	Run: runEnergyAccum,
+}
+
+// energyExempt reports whether a file hosts the approved integrators.
+func energyExempt(filename string) bool {
+	slash := filepath.ToSlash(filename)
+	return strings.Contains(slash, "internal/meter/") ||
+		strings.HasSuffix(slash, "core/vmeter.go")
+}
+
+func runEnergyAccum(pass *Pass) {
+	for _, f := range pass.Files {
+		if energyExempt(pass.Filename(f)) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || (as.Tok != token.ADD_ASSIGN && as.Tok != token.SUB_ASSIGN) {
+				return true
+			}
+			lhs := as.Lhs[0]
+			name := targetName(lhs)
+			if name == "" || !energyName.MatchString(name) {
+				return true
+			}
+			pass.Reportf(as.Pos(),
+				"direct accumulation into %s: energy totals must come from the piecewise-constant integrator (internal/meter, core/vmeter.go)", exprText(lhs))
+			return true
+		})
+	}
+}
+
+// targetName extracts the identifier that names the assigned storage: the
+// field for a selector, the base array/map for an index expression, the
+// identifier itself otherwise.
+func targetName(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return x.Sel.Name
+	case *ast.IndexExpr:
+		return targetName(x.X)
+	case *ast.ParenExpr:
+		return targetName(x.X)
+	case *ast.StarExpr:
+		return targetName(x.X)
+	default:
+		return ""
+	}
+}

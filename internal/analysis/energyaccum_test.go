@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"psbox/internal/analysis"
+	"psbox/internal/analysis/analysistest"
+)
+
+func TestEnergyAccum(t *testing.T) {
+	// internal/meter is the approved-integrator exemption fixture.
+	analysistest.Run(t, "testdata/src", analysis.EnergyAccum, "energyaccum", "internal/meter")
+}

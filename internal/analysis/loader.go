@@ -1,0 +1,220 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed and type-checked package of the tree under
+// analysis.
+type Package struct {
+	Path  string // import path ("psbox/internal/sim")
+	Dir   string // absolute directory
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader parses and type-checks packages rooted at a directory. Imports
+// inside the tree are resolved recursively from source; everything else is
+// resolved through the standard library's source importer, so the loader
+// needs no export data and no tooling beyond GOROOT.
+type Loader struct {
+	Fset *token.FileSet
+	Root string // absolute module root directory
+	// Module is the tree's import-path prefix ("psbox"). When empty,
+	// import paths are taken relative to Root (GOPATH-style fixture
+	// layout, used by the analysistest harness).
+	Module string
+
+	std     types.Importer
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+// NewLoader returns a loader for the module rooted at dir. The module path
+// is read from go.mod; a tree without one is treated as fixture layout.
+func NewLoader(dir string) (*Loader, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		Fset:    token.NewFileSet(),
+		Root:    abs,
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+	l.std = importer.ForCompiler(l.Fset, "source", nil)
+	if data, err := os.ReadFile(filepath.Join(abs, "go.mod")); err == nil {
+		for _, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if rest, ok := strings.CutPrefix(line, "module "); ok {
+				l.Module = strings.TrimSpace(rest)
+				break
+			}
+		}
+	}
+	return l, nil
+}
+
+// dirFor maps an import path inside the tree to its directory.
+func (l *Loader) dirFor(path string) string {
+	if l.Module == "" {
+		return filepath.Join(l.Root, filepath.FromSlash(path))
+	}
+	if path == l.Module {
+		return l.Root
+	}
+	rel := strings.TrimPrefix(path, l.Module+"/")
+	return filepath.Join(l.Root, filepath.FromSlash(rel))
+}
+
+// local reports whether an import path belongs to the tree under analysis.
+func (l *Loader) local(path string) bool {
+	if l.Module == "" {
+		// Fixture layout: anything that resolves to an existing
+		// directory under Root is local.
+		st, err := os.Stat(l.dirFor(path))
+		return err == nil && st.IsDir()
+	}
+	return path == l.Module || strings.HasPrefix(path, l.Module+"/")
+}
+
+// Import implements types.Importer over both halves of the world.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.local(path) {
+		pkg, err := l.Load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// Load parses and type-checks one package by import path, memoized.
+func (l *Loader) Load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := l.dirFor(path)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+	sort.Slice(files, func(i, j int) bool {
+		return l.Fset.Position(files[i].Pos()).Filename < l.Fset.Position(files[j].Pos()).Filename
+	})
+
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: l,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %v", path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// LoadAll loads every package in the tree, in sorted import-path order.
+// Directories named testdata, hidden directories, and directories with no
+// non-test Go files are skipped.
+func (l *Loader) LoadAll() ([]*Package, error) {
+	var paths []string
+	err := filepath.WalkDir(l.Root, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.Root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+				rel, err := filepath.Rel(l.Root, p)
+				if err != nil {
+					return err
+				}
+				ip := l.Module
+				if rel != "." {
+					if ip != "" {
+						ip += "/"
+					}
+					ip += filepath.ToSlash(rel)
+				}
+				paths = append(paths, ip)
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.Load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,321 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags range-over-map loops whose body does order-sensitive
+// work: Go randomizes map iteration order per run, so anything the loop
+// emits in iteration order diverges between two identically-seeded runs.
+//
+// Order-sensitive work is:
+//
+//   - appending to a slice declared outside the loop, unless the enclosing
+//     function later sorts that slice (the collect-keys-then-sort idiom);
+//   - writing output (fmt.Print/Fprint family, Write* methods);
+//   - scheduling sim events (After/At/Schedule on a sim Engine);
+//   - accumulating into an outer float or string: float addition is not
+//     associative, so the total depends on visit order.
+//
+// Pure reductions that are order-independent — integer sums, min/max
+// tracking, per-key map writes (m[k] += ...) — stay legal.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc: `flag order-sensitive work (appends without a sort, output writes,
+sim-event scheduling, float/string accumulation) inside range-over-map
+loops, where iteration order is randomized per run.`,
+	Run: runMapOrder,
+}
+
+var outputMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"WriteByte":   true,
+	"WriteRune":   true,
+}
+
+var fmtOutputFuncs = map[string]bool{
+	"Print":    true,
+	"Printf":   true,
+	"Println":  true,
+	"Fprint":   true,
+	"Fprintf":  true,
+	"Fprintln": true,
+}
+
+var scheduleMethods = map[string]bool{
+	"After":    true,
+	"At":       true,
+	"Schedule": true,
+}
+
+func runMapOrder(pass *Pass) {
+	for _, f := range pass.Files {
+		// Track the innermost enclosing function so the sorted-later
+		// check can scan its whole body.
+		var funcs []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				return true
+			}
+			switch n := n.(type) {
+			case *ast.FuncDecl, *ast.FuncLit:
+				funcs = append(funcs, n)
+				// Popped lazily: enclosingFunc walks from the end and
+				// checks position containment, so stale entries are
+				// harmless.
+			case *ast.RangeStmt:
+				if isMapRange(pass, n) {
+					checkMapRange(pass, n, enclosingFunc(funcs, n))
+				}
+			}
+			return true
+		})
+	}
+}
+
+func isMapRange(pass *Pass, rng *ast.RangeStmt) bool {
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	_, isMap := tv.Type.Underlying().(*types.Map)
+	return isMap
+}
+
+// enclosingFunc returns the innermost recorded function whose span
+// contains the range statement.
+func enclosingFunc(funcs []ast.Node, rng *ast.RangeStmt) ast.Node {
+	for i := len(funcs) - 1; i >= 0; i-- {
+		fn := funcs[i]
+		if fn.Pos() <= rng.Pos() && rng.End() <= fn.End() {
+			return fn
+		}
+	}
+	return nil
+}
+
+// rootIdent strips selectors, indexes, parens, and derefs down to the
+// base identifier of an assignable expression.
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// objOf resolves an identifier to its object via either Uses or Defs.
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Uses[id]; o != nil {
+		return o
+	}
+	return info.Defs[id]
+}
+
+// declaredWithin reports whether an object's declaration lies inside the
+// node span (loop-local variables, including the range key and value).
+func declaredWithin(obj types.Object, n ast.Node) bool {
+	return obj != nil && n.Pos() <= obj.Pos() && obj.Pos() <= n.End()
+}
+
+// mentionsLoopVar reports whether the expression references any variable
+// declared inside the range statement.
+func mentionsLoopVar(pass *Pass, e ast.Expr, rng *ast.RangeStmt) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if declaredWithin(objOf(pass.Info, id), rng) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+func checkMapRange(pass *Pass, rng *ast.RangeStmt, fn ast.Node) {
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			checkAssign(pass, n, rng, fn)
+		case *ast.CallExpr:
+			checkCall(pass, n)
+		}
+		return true
+	})
+}
+
+func checkAssign(pass *Pass, as *ast.AssignStmt, rng *ast.RangeStmt, fn ast.Node) {
+	switch as.Tok {
+	case token.ASSIGN, token.DEFINE:
+		// Plain assignment: only the append-to-outer-slice idiom leaks
+		// order (out = append(out, k)).
+		for i, rhs := range as.Rhs {
+			if i >= len(as.Lhs) {
+				break
+			}
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if id, ok := call.Fun.(*ast.Ident); !ok || id.Name != "append" {
+				continue
+			}
+			root := rootIdent(as.Lhs[i])
+			if root == nil {
+				continue
+			}
+			obj := objOf(pass.Info, root)
+			if obj == nil || declaredWithin(obj, rng) {
+				continue
+			}
+			if sortedInFunc(pass, fn, obj) {
+				continue
+			}
+			pass.Reportf(as.Pos(),
+				"append to %s inside range over map records iteration order; sort %s afterwards or iterate sorted keys", root.Name, root.Name)
+		}
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		// Op-assign accumulation: order-dependent when the accumulator
+		// is a float (non-associative addition) or string (concatenation
+		// order) living outside the loop. Per-key writes indexed by a
+		// loop variable are order-independent and stay legal.
+		lhs := as.Lhs[0]
+		tv, ok := pass.Info.Types[lhs]
+		if !ok || tv.Type == nil {
+			return
+		}
+		basic, ok := tv.Type.Underlying().(*types.Basic)
+		if !ok || basic.Info()&(types.IsFloat|types.IsComplex|types.IsString) == 0 {
+			return
+		}
+		if idx, ok := lhs.(*ast.IndexExpr); ok && mentionsLoopVar(pass, idx.Index, rng) {
+			return
+		}
+		root := rootIdent(lhs)
+		if root == nil {
+			return
+		}
+		obj := objOf(pass.Info, root)
+		if obj == nil || declaredWithin(obj, rng) {
+			return
+		}
+		kind := "float"
+		if basic.Info()&types.IsString != 0 {
+			kind = "string"
+		}
+		pass.Reportf(as.Pos(),
+			"%s accumulation into %s inside range over map depends on iteration order; iterate sorted keys", kind, exprText(lhs))
+	}
+}
+
+func checkCall(pass *Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	name := sel.Sel.Name
+	if n, ok := qualifiedName(pass.Info, sel, "fmt"); ok {
+		if fmtOutputFuncs[n] {
+			pass.Reportf(call.Pos(),
+				"fmt.%s inside range over map emits output in iteration order; iterate sorted keys", n)
+		}
+		return
+	}
+	if id, ok := sel.X.(*ast.Ident); ok && pkgNameOf(pass.Info, id) != "" {
+		return // other package-qualified call, not a method
+	}
+	if outputMethods[name] {
+		pass.Reportf(call.Pos(),
+			"%s inside range over map emits output in iteration order; iterate sorted keys", name)
+		return
+	}
+	if scheduleMethods[name] && isEngineReceiver(pass, sel.X) {
+		pass.Reportf(call.Pos(),
+			"sim event scheduled inside range over map: event sequence numbers will follow iteration order; iterate sorted keys")
+	}
+}
+
+// isEngineReceiver reports whether an expression is (a pointer to) a named
+// type called Engine — the sim engine, in either the real tree or fixtures.
+func isEngineReceiver(pass *Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Engine"
+}
+
+// sortedInFunc reports whether the enclosing function contains a
+// sort.* / slices.Sort* call whose argument is rooted at obj — the
+// collect-then-sort idiom that makes map-order appends deterministic.
+func sortedInFunc(pass *Pass, fn ast.Node, obj types.Object) bool {
+	if fn == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return !found
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return !found
+		}
+		pkg, okq := "", false
+		if id, ok := sel.X.(*ast.Ident); ok {
+			pkg = pkgNameOf(pass.Info, id)
+			okq = pkg == "sort" || (pkg == "slices" && strings.HasPrefix(sel.Sel.Name, "Sort"))
+		}
+		if !okq {
+			return !found
+		}
+		for _, arg := range call.Args {
+			if root := rootIdent(arg); root != nil && objOf(pass.Info, root) == obj {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// exprText renders a short source-ish form of an assignable expression for
+// diagnostics.
+func exprText(e ast.Expr) string {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return x.Name
+	case *ast.SelectorExpr:
+		return exprText(x.X) + "." + x.Sel.Name
+	case *ast.IndexExpr:
+		return exprText(x.X) + "[...]"
+	case *ast.ParenExpr:
+		return exprText(x.X)
+	case *ast.StarExpr:
+		return "*" + exprText(x.X)
+	default:
+		return "expression"
+	}
+}

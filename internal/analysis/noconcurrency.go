@@ -1,0 +1,66 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// NoConcurrency forbids goroutines, channel operations, and the sync
+// packages in the simulator's deterministic packages. The discrete-event
+// engine is single-threaded by design: every interleaving decision must be
+// an explicit, seeded simulation event, never a scheduler race. Layers
+// that legitimately need host concurrency (a daemon serving real clients)
+// escape with:
+//
+//	//psbox:allow-noconcurrency <reason>
+var NoConcurrency = &Analyzer{
+	Name: "noconcurrency",
+	Doc: `forbid go statements, channel makes/sends/receives/selects, and
+sync / sync/atomic imports in deterministic packages; host concurrency
+makes event interleaving depend on the OS scheduler instead of the seed.`,
+	Run: runNoConcurrency,
+}
+
+func runNoConcurrency(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "sync" || path == "sync/atomic" {
+				pass.Reportf(imp.Pos(),
+					"import of %s: locking implies concurrency, which the single-threaded sim engine forbids", path)
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.GoStmt:
+				pass.Reportf(n.Pos(), "go statement: deterministic packages are single-threaded; schedule a sim event instead")
+			case *ast.SendStmt:
+				pass.Reportf(n.Pos(), "channel send: use direct calls or sim events, not channels")
+			case *ast.UnaryExpr:
+				if n.Op == token.ARROW {
+					pass.Reportf(n.Pos(), "channel receive: use direct calls or sim events, not channels")
+				}
+			case *ast.SelectStmt:
+				pass.Reportf(n.Pos(), "select statement: event ordering must come from the sim engine, not channel readiness")
+			case *ast.CallExpr:
+				if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "make" && len(n.Args) > 0 {
+					if _, ok := n.Args[0].(*ast.ChanType); ok {
+						pass.Reportf(n.Pos(), "make(chan ...): channels are forbidden in deterministic packages")
+					}
+				}
+			case *ast.RangeStmt:
+				if tv, ok := pass.Info.Types[n.X]; ok {
+					if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+						pass.Reportf(n.Pos(), "range over channel: channels are forbidden in deterministic packages")
+					}
+				}
+			}
+			return true
+		})
+	}
+}

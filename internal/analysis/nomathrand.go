@@ -1,0 +1,42 @@
+package analysis
+
+import (
+	"path/filepath"
+	"strconv"
+	"strings"
+)
+
+// NoMathRand forbids math/rand (and math/rand/v2) everywhere except the
+// seeded simulation PRNG in internal/sim/rand.go. The stdlib generator's
+// stream is not guaranteed stable across Go releases and its global
+// functions are process-seeded, so any use outside sim.Rand silently
+// breaks run-to-run and toolchain-to-toolchain reproducibility.
+var NoMathRand = &Analyzer{
+	Name: "nomathrand",
+	Doc: `forbid importing math/rand outside internal/sim/rand.go: all
+simulated randomness must come from the seeded, version-stable sim.Rand.`,
+	Run: runNoMathRand,
+}
+
+// randExempt reports whether a file is the one blessed home of the PRNG.
+func randExempt(filename string) bool {
+	return strings.HasSuffix(filepath.ToSlash(filename), "sim/rand.go")
+}
+
+func runNoMathRand(pass *Pass) {
+	for _, f := range pass.Files {
+		if randExempt(pass.Filename(f)) {
+			continue
+		}
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "math/rand" || path == "math/rand/v2" {
+				pass.Reportf(imp.Pos(),
+					"import of %s: use the seeded sim.Rand (internal/sim/rand.go) so random streams are reproducible across runs and Go versions", path)
+			}
+		}
+	}
+}

@@ -1,0 +1,14 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"psbox/internal/analysis"
+	"psbox/internal/analysis/analysistest"
+)
+
+func TestNoMathRand(t *testing.T) {
+	// The sim fixture checks the per-file exemption: rand.go may import
+	// math/rand, its sibling clock.go may not.
+	analysistest.Run(t, "testdata/src", analysis.NoMathRand, "nomathrand", "sim")
+}

@@ -1,0 +1,50 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// wallClockFuncs are the package-level time functions that read or wait on
+// the host's wall clock. Types and constants (time.Duration,
+// time.Millisecond) stay legal: they carry no nondeterminism.
+var wallClockFuncs = map[string]bool{
+	"Now":       true,
+	"Since":     true,
+	"Until":     true,
+	"Sleep":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// NoWallClock forbids reading the host wall clock in deterministic
+// packages. All simulated time must flow through the sim engine's virtual
+// clock (sim.Engine.Now / After / At), or two seeded runs stop being
+// byte-identical.
+var NoWallClock = &Analyzer{
+	Name: "nowallclock",
+	Doc: `forbid time.Now, time.Since, time.Until, time.Sleep, time.After,
+time.AfterFunc, time.Tick, time.NewTimer and time.NewTicker: deterministic
+packages must take time from the sim engine's virtual clock.`,
+	Run: runNoWallClock,
+}
+
+func runNoWallClock(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			name, ok := qualifiedName(pass.Info, sel, "time")
+			if !ok || !wallClockFuncs[name] {
+				return true
+			}
+			pass.Reportf(n.Pos(),
+				"time.%s reads the host wall clock; use the sim engine's virtual clock (Engine.Now/After/At)", name)
+			return true
+		})
+	}
+}

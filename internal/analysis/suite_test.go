@@ -1,0 +1,42 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"psbox/internal/analysis"
+)
+
+// TestModuleIsLintClean runs the full suite over the real module — the
+// same work `go run ./cmd/psbox-lint ./...` does in CI — and demands zero
+// findings. Every violation must be fixed or carry a reasoned
+// //psbox:allow-* directive.
+func TestModuleIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module from source")
+	}
+	loader, err := analysis.NewLoader("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loader.Module != "psbox" {
+		t.Fatalf("expected module psbox at ../.., got %q", loader.Module)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 20 {
+		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
+	}
+	for _, pkg := range pkgs {
+		var suite []*analysis.Analyzer
+		for _, a := range analysis.All() {
+			if analysis.InScope(a, pkg.Path) {
+				suite = append(suite, a)
+			}
+		}
+		for _, d := range analysis.RunAnalyzers(pkg, suite) {
+			t.Errorf("%s", d)
+		}
+	}
+}

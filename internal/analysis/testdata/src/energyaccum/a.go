@@ -1,0 +1,23 @@
+package a
+
+type meterState struct {
+	energyJ float64
+	chargeC float64
+	total   float64
+}
+
+func integrate(s *meterState, p, dt float64) {
+	s.energyJ += p * dt // want `direct accumulation into s\.energyJ`
+	s.chargeC -= p      // want `direct accumulation into s\.chargeC`
+	s.total += p * dt   // name does not match: legal (maporder catches order bugs)
+}
+
+func buckets(energy []float64, jouleSum *float64, e float64) {
+	energy[0] += e // want `direct accumulation into energy\[\.\.\.\]`
+	*jouleSum += e // want `direct accumulation into \*jouleSum`
+}
+
+func allowed(s *meterState, e float64) {
+	//psbox:allow-energyaccum summing already-integrated per-window shares
+	s.energyJ += e
+}

@@ -1,0 +1,9 @@
+// Package meter sits at a path containing internal/meter/: the approved
+// integrator, exempt from energyaccum wholesale.
+package meter
+
+type rail struct{ energyJ float64 }
+
+func (r *rail) integrate(w, dt float64) {
+	r.energyJ += w * dt // exempt: this is the integrator itself
+}

@@ -1,0 +1,117 @@
+package a
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Engine stands in for the sim engine: receiver type name is what the
+// analyzer keys on.
+type Engine struct{}
+
+func (e *Engine) After(d int, fn func()) {}
+func (e *Engine) At(t int, fn func())    {}
+
+func appendNoSort(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `append to out inside range over map records iteration order`
+	}
+	return out
+}
+
+func appendThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // collect-then-sort idiom: legal
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func appendThenSliceSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k) // sort.Slice also counts
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+func printOutput(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want `fmt\.Printf inside range over map emits output`
+	}
+}
+
+func builderOutput(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k) // want `WriteString inside range over map emits output`
+	}
+}
+
+func schedule(m map[string]int, eng *Engine) {
+	for _, v := range m {
+		eng.After(v, func() {}) // want `sim event scheduled inside range over map`
+	}
+}
+
+func floatAccum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		total += v // want `float accumulation into total inside range over map`
+	}
+	return total
+}
+
+func stringAccum(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want `string accumulation into s inside range over map`
+	}
+	return s
+}
+
+func intSumLegal(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v // integer sums are order-independent: legal
+	}
+	return n
+}
+
+func minTrackLegal(m map[int]float64) float64 {
+	min := -1.0
+	for _, v := range m {
+		if min < 0 || v < min {
+			min = v // plain assignment, order-independent result: legal
+		}
+	}
+	return min
+}
+
+func perKeyLegal(src map[string]float64, acc map[string]float64) {
+	for k, v := range src {
+		acc[k] += v // per-key accumulation indexed by the loop var: legal
+	}
+}
+
+func loopLocalLegal(m map[string][]float64) {
+	for _, vs := range m {
+		var s float64
+		for _, v := range vs {
+			s += v // accumulator lives inside the loop: legal
+		}
+		_ = s
+	}
+}
+
+func allowedAccum(m map[string]float64) float64 {
+	var total float64
+	for _, v := range m {
+		//psbox:allow-maporder tolerance-checked aggregate, compared with an epsilon
+		total += v
+	}
+	return total
+}

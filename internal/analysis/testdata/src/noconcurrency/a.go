@@ -1,0 +1,29 @@
+package a
+
+import (
+	"sync"        // want `import of sync: locking implies concurrency`
+	"sync/atomic" // want `import of sync/atomic: locking implies concurrency`
+)
+
+var mu sync.Mutex
+var n atomic.Int64
+
+func bad() {
+	ch := make(chan int, 1) // want `make\(chan \.\.\.\): channels are forbidden`
+	go sender(ch)           // want `go statement: deterministic packages are single-threaded`
+	ch <- 1                 // want `channel send: use direct calls or sim events`
+	<-ch                    // want `channel receive: use direct calls or sim events`
+	for v := range ch {     // want `range over channel: channels are forbidden`
+		_ = v
+	}
+	select {} // want `select statement: event ordering must come from the sim engine`
+}
+
+func sender(ch chan int) {
+	ch <- 2 // want `channel send: use direct calls or sim events`
+}
+
+func allowedStatement(ch chan int) {
+	//psbox:allow-noconcurrency test harness drains asynchronously off the sim thread
+	go sender(ch)
+}

@@ -1,0 +1,13 @@
+// This file is a facade layer serving live clients; host concurrency is
+// deliberate and documented.
+//
+//psbox:allow-noconcurrency daemon facade: real clients arrive on OS threads
+package a
+
+func daemonLoop() {
+	stop := make(chan struct{})
+	go func() {
+		<-stop
+	}()
+	close(stop)
+}

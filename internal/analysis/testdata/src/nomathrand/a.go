@@ -1,0 +1,5 @@
+package a
+
+import "math/rand" // want `import of math/rand: use the seeded sim\.Rand`
+
+func roll() int { return rand.Intn(6) }

@@ -1,0 +1,21 @@
+package a
+
+import "time"
+
+// Types and constants from package time are fine: they carry no host state.
+var window = 5 * time.Millisecond
+var epoch = time.Unix(0, 0)
+
+func bad() time.Duration {
+	t := time.Now()              // want `time\.Now reads the host wall clock`
+	time.Sleep(time.Millisecond) // want `time\.Sleep reads the host wall clock`
+	_ = time.Since(t)            // want `time\.Since reads the host wall clock`
+	_ = time.After(window)       // want `time\.After reads the host wall clock`
+	_ = time.NewTimer(window)    // want `time\.NewTimer reads the host wall clock`
+	return time.Until(epoch)     // want `time\.Until reads the host wall clock`
+}
+
+func allowed() {
+	//psbox:allow-nowallclock host-side profiling helper, never on the sim path
+	_ = time.Now()
+}

@@ -1,0 +1,6 @@
+package sim
+
+import "math/rand" // want `import of math/rand: use the seeded sim\.Rand`
+
+// Same package, different file: the exemption is per-file, not per-package.
+func roll2() int { return rand.Intn(6) }

@@ -1,0 +1,7 @@
+package sim
+
+// This file's path ends in sim/rand.go: the one blessed home of the
+// stdlib generator, so its import is exempt.
+import "math/rand"
+
+func stream(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -9,6 +9,7 @@ package display
 
 import (
 	"fmt"
+	"sort"
 
 	"psbox/internal/hw/power"
 	"psbox/internal/sim"
@@ -151,14 +152,22 @@ func (d *Display) OwnerRail(owner int) *power.Rail {
 func (d *Display) updatePower() {
 	if !d.on {
 		d.rail.Set(0)
-		for owner, r := range d.ownerRails {
-			_ = owner
+		for _, r := range d.ownerRails {
 			r.Set(0)
 		}
 		return
 	}
+	// Sum in sorted-owner order: float addition is not associative, so
+	// map-iteration order would leak into the total's last bits and break
+	// byte-determinism across runs.
+	owners := make([]int, 0, len(d.regions))
+	for owner := range d.regions {
+		owners = append(owners, owner)
+	}
+	sort.Ints(owners)
 	p := d.cfg.BaseW
-	for _, r := range d.regions {
+	for _, owner := range owners {
+		r := d.regions[owner]
 		p += d.cfg.PixelW * float64(r.Pixels) * r.Luminance
 	}
 	d.rail.Set(p)

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// goldenSeed1 is the first 32 values of NewRand(1)'s Uint64 stream.
+// SplitMix64 is pure 64-bit integer arithmetic, so this stream must be
+// identical on every platform and every Go release: a golden mismatch
+// means the generator changed, which silently invalidates every seeded
+// experiment and committed report in the repo.
+var goldenSeed1 = [32]uint64{
+	0x910a2dec89025cc1, 0xbeeb8da1658eec67, 0xf893a2eefb32555e, 0x71c18690ee42c90b,
+	0x71bb54d8d101b5b9, 0xc34d0bff90150280, 0xe099ec6cd7363ca5, 0x85e7bb0f12278575,
+	0x491718de357e3da8, 0xcb435c8e74616796, 0x6775dc7701564f61, 0x9afcd44d14cf8bfe,
+	0x7476cf8a4baa5dc0, 0x87b341d690d7a28a, 0x6f9b6dae6f4c57a8, 0x2ac2ce17a5794a3b,
+	0xa534a6a6b7fd0b63, 0xd0bad0da572baaf1, 0xae84379630af89ee, 0xe263183773ef6508,
+	0x10e2c46865e98746, 0x14d7973c5c2a449c, 0x7ef1fd0ed1548fcd, 0x1f8410633ef306ac,
+	0x497305c5d1aab99f, 0x0c43407dc177b6f7, 0x83f91ca7864a7135, 0xb6b9aeef0d2df7ab,
+	0x0b331645445bcd27, 0xff6c67e81909778a, 0x990cd70b12c5d084, 0x962b1967c90789ba,
+}
+
+func TestRandGoldenStream(t *testing.T) {
+	r := NewRand(1)
+	for i, want := range goldenSeed1 {
+		if got := r.Uint64(); got != want {
+			t.Fatalf("value %d of seed-1 stream: got %#016x, want %#016x", i, got, want)
+		}
+	}
+}
+
+// TestRandSameSeedSameStream is the property the whole determinism story
+// rests on: any two generators with equal seeds produce equal streams,
+// across Uint64, Intn, Float64, and Norm alike.
+func TestRandSameSeedSameStream(t *testing.T) {
+	same := func(seed uint64) bool {
+		a, b := NewRand(seed), NewRand(seed)
+		for i := 0; i < 256; i++ {
+			switch i % 4 {
+			case 0:
+				if a.Uint64() != b.Uint64() {
+					return false
+				}
+			case 1:
+				if a.Intn(1000) != b.Intn(1000) {
+					return false
+				}
+			case 2:
+				if a.Float64() != b.Float64() {
+					return false
+				}
+			case 3:
+				if a.Norm(5, 2) != b.Norm(5, 2) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(same, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandDifferentSeedsDiverge guards against a degenerate generator that
+// ignores its seed.
+func TestRandDifferentSeedsDiverge(t *testing.T) {
+	differ := func(s1, s2 uint64) bool {
+		if s1 == s2 {
+			return true
+		}
+		a, b := NewRand(s1), NewRand(s2)
+		for i := 0; i < 16; i++ {
+			if a.Uint64() != b.Uint64() {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(differ, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRandForkDeterministicAndDistinct: forking must itself be a
+// deterministic function of the parent's state, and the fork's stream must
+// not track the parent's.
+func TestRandForkDeterministicAndDistinct(t *testing.T) {
+	a := NewRand(99)
+	f1 := a.Fork()
+	b := NewRand(99)
+	f2 := b.Fork()
+	for i := 0; i < 64; i++ {
+		if f1.Uint64() != f2.Uint64() {
+			t.Fatal("forking is not deterministic")
+		}
+	}
+	c := NewRand(99)
+	fork := c.Fork()
+	equal := 0
+	for i := 0; i < 64; i++ {
+		if c.Uint64() == fork.Uint64() {
+			equal++
+		}
+	}
+	if equal > 2 {
+		t.Fatalf("fork stream tracks parent stream (%d/64 equal values)", equal)
+	}
+}
+
+// TestRandJitterDeterministicProperty extends the same-seed property to
+// the derived helpers used by workloads.
+func TestRandJitterDeterministicProperty(t *testing.T) {
+	same := func(seed uint64, base int64, frac float64) bool {
+		if base <= 0 {
+			base = -base + 1
+		}
+		frac = frac - float64(int64(frac)) // wrap into (-1, 1)
+		a, b := NewRand(seed), NewRand(seed)
+		for i := 0; i < 32; i++ {
+			if a.Jitter(base, frac) != b.Jitter(base, frac) {
+				return false
+			}
+			if a.JitterDur(Duration(base), frac) != b.JitterDur(Duration(base), frac) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(same, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
