@@ -20,6 +20,7 @@
 //	noconcurrency — every package (escape: //psbox:allow-noconcurrency)
 //	maporder      — every package
 //	energyaccum   — every package (internal/meter, core/vmeter.go exempt)
+//	snapshotstate — every package (escape: //psbox:allow-snapshotstate)
 package main
 
 import (

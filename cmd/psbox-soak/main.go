@@ -1,0 +1,293 @@
+// Command psbox-soak is the crash-and-resume soak harness: it runs the
+// canonical fault scenario under periodic checkpointing, kills the run at
+// seeded crash points (25/50/75% of the horizon), restores from the last
+// checkpoint (rebuild + deterministic replay + byte-verification, the
+// replay-twin contract of internal/snapshot), runs each resumed copy to
+// the horizon, and byte-compares its final report against the
+// uninterrupted golden run's. It also runs two restored replicas in
+// lockstep, comparing full system snapshots every quantum and panicking
+// on the first divergence.
+//
+// All output is deterministic for a (seed, ms) pair; the CI soak job
+// diffs it against the goldens under testdata/.
+//
+// Usage:
+//
+//	psbox-soak [-seed N] [-ms D]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"psbox"
+	"psbox/internal/faults"
+	"psbox/internal/sim"
+	"psbox/internal/snapshot"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "simulation seed")
+	ms := flag.Int64("ms", 2000, "simulated duration in milliseconds")
+	flag.Parse()
+	if *ms <= 0 {
+		fmt.Fprintln(os.Stderr, "psbox-soak: -ms must be positive")
+		os.Exit(2)
+	}
+	out, ok := soak(*seed, *ms)
+	fmt.Print(out)
+	if !ok {
+		os.Exit(1)
+	}
+}
+
+// build constructs the soak scenario — the psbox-faults scenario plus a
+// periodic invariant audit and checkpoint events every horizon/10. The
+// checkpoint events are scheduled at construction at fixed absolute
+// times in every run (golden, crashed, resumed, lockstep replicas), so
+// all runs allocate identical engine event sequences; only the callback
+// body differs per run.
+func build(seed uint64, horizon sim.Duration, onCkpt func(*psbox.System, psbox.Time)) *psbox.System {
+	sys := psbox.NewMobile(seed)
+	sys.EnableAccelWatchdogs(psbox.DefaultWatchdogConfig())
+
+	vision := sys.Kernel.NewApp("vision")
+	vision.Spawn("render", 0, psbox.Loop(
+		psbox.Compute{Cycles: 2e6},
+		psbox.SubmitAccel{Dev: "gpu", Kind: "frame", Work: 3e4, DynW: 0.9},
+		psbox.AwaitAccel{Dev: "gpu", MaxBacklog: 2},
+		psbox.Sleep{D: 4 * psbox.Millisecond},
+	))
+	sys.Sandbox.MustCreate(vision, psbox.HWCPU, psbox.HWGPU).Enter()
+
+	stream := sys.Kernel.NewApp("stream")
+	sock := stream.OpenSocket()
+	stream.Spawn("uplink", 1, psbox.Loop(
+		psbox.Compute{Cycles: 8e5},
+		psbox.Send{Socket: sock, Bytes: 24_000},
+		psbox.AwaitNet{MaxBacklog: 48_000},
+		psbox.Sleep{D: 6 * psbox.Millisecond},
+	))
+	sys.Sandbox.MustCreate(stream, psbox.HWCPU, psbox.HWWiFi).Enter()
+
+	noise := sys.Kernel.NewApp("noise")
+	noise.Spawn("grind", 1, psbox.Loop(
+		psbox.Compute{Cycles: 3e6},
+		psbox.SubmitAccel{Dev: "dsp", Kind: "fft", Work: 4e4, DynW: 0.5},
+		psbox.Sleep{D: 9 * psbox.Millisecond},
+	))
+
+	at := func(frac float64) psbox.Time { return psbox.Time(float64(horizon) * frac) }
+	sys.Faults.HangAccelAt(at(0.10), "gpu")
+	sys.Faults.FlapLinkAt(at(0.25), "wifi", 15*psbox.Millisecond)
+	sys.Faults.StallDVFSAt(at(0.40), "cpu", 25*psbox.Millisecond)
+	sys.Faults.DropMeterAt(at(0.55), "gpu", 30*psbox.Millisecond)
+	sys.Faults.Randomize(faults.Campaign{
+		Horizon:       horizon,
+		AccelHangs:    2,
+		NICFlaps:      2,
+		DVFSStalls:    2,
+		MeterDropouts: 3,
+	})
+
+	sys.SetAuditEvery(horizon / 20)
+
+	every := horizon / 10
+	for t := psbox.Time(int64(every)); t <= psbox.Time(int64(horizon)); t = t.Add(every) {
+		tt := t
+		sys.Eng.At(tt, func(psbox.Time) {
+			if onCkpt != nil {
+				onCkpt(sys, tt)
+			}
+		})
+	}
+	return sys
+}
+
+// report renders the scenario's final state: fault log, recovery
+// counters, observations, and the audit count.
+func report(sys *psbox.System) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "-- fault log --")
+	b.WriteString(sys.Faults.FormatLog())
+	fmt.Fprintln(&b, "-- recovery --")
+	for _, name := range sys.Kernel.AccelNames() {
+		d := sys.Kernel.Accel(name)
+		fmt.Fprintf(&b, "%-6s watchdog resets=%d resubmits=%d dropped=%d\n",
+			name, d.WatchdogResets(), d.Resubmits(), d.DroppedCommands())
+	}
+	fmt.Fprintf(&b, "net    flaps=%d retries=%d\n",
+		sys.Kernel.Net().NIC().Flaps(), sys.Kernel.Net().LinkRetries())
+	fmt.Fprintln(&b, "-- observations --")
+	for _, bx := range sys.Sandbox.Boxes() {
+		direct, est, gaps := bx.ReadDetail()
+		fmt.Fprintf(&b, "%-10s read=%.9f J direct=%.9f J estimated=%.9f J gaps=%d degraded=%v\n",
+			bx.App().Name, direct+est, direct, est, gaps, bx.Degraded())
+	}
+	fmt.Fprintf(&b, "battery=%.9f J audits=%d\n",
+		sys.Meter.Energy("battery", 0, sys.Now()), sys.Audits())
+	return b.String()
+}
+
+// soak runs the full crash-and-resume protocol and renders its
+// deterministic transcript. ok is false when any resumed report diverges
+// from the golden.
+func soak(seed uint64, ms int64) (string, bool) {
+	horizon := sim.Duration(ms) * psbox.Millisecond
+	ok := true
+	var b strings.Builder
+	fmt.Fprintf(&b, "psbox-soak seed=%d ms=%d checkpoints=every %d ms\n\n", seed, ms, ms/10)
+
+	golden := build(seed, horizon, nil)
+	golden.Run(horizon)
+	goldenReport := report(golden)
+	fmt.Fprintln(&b, "== golden ==")
+	b.WriteString(goldenReport)
+
+	tmp, err := os.MkdirTemp("", "psbox-soak-")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "psbox-soak:", err)
+		os.Exit(2)
+	}
+	defer os.RemoveAll(tmp)
+
+	var midCkpt []byte
+	var midAt psbox.Time
+	for _, frac := range []float64{0.25, 0.50, 0.75} {
+		crashAt := sim.Duration(float64(horizon) * frac)
+		fmt.Fprintf(&b, "\n== crash at %d%% ==\n", int(frac*100))
+
+		// The crashed run: killed at the crash point; only the last
+		// checkpoint survives, round-tripped through a file to exercise
+		// the CRC-validated persistence path.
+		var lastBytes []byte
+		var lastAt psbox.Time
+		crashed := build(seed, horizon, func(s *psbox.System, at psbox.Time) {
+			lastBytes, lastAt = s.Snapshot(), at
+		})
+		crashed.Run(crashAt)
+		if lastBytes == nil {
+			fmt.Fprintln(&b, "FAIL: no checkpoint before the crash point")
+			ok = false
+			continue
+		}
+		path := filepath.Join(tmp, fmt.Sprintf("ckpt-%d.psbx", int(frac*100)))
+		if err := snapshot.WriteFile(path, lastBytes); err != nil {
+			fmt.Fprintln(&b, "FAIL: write checkpoint:", err)
+			ok = false
+			continue
+		}
+		restoredBytes, err := snapshot.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(&b, "FAIL: read checkpoint:", err)
+			ok = false
+			continue
+		}
+		fmt.Fprintf(&b, "checkpoint at %d ms (%d bytes, crc ok)\n",
+			int64(lastAt)/int64(psbox.Millisecond), len(restoredBytes))
+
+		// The resumed run: rebuild, replay, byte-verify at the checkpoint
+		// instant, run to the horizon.
+		var restoreErr error
+		restored := false
+		resumed := build(seed, horizon, func(s *psbox.System, at psbox.Time) {
+			if at == lastAt && !restored {
+				restoreErr = s.Restore(restoredBytes)
+				restored = true
+			}
+		})
+		resumed.Run(horizon)
+		switch {
+		case !restored:
+			fmt.Fprintln(&b, "FAIL: resume never reached the checkpoint instant")
+			ok = false
+		case restoreErr != nil:
+			fmt.Fprintf(&b, "FAIL: restore verification: %v\n", restoreErr)
+			ok = false
+		default:
+			fmt.Fprintln(&b, "restore verified")
+		}
+		if got := report(resumed); got != goldenReport {
+			fmt.Fprintln(&b, "FAIL: resumed report diverges from golden:")
+			b.WriteString(diffLines(goldenReport, got))
+			ok = false
+		} else {
+			fmt.Fprintln(&b, "resumed report identical to golden")
+		}
+		if frac == 0.50 {
+			midCkpt, midAt = restoredBytes, lastAt
+		}
+	}
+
+	if midCkpt != nil {
+		fmt.Fprintln(&b, "\n== lockstep replicas ==")
+		steps := lockstep(seed, horizon, midCkpt, midAt)
+		fmt.Fprintf(&b, "two replicas resumed at %d ms, stepped %d quanta to the horizon: no divergence\n",
+			int64(midAt)/int64(psbox.Millisecond), steps)
+	}
+
+	if ok {
+		fmt.Fprintln(&b, "\nverdict: ok")
+	} else {
+		fmt.Fprintln(&b, "\nverdict: FAIL")
+	}
+	return b.String(), ok
+}
+
+// lockstep rebuilds two replicas, restores both from the checkpoint, and
+// steps them to the horizon in fixed quanta, comparing full system
+// snapshots after every step. The first divergence panics with the
+// section-qualified diff — this is the detector the soak run arms against
+// nondeterminism that per-report comparison could smear over.
+func lockstep(seed uint64, horizon sim.Duration, ckpt []byte, at psbox.Time) int {
+	replicas := [2]*psbox.System{}
+	for i := range replicas {
+		var restoreErr error
+		sys := build(seed, horizon, func(s *psbox.System, t psbox.Time) {
+			if t == at && restoreErr == nil {
+				restoreErr = s.Restore(ckpt)
+			}
+		})
+		sys.Run(sim.Duration(int64(at)))
+		if restoreErr != nil {
+			panic(fmt.Sprintf("psbox-soak: lockstep replica %d restore: %v", i, restoreErr))
+		}
+		replicas[i] = sys
+	}
+	quantum := horizon / 50
+	steps := 0
+	for replicas[0].Now() < psbox.Time(int64(horizon)) {
+		for _, r := range replicas {
+			r.Run(quantum)
+		}
+		steps++
+		a, c := replicas[0].Snapshot(), replicas[1].Snapshot()
+		if d := snapshot.Diff(a, c); d != "" {
+			panic(fmt.Sprintf("psbox-soak: replicas diverged at %v (step %d): %s",
+				replicas[0].Now(), steps, d))
+		}
+	}
+	return steps
+}
+
+// diffLines renders a compact first-divergence view of two reports.
+func diffLines(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	var b strings.Builder
+	for i := 0; i < len(w) || i < len(g); i++ {
+		var lw, lg string
+		if i < len(w) {
+			lw = w[i]
+		}
+		if i < len(g) {
+			lg = g[i]
+		}
+		if lw != lg {
+			fmt.Fprintf(&b, "  line %d:\n  - %s\n  + %s\n", i+1, lw, lg)
+		}
+	}
+	return b.String()
+}

@@ -4,14 +4,16 @@
 // The framework mirrors the shape of golang.org/x/tools/go/analysis —
 // an Analyzer holds a name, a doc string, and a Run function over a
 // type-checked package — but is built only on the standard library so the
-// module stays dependency-free. Five analyzers enforce the simulator's
-// determinism contract (see DESIGN.md §"Determinism contract"):
+// module stays dependency-free. Six analyzers enforce the simulator's
+// determinism and checkpoint contracts (see DESIGN.md §"Determinism
+// contract" and §"Checkpoint/restore"):
 //
 //	nowallclock   — no time.Now/Sleep/Since/After inside internal/
 //	nomathrand    — no math/rand outside internal/sim/rand.go
 //	noconcurrency — no goroutines, channels, or sync in sim packages
 //	maporder      — no order-sensitive work inside map-range loops
 //	energyaccum   — no ad-hoc += into energy/joule/charge accumulators
+//	snapshotstate — no stateful fields missing from Snapshot/Restore
 //
 // A finding can be suppressed with an explicit, reasoned directive on the
 // offending line (or the line above, or file-wide in the header):
@@ -141,7 +143,7 @@ func (p *Pass) Filename(n ast.Node) string {
 
 // All is the complete suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{NoWallClock, NoMathRand, NoConcurrency, MapOrder, EnergyAccum}
+	return []*Analyzer{NoWallClock, NoMathRand, NoConcurrency, MapOrder, EnergyAccum, SnapshotState}
 }
 
 // InScope reports whether an analyzer applies to a package, per the

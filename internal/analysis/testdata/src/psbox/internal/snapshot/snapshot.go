@@ -1,0 +1,25 @@
+// Package snapshot is the fixture stub of the real checkpoint wire-format
+// package: just enough surface for the snapshotstate analyzer fixtures to
+// type-check (the analyzer matches parameter types by package path and
+// type name, so the stub must live at the real import path).
+package snapshot
+
+// Encoder appends canonical big-endian fields to a checkpoint section.
+type Encoder struct{ buf []byte }
+
+func (e *Encoder) U64(v uint64) {}
+func (e *Encoder) I64(v int64)  {}
+func (e *Encoder) Str(s string) {}
+func (e *Encoder) Len(n int)    {}
+
+// Decoder reads a checkpoint section back.
+type Decoder struct {
+	buf []byte
+	off int
+}
+
+func (d *Decoder) U64() uint64 { return 0 }
+
+// Verify re-encodes live state and byte-compares it with the decoder's
+// remaining payload.
+func Verify(dec *Decoder, live func(*Encoder)) error { return nil }

@@ -241,6 +241,20 @@ func (mgr *Manager) idlePower(h HW) (power.Watts, error) {
 // Box returns an app's sandbox, nil if none.
 func (mgr *Manager) Box(appID int) *Box { return mgr.boxes[appID] }
 
+// Boxes lists every sandbox in ascending app-ID order.
+func (mgr *Manager) Boxes() []*Box {
+	ids := make([]int, 0, len(mgr.boxes))
+	for id := range mgr.boxes {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]*Box, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, mgr.boxes[id])
+	}
+	return out
+}
+
 // onCPUResident handles spatial-balloon residency: power-state
 // virtualization plus virtual-meter bracketing.
 func (mgr *Manager) onCPUResident(appID int, resident bool) {

@@ -28,6 +28,11 @@ type Request struct {
 	DynW   float64
 }
 
+// DefaultQueueBound is the daemon's request-queue capacity. Real render
+// servers bound their IPC queues; an unbounded queue would also let one
+// runaway client grow daemon state without limit.
+const DefaultQueueBound = 256
+
 // RenderServer is a render-server daemon over one accelerator.
 type RenderServer struct {
 	app   *kernel.App
@@ -35,8 +40,14 @@ type RenderServer struct {
 	aware bool
 
 	queue    []Request
+	maxQueue int
 	accepted map[int]uint64
 	dropped  uint64
+
+	// droppedOverflow counts requests discarded at Submit time because the
+	// queue was full (drop-oldest: the discarded request is the queue head,
+	// the stalest work, deterministically).
+	droppedOverflow uint64
 }
 
 // NewRenderServer registers the daemon app and spawns its server loop on
@@ -46,6 +57,7 @@ func NewRenderServer(k *kernel.Kernel, dev string, core int, aware bool) *Render
 	s := &RenderServer{
 		dev:      dev,
 		aware:    aware,
+		maxQueue: DefaultQueueBound,
 		accepted: make(map[int]uint64),
 	}
 	s.app = k.NewApp("renderd")
@@ -59,12 +71,29 @@ func (s *RenderServer) App() *kernel.App { return s.app }
 // Aware reports whether the daemon respects psbox boundaries.
 func (s *RenderServer) Aware() bool { return s.aware }
 
+// SetQueueBound changes the queue capacity; n must be positive.
+func (s *RenderServer) SetQueueBound(n int) {
+	if n <= 0 {
+		panic(fmt.Sprintf("daemon: queue bound must be positive, got %d", n))
+	}
+	s.maxQueue = n
+}
+
+// QueueBound reports the queue capacity.
+func (s *RenderServer) QueueBound() int { return s.maxQueue }
+
 // Submit enqueues a client request (the IPC into the daemon). Client
 // programs call this from their step functions; the enqueue itself is
 // cheap, the daemon's marshalling cost is paid by the daemon's CPU task.
+// When the queue is at capacity the oldest queued request is discarded
+// to make room — stale frames lose to fresh ones, deterministically.
 func (s *RenderServer) Submit(req Request) {
 	if req.Work <= 0 {
 		panic(fmt.Sprintf("daemon: empty request from client %d", req.Client))
+	}
+	for len(s.queue) >= s.maxQueue {
+		s.queue = s.queue[1:]
+		s.droppedOverflow++
 	}
 	s.queue = append(s.queue, req)
 	s.accepted[req.Client]++
@@ -79,6 +108,10 @@ func (s *RenderServer) QueueLen() int { return len(s.queue) }
 // Dropped reports how many queued requests were discarded at serve time
 // because their client had already exited.
 func (s *RenderServer) Dropped() uint64 { return s.dropped }
+
+// DroppedOverflow reports how many requests were discarded at submit time
+// because the bounded queue was full.
+func (s *RenderServer) DroppedOverflow() uint64 { return s.droppedOverflow }
 
 // step is the daemon's server loop: poll the request queue, marshal, and
 // submit to the device — under the client's identity when aware, under the

@@ -159,7 +159,8 @@ type Command struct {
 
 // Device is a simulated accelerator.
 type Device struct {
-	eng  *sim.Engine
+	eng *sim.Engine
+	//psbox:allow-snapshotstate construction-time config; identical by scenario reconstruction under the replay-twin contract
 	cfg  Config
 	rail *power.Rail
 

@@ -80,7 +80,8 @@ func (c Config) validate() error {
 
 // CPU is a simulated multicore cluster.
 type CPU struct {
-	eng  *sim.Engine
+	eng *sim.Engine
+	//psbox:allow-snapshotstate construction-time config; identical by scenario reconstruction under the replay-twin contract
 	cfg  Config
 	rail *power.Rail
 

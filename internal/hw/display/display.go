@@ -60,7 +60,8 @@ type Region struct {
 
 // Display is a simulated OLED panel.
 type Display struct {
-	eng     *sim.Engine
+	eng *sim.Engine
+	//psbox:allow-snapshotstate construction-time config; identical by scenario reconstruction under the replay-twin contract
 	cfg     Config
 	rail    *power.Rail
 	regions map[int]Region

@@ -53,7 +53,8 @@ func (c Config) validate() error {
 // DRAM is a simulated memory channel. The kernel reports each core's
 // current access stream; the model sums them (capped) into rail power.
 type DRAM struct {
-	eng     *sim.Engine
+	eng *sim.Engine
+	//psbox:allow-snapshotstate construction-time config; identical by scenario reconstruction under the replay-twin contract
 	cfg     Config
 	rail    *power.Rail
 	streams []float64 // per-core GB/s

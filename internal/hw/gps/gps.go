@@ -78,7 +78,8 @@ func (c Config) validate() error {
 // only when the last user releases it, exactly the device-usage pattern
 // whose off/on transitions a power side channel could observe.
 type GPS struct {
-	eng     *sim.Engine
+	eng *sim.Engine
+	//psbox:allow-snapshotstate construction-time config; identical by scenario reconstruction under the replay-twin contract
 	cfg     Config
 	rail    *power.Rail
 	state   State

@@ -104,7 +104,8 @@ type Packet struct {
 // NIC is a simulated wireless interface. It transmits one frame at a time;
 // queueing is the kernel's job (internal/kernel/netsched).
 type NIC struct {
-	eng  *sim.Engine
+	eng *sim.Engine
+	//psbox:allow-snapshotstate construction-time config; identical by scenario reconstruction under the replay-twin contract
 	cfg  Config
 	rail *power.Rail
 

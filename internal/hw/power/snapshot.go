@@ -1,0 +1,18 @@
+package power
+
+import "psbox/internal/snapshot"
+
+// Snapshot encodes the rail's full piecewise-constant power history. Rails
+// are the ground truth every meter integrates, so checkpoint verification
+// of the segment list catches any power-model divergence at its source.
+func (r *Rail) Snapshot(enc *snapshot.Encoder) {
+	enc.Str(r.name)
+	enc.Len(len(r.segs))
+	for _, s := range r.segs {
+		enc.I64(int64(s.start))
+		enc.F64(float64(s.w))
+	}
+}
+
+// Restore verifies the live rail against a checkpoint section.
+func (r *Rail) Restore(dec *snapshot.Decoder) error { return snapshot.Verify(dec, r.Snapshot) }

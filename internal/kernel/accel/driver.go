@@ -85,8 +85,9 @@ const graceDelay = 2 * sim.Millisecond
 
 // Driver multiplexes apps over one accelerator device.
 type Driver struct {
-	eng  *sim.Engine
-	dev  *accelhw.Device
+	eng *sim.Engine
+	dev *accelhw.Device
+	//psbox:allow-snapshotstate wiring: callback closures installed at construction
 	cbs  Callbacks
 	apps map[int]*appState
 

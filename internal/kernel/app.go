@@ -127,8 +127,9 @@ func (a *App) OpenSocket() int {
 type Task struct {
 	Name string
 
-	app  *App
-	st   *sched.Task
+	app *App
+	st  *sched.Task
+	//psbox:allow-snapshotstate programs are closures; replay re-creates them identically from the scenario
 	prog Program
 	env  *Env
 

@@ -132,9 +132,11 @@ type appState struct {
 
 // Driver is the packet scheduler over one NIC.
 type Driver struct {
-	eng   *sim.Engine
-	cfg   Config
-	n     *nic.NIC
+	eng *sim.Engine
+	//psbox:allow-snapshotstate construction-time config; identical by scenario reconstruction under the replay-twin contract
+	cfg Config
+	n   *nic.NIC
+	//psbox:allow-snapshotstate wiring: callback closures installed at construction
 	cbs   Callbacks
 	socks []*Socket
 	apps  map[int]*appState

@@ -151,8 +151,10 @@ func (t *Task) entityName() string     { return t.Name }
 
 // Scheduler is the multicore CPU scheduler.
 type Scheduler struct {
-	eng      *sim.Engine
-	cfg      Config
+	eng *sim.Engine
+	//psbox:allow-snapshotstate construction-time config; identical by scenario reconstruction under the replay-twin contract
+	cfg Config
+	//psbox:allow-snapshotstate wiring: callback closures installed at construction
 	cbs      Callbacks
 	cores    []*coreState
 	groups   map[int]*Group

@@ -60,7 +60,9 @@ type Engine struct {
 	now     Time
 	nextSeq uint64
 	queue   eventQueue
-	byName  map[uint64]*item
+	//psbox:allow-snapshotstate cancellation index over queue; same content, rebuilt by replay
+	byName map[uint64]*item
+	//psbox:allow-snapshotstate transient re-entrancy guard; true whenever a checkpoint event could observe it
 	running bool
 	fired   uint64
 }

@@ -1,0 +1,216 @@
+package snapshot
+
+import (
+	"hash/crc32"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func crc32ChecksumForTest(b []byte) uint32 { return crc32.ChecksumIEEE(b) }
+
+func TestEncodeDecodeRoundtrip(t *testing.T) {
+	e := NewEncoder()
+	e.U8(7)
+	e.U16(65500)
+	e.U32(1 << 30)
+	e.U64(1 << 60)
+	e.I64(-42)
+	e.F64(3.5)
+	e.Bool(true)
+	e.Bool(false)
+	e.Str("hello")
+	e.Blob([]byte{1, 2, 3})
+
+	d := NewDecoder(e.Data())
+	if got := d.U8(); got != 7 {
+		t.Errorf("U8 = %d", got)
+	}
+	if got := d.U16(); got != 65500 {
+		t.Errorf("U16 = %d", got)
+	}
+	if got := d.U32(); got != 1<<30 {
+		t.Errorf("U32 = %d", got)
+	}
+	if got := d.U64(); got != 1<<60 {
+		t.Errorf("U64 = %d", got)
+	}
+	if got := d.I64(); got != -42 {
+		t.Errorf("I64 = %d", got)
+	}
+	if got := d.F64(); got != 3.5 {
+		t.Errorf("F64 = %g", got)
+	}
+	if got := d.Bool(); !got {
+		t.Errorf("Bool = false, want true")
+	}
+	if got := d.Bool(); got {
+		t.Errorf("Bool = true, want false")
+	}
+	if got := d.Str(); got != "hello" {
+		t.Errorf("Str = %q", got)
+	}
+	if got := d.Blob(); len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("Blob = %v", got)
+	}
+	if d.Remaining() != 0 {
+		t.Errorf("Remaining = %d, want 0", d.Remaining())
+	}
+	if d.Err() != nil {
+		t.Errorf("Err = %v", d.Err())
+	}
+}
+
+func TestDecoderStickyError(t *testing.T) {
+	d := NewDecoder([]byte{1})
+	if got := d.U64(); got != 0 {
+		t.Errorf("underflow U64 = %d, want 0", got)
+	}
+	if d.Err() == nil {
+		t.Fatal("expected sticky error after underflow")
+	}
+	// Every further read stays zero-valued without panicking.
+	if d.U8() != 0 || d.Str() != "" || d.F64() != 0 {
+		t.Error("reads after error must return zero values")
+	}
+}
+
+type fakeLayer struct {
+	value uint64
+	text  string
+}
+
+func (f *fakeLayer) Snapshot(e *Encoder) {
+	e.U64(f.value)
+	e.Str(f.text)
+}
+
+func (f *fakeLayer) Restore(d *Decoder) error { return Verify(d, f.Snapshot) }
+
+func buildRegistry(a, b *fakeLayer) *Registry {
+	r := NewRegistry()
+	r.Add("layer/a", a)
+	r.Add("layer/b", b)
+	return r
+}
+
+func TestCheckpointRestoreRoundtrip(t *testing.T) {
+	a := &fakeLayer{value: 11, text: "alpha"}
+	b := &fakeLayer{value: 22, text: "beta"}
+	r := buildRegistry(a, b)
+	ckpt := r.Checkpoint()
+
+	// Same state verifies.
+	if err := r.Restore(ckpt); err != nil {
+		t.Fatalf("Restore of identical state: %v", err)
+	}
+	// Determinism: re-encoding yields identical bytes.
+	if Diff(ckpt, r.Checkpoint()) != "" {
+		t.Fatal("two checkpoints of the same state differ")
+	}
+	// Diverged state fails with the section named.
+	b.value = 23
+	err := r.Restore(ckpt)
+	if err == nil {
+		t.Fatal("Restore of diverged state succeeded")
+	}
+	if !strings.Contains(err.Error(), `"layer/b"`) {
+		t.Errorf("error does not name the diverging section: %v", err)
+	}
+}
+
+func TestParseRejectsCorruption(t *testing.T) {
+	r := buildRegistry(&fakeLayer{value: 1}, &fakeLayer{value: 2})
+	ckpt := r.Checkpoint()
+
+	flipped := append([]byte(nil), ckpt...)
+	flipped[len(flipped)/2] ^= 0xff
+	if _, err := Parse(flipped); err == nil || !strings.Contains(err.Error(), "CRC") {
+		t.Errorf("corrupted checkpoint: err = %v, want CRC mismatch", err)
+	}
+
+	short := ckpt[:4]
+	if _, err := Parse(short); err == nil {
+		t.Error("truncated checkpoint parsed")
+	}
+
+	// Wrong version must be rejected even with a valid CRC.
+	body := append([]byte(nil), ckpt[:len(ckpt)-4]...)
+	body[4], body[5] = 0xff, 0xfe
+	e := &Encoder{buf: body}
+	e.U32(crc32ChecksumForTest(body))
+	if _, err := Parse(e.Data()); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("future-version checkpoint: err = %v, want version rejection", err)
+	}
+}
+
+func TestDiffNamesDivergingSection(t *testing.T) {
+	a1 := &fakeLayer{value: 1, text: "x"}
+	b1 := &fakeLayer{value: 2, text: "y"}
+	c1 := buildRegistry(a1, b1).Checkpoint()
+
+	a2 := &fakeLayer{value: 1, text: "x"}
+	b2 := &fakeLayer{value: 2, text: "z"}
+	c2 := buildRegistry(a2, b2).Checkpoint()
+
+	d := Diff(c1, c2)
+	if !strings.Contains(d, `"layer/b"`) {
+		t.Errorf("Diff = %q, want it to name layer/b", d)
+	}
+	if Diff(c1, c1) != "" {
+		t.Error("Diff of identical checkpoints not empty")
+	}
+}
+
+func TestRestoreRejectsSectionMismatch(t *testing.T) {
+	full := buildRegistry(&fakeLayer{}, &fakeLayer{}).Checkpoint()
+	partial := NewRegistry()
+	partial.Add("layer/a", &fakeLayer{})
+	if err := partial.Restore(full); err == nil {
+		t.Error("section-count mismatch accepted")
+	}
+	renamed := NewRegistry()
+	renamed.Add("layer/a", &fakeLayer{})
+	renamed.Add("layer/c", &fakeLayer{})
+	if err := renamed.Restore(full); err == nil {
+		t.Error("section-label mismatch accepted")
+	}
+}
+
+func TestFileRoundtripValidatesCRC(t *testing.T) {
+	r := buildRegistry(&fakeLayer{value: 5}, &fakeLayer{value: 6})
+	ckpt := r.Checkpoint()
+	path := filepath.Join(t.TempDir(), "ckpt.psbx")
+	if err := WriteFile(path, ckpt); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Diff(ckpt, back) != "" {
+		t.Error("file roundtrip changed bytes")
+	}
+
+	torn := append([]byte(nil), ckpt[:len(ckpt)-3]...)
+	if err := WriteFile(path, torn); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); err == nil {
+		t.Error("torn checkpoint file accepted")
+	}
+}
+
+func TestVerifyReportsOffset(t *testing.T) {
+	enc := NewEncoder()
+	enc.U64(100)
+	enc.U64(200)
+	dec := NewDecoder(enc.Data())
+	err := Verify(dec, func(e *Encoder) { e.U64(100); e.U64(201) })
+	if err == nil {
+		t.Fatal("Verify of diverged state succeeded")
+	}
+	if !strings.Contains(err.Error(), "byte 15") {
+		t.Errorf("err = %v, want divergence at byte 15", err)
+	}
+}

@@ -205,6 +205,12 @@ type System struct {
 	// Recorders holds per-rail hardware-usage recorders ("cpu", "gpu",
 	// "dsp", "wifi") for the baseline accounting of §6.1.
 	Recorders map[string]*account.Recorder
+
+	// Periodic invariant auditing (SetAuditEvery) and scenario-registered
+	// checkpoint sections (RegisterSnapshotter).
+	auditStop  func()
+	audits     uint64
+	extraSnaps []extraSnap
 }
 
 // NewSystem assembles a platform from a config.

@@ -1,0 +1,206 @@
+package psbox_test
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"testing"
+
+	"psbox"
+	"psbox/internal/snapshot"
+)
+
+// buildCrashSystem constructs the restore-equivalence scenario: the mobile
+// platform, a GPU-bound sandbox and a WiFi sandbox, one fault of the given
+// kind striking at 0.4×horizon (lasting 0.2×horizon where the kind has a
+// duration), a periodic invariant audit, and checkpoint events every
+// horizon/8. The checkpoint events are scheduled at construction, at fixed
+// absolute times, in every run — golden, crashed, and resumed — so all
+// runs allocate identical event sequences; only the callback body differs.
+func buildCrashSystem(seed uint64, horizon psbox.Duration, kind string,
+	onCkpt func(*psbox.System, psbox.Time)) *psbox.System {
+	sys := psbox.NewMobile(seed)
+	sys.EnableAccelWatchdogs(psbox.DefaultWatchdogConfig())
+
+	vision := sys.Kernel.NewApp("vision")
+	vision.Spawn("render", 0, psbox.Loop(
+		psbox.Compute{Cycles: 2e6},
+		psbox.SubmitAccel{Dev: "gpu", Kind: "frame", Work: 3e4, DynW: 0.9},
+		psbox.AwaitAccel{Dev: "gpu", MaxBacklog: 2},
+		psbox.Sleep{D: 4 * psbox.Millisecond},
+	))
+	sys.Sandbox.MustCreate(vision, psbox.HWCPU, psbox.HWGPU).Enter()
+
+	stream := sys.Kernel.NewApp("stream")
+	sock := stream.OpenSocket()
+	stream.Spawn("uplink", 1, psbox.Loop(
+		psbox.Compute{Cycles: 8e5},
+		psbox.Send{Socket: sock, Bytes: 24_000},
+		psbox.AwaitNet{MaxBacklog: 48_000},
+		psbox.Sleep{D: 6 * psbox.Millisecond},
+	))
+	sys.Sandbox.MustCreate(stream, psbox.HWCPU, psbox.HWWiFi).Enter()
+
+	at := psbox.Time(float64(horizon) * 0.4)
+	dur := psbox.Duration(float64(horizon) * 0.2)
+	switch kind {
+	case "accel-hang":
+		sys.Faults.HangAccelAt(at, "gpu")
+	case "nic-flap":
+		sys.Faults.FlapLinkAt(at, "wifi", dur)
+	case "dvfs-stall":
+		sys.Faults.StallDVFSAt(at, "cpu", dur)
+	case "meter-dropout":
+		sys.Faults.DropMeterAt(at, "gpu", dur)
+	default:
+		panic("unknown fault kind " + kind)
+	}
+
+	sys.SetAuditEvery(horizon / 20)
+
+	every := horizon / 8
+	for t := psbox.Time(int64(every)); t <= psbox.Time(int64(horizon)); t = t.Add(every) {
+		tt := t
+		sys.Eng.At(tt, func(psbox.Time) {
+			if onCkpt != nil {
+				onCkpt(sys, tt)
+			}
+		})
+	}
+	return sys
+}
+
+// crashReport renders the scenario's final state deterministically.
+func crashReport(sys *psbox.System) string {
+	var b strings.Builder
+	b.WriteString(sys.Faults.FormatLog())
+	for _, name := range sys.Kernel.AccelNames() {
+		d := sys.Kernel.Accel(name)
+		fmt.Fprintf(&b, "%-6s resets=%d resubmits=%d dropped=%d completed=%d\n",
+			name, d.WatchdogResets(), d.Resubmits(), d.DroppedCommands(), d.Completed(0))
+	}
+	fmt.Fprintf(&b, "net flaps=%d retries=%d\n",
+		sys.Kernel.Net().NIC().Flaps(), sys.Kernel.Net().LinkRetries())
+	for _, app := range sys.Kernel.Apps() {
+		fmt.Fprintf(&b, "%-10s frames=%.0f cpu=%d\n", app.Name, app.Counter("frames"), int64(app.CPUTime()))
+	}
+	for _, bx := range sys.Sandbox.Boxes() {
+		direct, est, gaps := bx.ReadDetail()
+		fmt.Fprintf(&b, "%-10s read=%.9f direct=%.9f est=%.9f gaps=%d\n",
+			bx.App().Name, direct+est, direct, est, gaps)
+	}
+	fmt.Fprintf(&b, "battery=%.9f J audits=%d\n",
+		sys.Meter.Energy("battery", 0, sys.Now()), sys.Audits())
+	return b.String()
+}
+
+// TestRestoreEquivalenceUnderFaults is the satellite-3 contract: for each
+// fault kind, crash the run mid-fault, resume from the last checkpoint
+// (rebuild + deterministic replay + byte-verify), run to the horizon, and
+// require the resumed final report to be byte-identical to the
+// uninterrupted golden run's.
+func TestRestoreEquivalenceUnderFaults(t *testing.T) {
+	const seed = 42
+	horizon := 400 * psbox.Millisecond
+	crashAt := psbox.Duration(float64(horizon) * 0.55) // mid-fault: fault spans [0.4h, 0.6h)
+
+	for _, kind := range []string{"accel-hang", "nic-flap", "dvfs-stall", "meter-dropout"} {
+		t.Run(kind, func(t *testing.T) {
+			// Uninterrupted golden run, capturing checkpoints along the way.
+			goldenCkpts := map[psbox.Time][]byte{}
+			golden := buildCrashSystem(seed, horizon, kind, func(s *psbox.System, at psbox.Time) {
+				goldenCkpts[at] = s.Snapshot()
+			})
+			golden.Run(horizon)
+			goldenReport := crashReport(golden)
+
+			// Crashed run: stops mid-fault; keeps only the last checkpoint,
+			// like a process kill would.
+			var lastBytes []byte
+			var lastAt psbox.Time
+			crashed := buildCrashSystem(seed, horizon, kind, func(s *psbox.System, at psbox.Time) {
+				lastBytes, lastAt = s.Snapshot(), at
+			})
+			crashed.Run(crashAt)
+			if lastBytes == nil {
+				t.Fatal("crashed run captured no checkpoint")
+			}
+			if want := psbox.Time(0).Add(horizon / 2); lastAt != want {
+				t.Fatalf("last checkpoint at %v, want %v", lastAt, want)
+			}
+			// Checkpoint bytes are a pure function of (scenario, instant):
+			// the crashed run's capture must equal the golden run's.
+			if d := snapshot.Diff(goldenCkpts[lastAt], lastBytes); d != "" {
+				t.Fatalf("checkpoint diverges between golden and crashed run: %s", d)
+			}
+
+			// Resumed run: rebuild the scenario, replay deterministically;
+			// at the checkpoint instant, Restore byte-verifies the live
+			// state against the crashed run's checkpoint; then run to the
+			// horizon.
+			var restoreErr error
+			restored := false
+			resumed := buildCrashSystem(seed, horizon, kind, func(s *psbox.System, at psbox.Time) {
+				if at == lastAt {
+					restoreErr = s.Restore(lastBytes)
+					restored = true
+				}
+			})
+			resumed.Run(horizon)
+			if !restored {
+				t.Fatal("resumed run never reached the checkpoint instant")
+			}
+			if restoreErr != nil {
+				t.Fatalf("restore verification failed: %v", restoreErr)
+			}
+			if got := crashReport(resumed); got != goldenReport {
+				t.Errorf("resumed report diverges from golden\n-- golden --\n%s\n-- resumed --\n%s",
+					goldenReport, got)
+			}
+		})
+	}
+}
+
+// TestSnapshotDeterminism: two identically-built systems produce
+// byte-identical checkpoints, and Restore accepts its own snapshot;
+// a different seed must be rejected with a section-qualified error.
+func TestSnapshotDeterminism(t *testing.T) {
+	horizon := 100 * psbox.Millisecond
+	a := buildCrashSystem(7, horizon, "accel-hang", nil)
+	b := buildCrashSystem(7, horizon, "accel-hang", nil)
+	a.Run(horizon)
+	b.Run(horizon)
+	sa, sb := a.Snapshot(), b.Snapshot()
+	if !bytes.Equal(sa, sb) {
+		t.Fatalf("identical systems diverge: %s", snapshot.Diff(sa, sb))
+	}
+	if err := a.Restore(sb); err != nil {
+		t.Fatalf("restore of twin snapshot failed: %v", err)
+	}
+
+	c := buildCrashSystem(8, horizon, "accel-hang", nil)
+	c.Run(horizon)
+	if err := c.Restore(sa); err == nil {
+		t.Fatal("restore accepted a checkpoint from a different seed")
+	}
+}
+
+// TestAuditCadence: the periodic invariant audit fires on schedule.
+func TestAuditCadence(t *testing.T) {
+	sys := psbox.NewAM57(1)
+	app := sys.Kernel.NewApp("worker")
+	app.Spawn("spin", 0, psbox.Loop(
+		psbox.Compute{Cycles: 1e6},
+		psbox.Sleep{D: 2 * psbox.Millisecond},
+	))
+	sys.SetAuditEvery(10 * psbox.Millisecond)
+	sys.Run(100 * psbox.Millisecond)
+	if got := sys.Audits(); got != 10 {
+		t.Fatalf("audits = %d, want 10", got)
+	}
+	sys.SetAuditEvery(0) // disable
+	sys.Run(50 * psbox.Millisecond)
+	if got := sys.Audits(); got != 10 {
+		t.Fatalf("audits after disable = %d, want 10", got)
+	}
+}

@@ -1,0 +1,130 @@
+package psbox
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"psbox/internal/snapshot"
+)
+
+// registry assembles the system's checkpoint sections in a fixed order:
+// the simulation engine first (clock, queue shape, randomness), then
+// hardware bottom-up, kernel drivers, meter, psbox service, fault and
+// accounting layers, and finally any extra snapshotters registered by the
+// embedding program (e.g. a userspace daemon).
+func (s *System) registry() *snapshot.Registry {
+	reg := snapshot.NewRegistry()
+	reg.Add("sim", s.Eng)
+	c := s.Kernel.CPU()
+	reg.AddFuncs("hw/cpu", c.Snapshot, c.RestoreSnapshot)
+	for _, name := range s.Kernel.AccelNames() {
+		dev := s.Kernel.Accel(name).Device()
+		reg.AddFuncs("hw/"+name, dev.Snapshot, dev.RestoreSnapshot)
+	}
+	if nd := s.Kernel.Net(); nd != nil {
+		n := nd.NIC()
+		reg.AddFuncs("hw/wifi", n.Snapshot, n.RestoreSnapshot)
+	}
+	if d := s.Kernel.Display(); d != nil {
+		reg.Add("hw/display", d)
+	}
+	if g := s.Kernel.GPS(); g != nil {
+		reg.Add("hw/gps", g)
+	}
+	if d := s.Kernel.DRAM(); d != nil {
+		reg.Add("hw/dram", d)
+	}
+	reg.Add("kernel", s.Kernel)
+	reg.Add("kernel/sched", s.Kernel.Scheduler())
+	for _, name := range s.Kernel.AccelNames() {
+		reg.Add("kernel/accel/"+name, s.Kernel.Accel(name))
+	}
+	if nd := s.Kernel.Net(); nd != nil {
+		reg.Add("kernel/net", nd)
+	}
+	reg.Add("meter", s.Meter)
+	reg.Add("core", s.Sandbox)
+	if s.Invariants != nil {
+		reg.Add("core/invariants", s.Invariants)
+	}
+	if s.Faults != nil {
+		reg.Add("faults", s.Faults)
+	}
+	snapRecorders := func(enc *snapshot.Encoder) {
+		names := make([]string, 0, len(s.Recorders))
+		for name := range s.Recorders {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		enc.Len(len(names))
+		for _, name := range names {
+			enc.Str(name)
+			s.Recorders[name].Snapshot(enc)
+		}
+	}
+	reg.AddFuncs("account", snapRecorders, snapshot.VerifyFunc(snapRecorders))
+	for _, ex := range s.extraSnaps {
+		reg.Add(ex.label, ex.s)
+	}
+	return reg
+}
+
+type extraSnap struct {
+	label string
+	s     snapshot.Snapshotter
+}
+
+// RegisterSnapshotter appends a scenario-level layer (e.g. a userspace
+// daemon) to the system's checkpoint, after all built-in sections.
+func (s *System) RegisterSnapshotter(label string, snap snapshot.Snapshotter) {
+	for _, ex := range s.extraSnaps {
+		if ex.label == label {
+			panic(fmt.Sprintf("psbox: snapshotter %q already registered", label))
+		}
+	}
+	s.extraSnaps = append(s.extraSnaps, extraSnap{label: label, s: snap})
+}
+
+// Snapshot captures the whole simulated stack as one versioned,
+// CRC-protected checkpoint. Byte-identical across identically-constructed,
+// identically-driven systems.
+func (s *System) Snapshot() []byte { return s.registry().Checkpoint() }
+
+// Restore verifies a checkpoint against this system under the replay-twin
+// contract: the system must have been rebuilt from the same scenario and
+// deterministically replayed to the checkpoint instant. Every layer
+// re-encodes its live state and byte-compares it against the checkpoint;
+// the first divergence is reported with its section and offset. State is
+// never overwritten — a restore that silently patched state would mask
+// replay divergence instead of exposing it.
+func (s *System) Restore(data []byte) error { return s.registry().Restore(data) }
+
+// SetAuditEvery arms a recurring mid-run invariant audit every period of
+// simulated time, in addition to the audit System.Run performs at each
+// horizon. The periodic event is scheduled immediately (and re-arms
+// itself), so two systems built from the same scenario schedule identical
+// event sequences whether or not a run is later cut short by a crash. A
+// violation panics at the offending instant rather than at the end of the
+// run. Calling it again replaces the previous cadence; period 0 disables.
+func (s *System) SetAuditEvery(period Duration) {
+	if s.auditStop != nil {
+		s.auditStop()
+		s.auditStop = nil
+	}
+	if period <= 0 {
+		return
+	}
+	s.auditStop = s.Eng.Every(period, func(Time) {
+		s.audits++
+		if s.Invariants == nil {
+			return
+		}
+		if v := s.Invariants.Check(); len(v) > 0 {
+			panic("psbox: invariant violation (periodic audit):\n  " + strings.Join(v, "\n  "))
+		}
+	})
+}
+
+// Audits reports how many periodic invariant audits have fired.
+func (s *System) Audits() uint64 { return s.audits }
