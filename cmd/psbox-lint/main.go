@@ -15,12 +15,14 @@
 //
 // Scopes:
 //
-//	nowallclock   — psbox/internal/... (cmd tools may report host time)
-//	nomathrand    — every package (internal/sim/rand.go itself exempt)
-//	noconcurrency — every package (escape: //psbox:allow-noconcurrency)
-//	maporder      — every package
-//	energyaccum   — every package (internal/meter, core/vmeter.go exempt)
-//	snapshotstate — every package (escape: //psbox:allow-snapshotstate)
+//	nowallclock    — psbox/internal/... (cmd tools may report host time)
+//	nomathrand     — every package (internal/sim/rand.go itself exempt)
+//	noconcurrency  — every package (escape: //psbox:allow-noconcurrency)
+//	maporder       — every package
+//	energyaccum    — every package (internal/meter, core/vmeter.go exempt)
+//	snapshotstate  — every package (escape: //psbox:allow-snapshotstate)
+//	obsdeterminism — instrumented internal subtrees (sim, kernel, hw,
+//	                 meter, faults, core); report via the obs bus instead
 package main
 
 import (

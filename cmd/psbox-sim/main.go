@@ -6,14 +6,19 @@
 //	psbox-sim scenario.json           # run a scenario file
 //	psbox-sim -json scenario.json     # machine-readable report
 //	echo '{...}' | psbox-sim -        # read from stdin
+//	psbox-sim -trace t.json s.json    # also write the run's Perfetto trace
+//	psbox-sim -metrics m.txt s.json   # also write the run's metrics report
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	psbox "psbox"
+	"psbox/internal/obs"
 	"psbox/internal/scenario"
 )
 
@@ -28,9 +33,25 @@ const example = `{
   ]
 }`
 
+// writeFile streams fn's output into path.
+func writeFile(path string, fn func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
 func main() {
 	asJSON := flag.Bool("json", false, "emit the report as JSON")
 	showExample := flag.Bool("example", false, "print a sample scenario and exit")
+	tracePath := flag.String("trace", "", "write the run's event-stream trace to this file")
+	traceFormat := flag.String("trace-format", "perfetto", "trace format: perfetto, csv, or ascii")
+	metricsPath := flag.String("metrics", "", "write the run's canonical metrics report to this file")
 	flag.Parse()
 
 	if *showExample {
@@ -56,10 +77,33 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
-	report, err := scenario.Run(spec)
+	tracing := *tracePath != "" || *metricsPath != ""
+	var setup func(*psbox.System)
+	if tracing {
+		setup = func(sys *psbox.System) { sys.EnableTracing() }
+	}
+	report, sys, err := scenario.RunWithSystem(spec, setup)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *tracePath != "" {
+		enc, err := obs.EncoderFor(*traceFormat)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "psbox-sim:", err)
+			os.Exit(2)
+		}
+		d := sys.Trace.Dump()
+		if err := writeFile(*tracePath, func(w io.Writer) error { return enc.Encode(w, d) }); err != nil {
+			fmt.Fprintln(os.Stderr, "psbox-sim:", err)
+			os.Exit(1)
+		}
+	}
+	if *metricsPath != "" {
+		if err := writeFile(*metricsPath, sys.Trace.WriteMetrics); err != nil {
+			fmt.Fprintln(os.Stderr, "psbox-sim:", err)
+			os.Exit(1)
+		}
 	}
 	if *asJSON {
 		enc := json.NewEncoder(os.Stdout)

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"crypto/sha256"
 	"flag"
 	"fmt"
 	"os"
@@ -25,6 +26,7 @@ import (
 
 	"psbox"
 	"psbox/internal/faults"
+	"psbox/internal/obs"
 	"psbox/internal/sim"
 	"psbox/internal/snapshot"
 )
@@ -52,6 +54,7 @@ func main() {
 // body differs per run.
 func build(seed uint64, horizon sim.Duration, onCkpt func(*psbox.System, psbox.Time)) *psbox.System {
 	sys := psbox.NewMobile(seed)
+	sys.EnableTracing()
 	sys.EnableAccelWatchdogs(psbox.DefaultWatchdogConfig())
 
 	vision := sys.Kernel.NewApp("vision")
@@ -99,6 +102,10 @@ func build(seed uint64, horizon sim.Duration, onCkpt func(*psbox.System, psbox.T
 	for t := psbox.Time(int64(every)); t <= psbox.Time(int64(horizon)); t = t.Add(every) {
 		tt := t
 		sys.Eng.At(tt, func(psbox.Time) {
+			// The checkpoint instant rides the trace in EVERY run — golden,
+			// crashed, resumed, lockstep — before any run-specific callback,
+			// so traces stay byte-identical across the crash protocol.
+			sys.Trace.Instant(obs.CatCkpt, "checkpoint", 0, int64(tt), "", "")
 			if onCkpt != nil {
 				onCkpt(sys, tt)
 			}
@@ -129,6 +136,29 @@ func report(sys *psbox.System) string {
 	}
 	fmt.Fprintf(&b, "battery=%.9f J audits=%d\n",
 		sys.Meter.Energy("battery", 0, sys.Now()), sys.Audits())
+	fmt.Fprintln(&b, "-- trace --")
+	fmt.Fprintf(&b, "events=%d retained=%d dropped=%d\n",
+		sys.Trace.Total(), sys.Trace.Len(), sys.Trace.Dropped())
+	if dr := sys.Trace.Dropped(); dr > 0 {
+		fmt.Fprintf(&b, "WARNING: trace ring dropped %d events (oldest first); raise the bus capacity to keep them\n", dr)
+	}
+	d := sys.Trace.Dump()
+	for _, format := range []string{"perfetto", "csv", "ascii"} {
+		enc, err := obs.EncoderFor(format)
+		if err != nil {
+			panic(err)
+		}
+		h := sha256.New()
+		if err := enc.Encode(h, d); err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(&b, "%-8s sha256=%x\n", format, h.Sum(nil)[:8])
+	}
+	h := sha256.New()
+	if err := sys.Trace.WriteMetrics(h); err != nil {
+		panic(err)
+	}
+	fmt.Fprintf(&b, "%-8s sha256=%x\n", "metrics", h.Sum(nil)[:8])
 	return b.String()
 }
 

@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	psbox "psbox"
+)
+
+// goldenPath resolves a file under the module-root testdata directory.
+func goldenPath(t *testing.T, name string) string {
+	t.Helper()
+	return filepath.Join("..", "..", "testdata", name)
+}
+
+// render runs the canonical seed-7 traced scenario and emits one view.
+func render(t *testing.T, format string, metrics bool) []byte {
+	t.Helper()
+	sys := tracedRun(7, 500*psbox.Millisecond)
+	var buf bytes.Buffer
+	if err := emitTraced(&buf, sys, format, metrics, "", 0, 0); err != nil {
+		t.Fatalf("emitTraced: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestTracedGoldens pins the seed-7 Perfetto trace and metrics report to
+// the committed goldens. CI runs this under -race, so a pass also proves
+// byte-identical output on the instrumented build. Regenerate with
+// UPDATE_GOLDEN=1 after an intentional change.
+func TestTracedGoldens(t *testing.T) {
+	cases := []struct {
+		golden  string
+		format  string
+		metrics bool
+	}{
+		{"psbox-trace-seed7.perfetto.golden", "perfetto", false},
+		{"psbox-trace-seed7.metrics.golden", "", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.golden, func(t *testing.T) {
+			got := render(t, tc.format, tc.metrics)
+			path := goldenPath(t, tc.golden)
+			if os.Getenv("UPDATE_GOLDEN") != "" {
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with UPDATE_GOLDEN=1 to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Fatalf("output drifted from %s (%d bytes got, %d want); "+
+					"rerun with UPDATE_GOLDEN=1 if the change is intentional",
+					path, len(got), len(want))
+			}
+		})
+	}
+}
+
+// TestTracedRunIsRepeatable re-renders the same seed back-to-back and
+// demands byte equality, the in-process form of the CLI's determinism
+// promise.
+func TestTracedRunIsRepeatable(t *testing.T) {
+	for _, format := range []string{"perfetto", "csv", "ascii"} {
+		a := render(t, format, true)
+		b := render(t, format, true)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s output differs across identical runs", format)
+		}
+	}
+}

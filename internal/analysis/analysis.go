@@ -4,16 +4,17 @@
 // The framework mirrors the shape of golang.org/x/tools/go/analysis —
 // an Analyzer holds a name, a doc string, and a Run function over a
 // type-checked package — but is built only on the standard library so the
-// module stays dependency-free. Six analyzers enforce the simulator's
-// determinism and checkpoint contracts (see DESIGN.md §"Determinism
-// contract" and §"Checkpoint/restore"):
+// module stays dependency-free. Seven analyzers enforce the simulator's
+// determinism, checkpoint, and observability contracts (see DESIGN.md
+// §"Determinism contract", §"Checkpoint/restore" and §"Observability"):
 //
-//	nowallclock   — no time.Now/Sleep/Since/After inside internal/
-//	nomathrand    — no math/rand outside internal/sim/rand.go
-//	noconcurrency — no goroutines, channels, or sync in sim packages
-//	maporder      — no order-sensitive work inside map-range loops
-//	energyaccum   — no ad-hoc += into energy/joule/charge accumulators
-//	snapshotstate — no stateful fields missing from Snapshot/Restore
+//	nowallclock    — no time.Now/Sleep/Since/After inside internal/
+//	nomathrand     — no math/rand outside internal/sim/rand.go
+//	noconcurrency  — no goroutines, channels, or sync in sim packages
+//	maporder       — no order-sensitive work inside map-range loops
+//	energyaccum    — no ad-hoc += into energy/joule/charge accumulators
+//	snapshotstate  — no stateful fields missing from Snapshot/Restore
+//	obsdeterminism — no fmt.Fprint*/log.* in instrumented packages
 //
 // A finding can be suppressed with an explicit, reasoned directive on the
 // offending line (or the line above, or file-wide in the header):
@@ -143,18 +144,41 @@ func (p *Pass) Filename(n ast.Node) string {
 
 // All is the complete suite in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{NoWallClock, NoMathRand, NoConcurrency, MapOrder, EnergyAccum, SnapshotState}
+	return []*Analyzer{NoWallClock, NoMathRand, NoConcurrency, MapOrder, EnergyAccum, SnapshotState, ObsDeterminism}
+}
+
+// obsInstrumented are the package subtrees that emit on the observability
+// bus; obsdeterminism polices exactly these. The obs package itself (the
+// reporting layer, which writes canonical reports to caller-supplied
+// io.Writers) and cmd tools (whose whole job is printing) stay out of
+// scope.
+var obsInstrumented = []string{
+	"psbox/internal/sim",
+	"psbox/internal/kernel",
+	"psbox/internal/hw",
+	"psbox/internal/meter",
+	"psbox/internal/faults",
+	"psbox/internal/core",
 }
 
 // InScope reports whether an analyzer applies to a package, per the
 // determinism contract in DESIGN.md: nowallclock covers only
-// psbox/internal/... (cmd tools may legitimately report host time); every
-// other analyzer covers the whole module, with their file-level
-// exemptions (sim/rand.go, internal/meter, core/vmeter.go) and allow
-// directives as the only escape hatches.
+// psbox/internal/... (cmd tools may legitimately report host time) and
+// obsdeterminism only the instrumented subtrees that emit on the
+// observability bus; every other analyzer covers the whole module, with
+// their file-level exemptions (sim/rand.go, internal/meter,
+// core/vmeter.go) and allow directives as the only escape hatches.
 func InScope(a *Analyzer, pkgPath string) bool {
-	if a.Name == "nowallclock" {
+	switch a.Name {
+	case "nowallclock":
 		return strings.HasPrefix(pkgPath, "psbox/internal")
+	case "obsdeterminism":
+		for _, p := range obsInstrumented {
+			if pkgPath == p || strings.HasPrefix(pkgPath, p+"/") {
+				return true
+			}
+		}
+		return false
 	}
 	return true
 }

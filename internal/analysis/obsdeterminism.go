@@ -1,0 +1,54 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// obsPrintFuncs are the fmt functions that write to a stream. Pure
+// formatters (Sprintf, Errorf, ...) stay legal: they produce values, not
+// side-channel output.
+var obsPrintFuncs = map[string]bool{
+	"Print":    true,
+	"Printf":   true,
+	"Println":  true,
+	"Fprint":   true,
+	"Fprintf":  true,
+	"Fprintln": true,
+}
+
+// ObsDeterminism forbids ad-hoc printing and logging inside instrumented
+// internal packages. Those packages report through the observability bus
+// (spans, instants, metrics) or return errors; a stray fmt.Printf or
+// log.Printf is invisible to the trace, breaks byte-identical canonical
+// reports, and in the log package's case stamps host wall-clock time into
+// output. Renderers that exist to write reports take an io.Writer and are
+// exempted with an explicit //psbox:allow-obsdeterminism directive.
+var ObsDeterminism = &Analyzer{
+	Name: "obsdeterminism",
+	Doc: `forbid fmt.Print/Printf/Println/Fprint/Fprintf/Fprintln and any
+log package use inside instrumented internal packages: subsystem state
+changes must be reported through the observability bus (obs.Bus events and
+metrics) so traces and canonical reports stay deterministic.`,
+	Run: runObsDeterminism,
+}
+
+func runObsDeterminism(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := qualifiedName(pass.Info, sel, "fmt"); ok && obsPrintFuncs[name] {
+				pass.Reportf(n.Pos(),
+					"fmt.%s writes outside the observability bus; emit an obs event or metric, or return the text", name)
+				return true
+			}
+			if name, ok := qualifiedName(pass.Info, sel, "log"); ok {
+				pass.Reportf(n.Pos(),
+					"log.%s bypasses the observability bus and stamps host time; emit an obs event or metric instead", name)
+			}
+			return true
+		})
+	}
+}

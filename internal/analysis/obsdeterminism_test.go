@@ -1,0 +1,41 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"psbox/internal/analysis"
+	"psbox/internal/analysis/analysistest"
+)
+
+func TestObsDeterminism(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.ObsDeterminism, "obsdeterminism")
+}
+
+func TestObsDeterminismScope(t *testing.T) {
+	in := []string{
+		"psbox/internal/sim",
+		"psbox/internal/kernel/sched",
+		"psbox/internal/hw/cpu",
+		"psbox/internal/meter",
+		"psbox/internal/faults",
+		"psbox/internal/core",
+	}
+	for _, p := range in {
+		if !analysis.InScope(analysis.ObsDeterminism, p) {
+			t.Errorf("%s should be in obsdeterminism scope", p)
+		}
+	}
+	out := []string{
+		"psbox",
+		"psbox/internal/obs",
+		"psbox/internal/trace",
+		"psbox/internal/scenario",
+		"psbox/internal/simulator", // prefix of a scoped path must not leak
+		"psbox/cmd/psbox-trace",
+	}
+	for _, p := range out {
+		if analysis.InScope(analysis.ObsDeterminism, p) {
+			t.Errorf("%s should be out of obsdeterminism scope", p)
+		}
+	}
+}

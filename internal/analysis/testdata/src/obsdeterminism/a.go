@@ -1,0 +1,32 @@
+package a
+
+import (
+	"fmt"
+	"io"
+	"log"
+	"os"
+)
+
+// Pure formatting is legal: values, not output.
+func format(n int) string {
+	s := fmt.Sprintf("n=%d", n)
+	_ = fmt.Errorf("bad n %d", n)
+	return s
+}
+
+func bad(w io.Writer) {
+	fmt.Println("state changed")                   // want `fmt\.Println writes outside the observability bus`
+	fmt.Printf("freq=%d\n", 600)                   // want `fmt\.Printf writes outside the observability bus`
+	fmt.Print("x")                                 // want `fmt\.Print writes outside the observability bus`
+	fmt.Fprintf(w, "owner=%d\n", 1)                // want `fmt\.Fprintf writes outside the observability bus`
+	fmt.Fprintln(os.Stderr, "oops")                // want `fmt\.Fprintln writes outside the observability bus`
+	fmt.Fprint(w, "y")                             // want `fmt\.Fprint writes outside the observability bus`
+	log.Printf("watchdog fired")                   // want `log\.Printf bypasses the observability bus`
+	log.Println("reset")                           // want `log\.Println bypasses the observability bus`
+	_ = log.New(os.Stderr, "psbox", log.LstdFlags) // want `log\.New bypasses the observability bus` `log\.LstdFlags bypasses the observability bus`
+}
+
+func allowed(w io.Writer) {
+	//psbox:allow-obsdeterminism report renderer, writes a caller-supplied io.Writer
+	fmt.Fprintf(w, "canonical report line\n")
+}

@@ -16,6 +16,7 @@ import (
 	"psbox/internal/hw/power"
 	"psbox/internal/kernel"
 	"psbox/internal/meter"
+	"psbox/internal/obs"
 	"psbox/internal/sim"
 )
 
@@ -73,7 +74,13 @@ type Manager struct {
 	// invariant broke, for the Checker to drain.
 	resident       map[HW]int
 	exclViolations []string
+
+	// Observability (nil-safe; the bus snapshots itself).
+	bus *obs.Bus
 }
+
+// SetBus routes sandbox lifecycle and residency events to a bus.
+func (mgr *Manager) SetBus(b *obs.Bus) { mgr.bus = b }
 
 // NewManager builds the psbox service over a kernel and its meter.
 func NewManager(k *kernel.Kernel, m *meter.Meter) *Manager {
@@ -94,6 +101,11 @@ func NewManager(k *kernel.Kernel, m *meter.Meter) *Manager {
 // trackResidency maintains the balloon-exclusivity invariant record: a
 // scope's balloon must never be held by two apps at once.
 func (mgr *Manager) trackResidency(h HW, appID int, r bool) {
+	if r {
+		mgr.bus.Instant(obs.CatBox, "resident-begin", appID, 1, "", string(h))
+	} else {
+		mgr.bus.Instant(obs.CatBox, "resident-end", appID, 0, "", string(h))
+	}
 	cur, held := mgr.resident[h]
 	if r {
 		if held && cur != appID {
@@ -331,6 +343,8 @@ func (b *Box) Enter() {
 	}
 	b.entered = true
 	b.enters++
+	b.mgr.bus.Instant(obs.CatBox, "enter", b.app.ID, int64(b.enters), "", b.app.Name)
+	b.mgr.bus.Count("box.enters", b.app.ID, "", 1)
 	now := b.mgr.k.Engine().Now()
 	for _, h := range b.hw {
 		b.vmeters[h].enter(now)
@@ -394,6 +408,7 @@ func (b *Box) Leave() {
 	}
 	b.cpuResAccum = 0
 	b.entered = false
+	b.mgr.bus.Instant(obs.CatBox, "leave", b.app.ID, int64(b.enters), "", b.app.Name)
 }
 
 // armVirtualGovernor starts the box's virtual DVFS governor, paced like
@@ -452,6 +467,7 @@ func (b *Box) virtualGovTick(now sim.Time) {
 	case util < cfg.DownThreshold && cur > 0:
 		cur--
 	}
+	b.mgr.bus.Instant(obs.CatBox, "virtual-gov", b.app.ID, int64(cur), "", b.app.Name)
 	if b.cpuResident {
 		if cur != c.FreqIdx() {
 			c.SetFreqIdx(cur)

@@ -15,6 +15,7 @@ import (
 	"psbox/internal/hw/cpu"
 	"psbox/internal/hw/nic"
 	"psbox/internal/meter"
+	"psbox/internal/obs"
 	"psbox/internal/sim"
 )
 
@@ -70,7 +71,14 @@ type Injector struct {
 	m          *meter.Meter
 
 	log []Event
+
+	// Observability (nil-safe; the bus snapshots itself).
+	bus *obs.Bus
 }
+
+// SetBus mirrors the fault log onto a bus: every recorded fault also
+// becomes a trace instant.
+func (in *Injector) SetBus(b *obs.Bus) { in.bus = b }
 
 // New builds an injector over a simulation engine, seeded for randomized
 // campaigns. Targets are registered afterwards.
@@ -110,6 +118,8 @@ func (in *Injector) RegisterMeter(m *meter.Meter) { in.m = m }
 
 func (in *Injector) record(kind Kind, target, detail string) {
 	in.log = append(in.log, Event{At: in.eng.Now(), Kind: kind, Target: target, Detail: detail})
+	in.bus.Instant(obs.CatFault, string(kind), 0, int64(len(in.log)), "", target)
+	in.bus.Count("faults.injected", 0, "", 1)
 }
 
 // HangAccelAt schedules an AccelHang on a registered device.

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"psbox/internal/hw/power"
+	"psbox/internal/obs"
 	"psbox/internal/sim"
 )
 
@@ -106,7 +107,13 @@ type CPU struct {
 	stalls       uint64
 
 	onFreqChange []func(oldIdx, newIdx int)
+
+	// Observability (nil-safe; the bus snapshots itself).
+	bus *obs.Bus
 }
+
+// SetBus routes DVFS transitions and stall events to a bus.
+func (c *CPU) SetBus(b *obs.Bus) { c.bus = b }
 
 // New builds a CPU and starts its governor (if configured).
 func New(eng *sim.Engine, cfg Config) (*CPU, error) {
@@ -254,6 +261,8 @@ func (c *CPU) InjectDVFSStall(d sim.Duration) {
 		return
 	}
 	c.stalls++
+	c.bus.Instant(obs.CatDVFS, "stall-begin", 0, int64(d), c.cfg.Name, c.cfg.Name)
+	c.bus.Count("dvfs.stalls", 0, c.cfg.Name, 1)
 	until := c.eng.Now().Add(d)
 	if until <= c.stallUntil {
 		return
@@ -274,6 +283,7 @@ func (c *CPU) endStall(sim.Time) {
 	}
 	pend := c.stallPending
 	c.stallPending = -1
+	c.bus.Instant(obs.CatDVFS, "stall-end", 0, int64(pend), c.cfg.Name, c.cfg.Name)
 	if pend >= 0 {
 		c.setFreq(pend)
 	}
@@ -293,6 +303,11 @@ func (c *CPU) setFreq(idx int) {
 	c.foldBusy()
 	c.freqIdx = idx
 	c.rail.Set(c.currentPower())
+	// Arg packs the transition (old index in the high half) so one scalar
+	// captures both endpoints without per-event formatting.
+	c.bus.Instant(obs.CatDVFS, "freq-change", 0, int64(old)<<32|int64(idx), c.cfg.Name, c.cfg.Name)
+	c.bus.Count("dvfs.transitions", 0, c.cfg.Name, 1)
+	c.bus.Gauge("dvfs.freq_mhz", 0, c.cfg.Name, c.cfg.FreqsMHz[idx])
 	for _, fn := range c.onFreqChange {
 		fn(old, idx)
 	}

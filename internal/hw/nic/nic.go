@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"psbox/internal/hw/power"
+	"psbox/internal/obs"
 	"psbox/internal/sim"
 )
 
@@ -123,7 +124,17 @@ type NIC struct {
 	onTxFail   []func(*Packet)
 	onLinkUp   []func()
 	onIdle     []func()
+
+	// Observability (nil-safe; the bus snapshots itself).
+	bus *obs.Bus
 }
+
+// SetBus routes power-mode and link transitions to a bus.
+func (n *NIC) SetBus(b *obs.Bus) { n.bus = b }
+
+// modeKinds pre-renders the mode-change instant kinds so emission never
+// formats strings.
+var modeKinds = [...]string{"mode-psm", "mode-active", "mode-tail"}
 
 // New builds an idle NIC in PSM.
 func New(eng *sim.Engine, cfg Config) (*NIC, error) {
@@ -201,6 +212,8 @@ func (n *NIC) SetLink(up bool) {
 	if !up {
 		n.linkDown = true
 		n.flaps++
+		n.bus.Instant(obs.CatNIC, "link-down", 0, int64(n.flaps), n.cfg.Name, n.cfg.Name)
+		n.bus.Count("nic.link_flaps", 0, n.cfg.Name, 1)
 		if p := n.inflight; p != nil {
 			if n.txArm != (sim.Handle{}) {
 				n.eng.Cancel(n.txArm)
@@ -216,6 +229,7 @@ func (n *NIC) SetLink(up bool) {
 		return
 	}
 	n.linkDown = false
+	n.bus.Instant(obs.CatNIC, "link-up", 0, int64(n.flaps), n.cfg.Name, n.cfg.Name)
 	for _, fn := range n.onLinkUp {
 		fn()
 	}
@@ -285,6 +299,10 @@ func (n *NIC) disarmTail() {
 func (n *NIC) setMode(m Mode) {
 	prev := n.mode
 	n.mode = m
+	if m != prev {
+		n.bus.Instant(obs.CatNIC, modeKinds[m], 0, int64(prev), n.cfg.Name, n.cfg.Name)
+		n.bus.Count("nic.mode_changes", 0, n.cfg.Name, 1)
+	}
 	n.updatePower()
 	if m == ModePSM && prev != ModePSM {
 		for _, fn := range n.onIdle {

@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"psbox/internal/hw/accelhw"
+	"psbox/internal/obs"
 	"psbox/internal/sim"
 )
 
@@ -112,6 +113,31 @@ type Driver struct {
 	// literal "unutilized portion" rule; see settleBalloonBill. Exposed
 	// for the ablation bench.
 	BillDrainIdleOnly bool
+
+	// Observability (nil-safe; the bus snapshots itself).
+	bus *obs.Bus
+}
+
+// SetBus routes the driver's trace events and metrics to a bus. Command
+// spans carry the device rail name so they join with meter samples.
+func (d *Driver) SetBus(b *obs.Bus) { d.bus = b }
+
+// phaseKinds pre-renders the phase-instant kinds so emission never
+// formats strings.
+var phaseKinds = [...]string{"phase-none", "phase-drain-others", "phase-serve", "phase-drain-box"}
+
+// setPhase is the single phase-transition choke point: every balloon
+// phase change emits one instant carrying the new phase.
+func (d *Driver) setPhase(p Phase) {
+	if d.phase == p {
+		return
+	}
+	d.phase = p
+	owner := 0
+	if d.activeBox != nil {
+		owner = d.activeBox.id
+	}
+	d.bus.Instant(obs.CatAccel, phaseKinds[p], owner, int64(p), d.dev.Config().Name, d.dev.Config().Name)
 }
 
 // New wires a driver to dev and installs its completion interrupt handler.
@@ -162,6 +188,8 @@ func (d *Driver) Submit(owner int, cmd *accelhw.Command) {
 	cmd.ID = d.nextCmdID
 	cmd.Owner = owner
 	cmd.Submitted = d.eng.Now()
+	d.bus.Instant(obs.CatAccel, "submit", owner, int64(cmd.ID), d.dev.Config().Name, cmd.Kind)
+	d.bus.Count("accel.submitted", owner, d.dev.Config().Name, 1)
 	a := d.app(owner)
 	if len(a.pending) == 0 && a.inflight == 0 {
 		// Returning from idle: no credit hoarding (cf. CFS min_vruntime).
@@ -253,7 +281,7 @@ func (d *Driver) BoxLeave(appID int) {
 				d.cbs.BoxResident(appID, false)
 			}
 		}
-		d.phase = PhaseNone
+		d.setPhase(PhaseNone)
 		d.activeBox = nil
 	}
 	a.boxed = false
@@ -267,6 +295,8 @@ func (d *Driver) onComplete(cmd *accelhw.Command) {
 	a.inflight--
 	a.completed++
 	a.workDone += cmd.Work
+	d.bus.Span(obs.CatAccel, "exec", cmd.Owner, int64(cmd.ID), d.dev.Config().Name, cmd.Kind, cmd.Started)
+	d.bus.Count("accel.completed", cmd.Owner, d.dev.Config().Name, 1)
 	if d.cbs.Usage != nil {
 		// The baseline comparator gets execution spans (ring wait
 		// excluded): the paper implements the prior accounting mechanism
@@ -384,6 +414,8 @@ func (d *Driver) dispatch(a *appState) {
 	d.dev.Dispatch(cmd)
 	a.latencySum += cmd.Dispatched.Sub(cmd.Submitted)
 	a.latencyN++
+	d.bus.Instant(obs.CatAccel, "dispatch", cmd.Owner, int64(cmd.ID), d.dev.Config().Name, cmd.Kind)
+	d.bus.Observe("accel.dispatch_latency", cmd.Owner, d.dev.Config().Name, cmd.Dispatched.Sub(cmd.Submitted))
 	d.feedWatchdog()
 }
 
@@ -487,12 +519,12 @@ func (d *Driver) openBalloon(a *appState) {
 		d.beginServe()
 		return
 	}
-	d.phase = PhaseDrainOthers // phase 1: hold everything back
+	d.setPhase(PhaseDrainOthers) // phase 1: hold everything back
 }
 
 func (d *Driver) beginServe() {
 	d.settleBalloonBill()
-	d.phase = PhaseServe
+	d.setPhase(PhaseServe)
 	// Power-state virtualization (§4.1): stash the shared state, restore
 	// the sandbox's own operating point.
 	d.othersState = d.dev.State()
@@ -517,7 +549,7 @@ func (d *Driver) pumpServe() {
 	// Phase 4 trigger: the scheduling policy decides others deserve the
 	// device once the sandbox's credit is no longer minimal.
 	if min, ok := d.minOtherCredit(); ok && a.vr > min {
-		d.phase = PhaseDrainBox
+		d.setPhase(PhaseDrainBox)
 		if a.inflight == 0 {
 			d.closeBalloon()
 		}
@@ -531,7 +563,7 @@ func (d *Driver) closeBalloon() {
 	a := d.activeBox
 	a.state = d.dev.State()
 	d.dev.Restore(d.othersState)
-	d.phase = PhaseNone
+	d.setPhase(PhaseNone)
 	d.activeBox = nil
 	if d.cbs.BoxResident != nil {
 		d.cbs.BoxResident(a.id, false)

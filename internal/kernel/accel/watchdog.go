@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"psbox/internal/hw/accelhw"
+	"psbox/internal/obs"
 	"psbox/internal/sim"
 )
 
@@ -137,6 +138,8 @@ func (d *Driver) watchdogTick(now sim.Time) {
 func (d *Driver) recoverDevice(now sim.Time) {
 	aborted := d.dev.Reset()
 	d.wdResets++
+	d.bus.Instant(obs.CatAccel, "wd-reset", 0, int64(len(aborted)), d.dev.Config().Name, d.dev.Config().Name)
+	d.bus.Count("accel.wd_resets", 0, d.dev.Config().Name, 1)
 	touched := map[int]bool{}
 	for _, cmd := range aborted {
 		a := d.app(cmd.Owner)
@@ -148,6 +151,8 @@ func (d *Driver) recoverDevice(now sim.Time) {
 		cmd.Retries++
 		if cmd.Retries > d.wd.MaxRetries {
 			d.wdDropped++
+			d.bus.Instant(obs.CatAccel, "wd-drop", cmd.Owner, int64(cmd.ID), d.dev.Config().Name, cmd.Kind)
+			d.bus.Count("accel.wd_dropped", cmd.Owner, d.dev.Config().Name, 1)
 			continue
 		}
 		backoff := d.wd.BackoffBase
@@ -158,6 +163,8 @@ func (d *Driver) recoverDevice(now sim.Time) {
 			backoff = d.wd.BackoffCap
 		}
 		d.wdResubmits++
+		d.bus.Instant(obs.CatAccel, "wd-resubmit", cmd.Owner, int64(cmd.ID), d.dev.Config().Name, cmd.Kind)
+		d.bus.Count("accel.wd_resubmits", cmd.Owner, d.dev.Config().Name, 1)
 		cc := cmd
 		d.eng.After(backoff, func(sim.Time) { d.requeue(cc) })
 	}

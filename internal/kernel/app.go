@@ -65,6 +65,7 @@ func (k *Kernel) NewApp(name string) *App {
 	}
 	k.apps[a.ID] = a
 	k.appList = append(k.appList, a)
+	k.bus.NameOwner(a.ID, a.Name)
 	return a
 }
 

@@ -11,6 +11,7 @@ import (
 	"psbox/internal/kernel/accel"
 	"psbox/internal/kernel/netsched"
 	"psbox/internal/kernel/sched"
+	"psbox/internal/obs"
 	"psbox/internal/sim"
 )
 
@@ -49,6 +50,19 @@ type Kernel struct {
 
 	// cpuUsage records per-core occupancy spans for the accounting layer.
 	cpuUsage func(owner, core int, start, end sim.Time)
+
+	// Observability (nil-safe; the bus snapshots itself).
+	bus *obs.Bus
+}
+
+// SetBus routes kernel-level events to a bus and feeds it the owner-name
+// table as apps are created. Subsystem drivers get their own SetBus calls
+// from the wiring layer.
+func (k *Kernel) SetBus(b *obs.Bus) {
+	k.bus = b
+	for _, a := range k.appList {
+		b.NameOwner(a.ID, a.Name)
+	}
 }
 
 // New builds a kernel over the given CPU. Accelerators and the NIC are

@@ -11,6 +11,7 @@ import (
 
 	"psbox/internal/hw/nic"
 	"psbox/internal/hw/power"
+	"psbox/internal/obs"
 	"psbox/internal/sim"
 )
 
@@ -159,6 +160,32 @@ type Driver struct {
 	// requeueing on failure) and the retransmission counter.
 	curSock     *Socket
 	linkRetries uint64
+
+	// Observability (nil-safe; the bus snapshots itself).
+	bus *obs.Bus
+}
+
+// SetBus routes the packet scheduler's trace events and metrics to a bus.
+// Transmission spans carry the NIC rail name so they join with meter
+// samples.
+func (d *Driver) SetBus(b *obs.Bus) { d.bus = b }
+
+// netPhaseKinds pre-renders the phase-instant kinds so emission never
+// formats strings.
+var netPhaseKinds = [...]string{"phase-none", "phase-drain", "phase-serve"}
+
+// setPhase is the single phase-transition choke point: every balloon
+// phase change emits one instant carrying the new phase.
+func (d *Driver) setPhase(p Phase) {
+	if d.phase == p {
+		return
+	}
+	d.phase = p
+	owner := 0
+	if d.activeBox != nil {
+		owner = d.activeBox.id
+	}
+	d.bus.Instant(obs.CatNet, netPhaseKinds[p], owner, int64(p), d.n.Config().Name, d.n.Config().Name)
 }
 
 // New wires a driver to the NIC.
@@ -399,8 +426,8 @@ func (d *Driver) BoxLeave(appID int) {
 			d.eng.Cancel(d.settleArm)
 			d.settleArm = sim.Handle{}
 		}
+		d.setPhase(PhaseNone)
 		d.activeBox = nil
-		d.phase = PhaseNone
 		d.pump()
 	case PhaseServe:
 		if d.n.Busy() {
@@ -416,6 +443,8 @@ func (d *Driver) onComplete(p *nic.Packet) {
 	a.inflight -= p.Bytes
 	a.sentBytes += uint64(p.Bytes)
 	a.sentPackets++
+	d.bus.Span(obs.CatNet, "tx", p.Owner, int64(p.Bytes), d.n.Config().Name, "", p.Dispatched)
+	d.bus.Count("net.sent_bytes", p.Owner, d.n.Config().Name, int64(p.Bytes))
 	if d.cbs.Usage != nil {
 		d.cbs.Usage(p.Owner, p.Dispatched, p.Completed)
 	}
@@ -508,6 +537,8 @@ func (d *Driver) transmit(a *appState, s *Socket) {
 	d.vnicActive(a)
 	a.latencySum += p.Dispatched.Sub(p.Enqueued)
 	a.latencyN++
+	d.bus.Instant(obs.CatNet, "tx-begin", p.Owner, int64(p.ID), d.n.Config().Name, "")
+	d.bus.Observe("net.queueing_latency", p.Owner, d.n.Config().Name, p.Dispatched.Sub(p.Enqueued))
 }
 
 // LinkRetries reports how many transmissions failed on link flaps and were
@@ -530,6 +561,8 @@ func (d *Driver) onTxFail(p *nic.Packet) {
 	d.curSock = nil
 	p.Retries++
 	d.linkRetries++
+	d.bus.Instant(obs.CatNet, "tx-retry", p.Owner, int64(p.ID), d.n.Config().Name, "")
+	d.bus.Count("net.link_retries", p.Owner, d.n.Config().Name, 1)
 	backoff := d.cfg.RetryBackoff
 	for r := 1; r < p.Retries && backoff < d.cfg.RetryBackoffCap; r++ {
 		backoff *= 2
@@ -624,7 +657,7 @@ func (d *Driver) pumpNone() {
 		d.activeBox = box
 		d.balloonAt = d.eng.Now()
 		d.balloonBlocked = false
-		d.phase = PhaseDrain
+		d.setPhase(PhaseDrain)
 		d.armSettle()
 		return
 	}
@@ -666,7 +699,7 @@ func (d *Driver) armGrace() {
 		d.activeBox = box
 		d.balloonAt = d.eng.Now()
 		d.balloonBlocked = false
-		d.phase = PhaseDrain
+		d.setPhase(PhaseDrain)
 		d.armSettle()
 	})
 }
@@ -675,7 +708,7 @@ func (d *Driver) beginServe() {
 	// Order matters: residency must be announced before the state restore,
 	// because restoring can re-enter the pump (tail expiry callbacks) and
 	// start transmitting immediately.
-	d.phase = PhaseServe
+	d.setPhase(PhaseServe)
 	d.othersState = d.n.State()
 	if d.cbs.BoxResident != nil {
 		d.cbs.BoxResident(d.activeBox.id, true)
@@ -720,7 +753,7 @@ func (d *Driver) closeBalloon() {
 	d.settleLostOpportunity()
 	// Clear balloon state and end residency before the restore: restoring
 	// the shared power state can re-enter the pump via NIC callbacks.
-	d.phase = PhaseNone
+	d.setPhase(PhaseNone)
 	d.activeBox = nil
 	d.closing = false
 	if d.cbs.BoxResident != nil {

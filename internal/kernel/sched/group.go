@@ -3,6 +3,7 @@ package sched
 import (
 	"fmt"
 
+	"psbox/internal/obs"
 	"psbox/internal/sim"
 )
 
@@ -177,6 +178,9 @@ func (s *Scheduler) beginCosched(g *Group, initCore int) {
 	g.residentAt = s.eng.Now()
 	g.windows++
 	s.shootdowns++
+	s.bus.Instant(obs.CatSched, "cosched-begin", g.AppID, int64(initCore), s.rail, "")
+	s.bus.Count("sched.shootdowns", 0, s.rail, 1)
+	s.bus.Count("sched.cosched_windows", g.AppID, s.rail, 1)
 	ge := g.entities[initCore]
 	s.cores[initCore].cur = ge
 	ge.onCPU = true
@@ -211,6 +215,7 @@ func (s *Scheduler) checkAnnounce(g *Group) {
 		}
 	}
 	g.announced = true
+	s.bus.Instant(obs.CatSched, "group-resident", g.AppID, 1, s.rail, "")
 	if s.cbs.GroupResident != nil {
 		s.cbs.GroupResident(g.AppID, true)
 	}
@@ -271,6 +276,7 @@ func (s *Scheduler) groupPickLocal(ge *groupEntity) {
 	t := ge.queue[best]
 	ge.queue = append(ge.queue[:best], ge.queue[best+1:]...)
 	ge.running = t
+	s.bus.Instant(obs.CatSched, "group-pick", t.AppID, int64(ge.core), s.rail, t.Name)
 	s.runTask(ge.core, t)
 }
 
@@ -442,6 +448,8 @@ func (s *Scheduler) endCosched(g *Group) {
 	s.resident = nil
 	g.residentTime += s.eng.Now().Sub(g.residentAt)
 	s.shootdowns++
+	s.bus.Span(obs.CatSched, "cosched", g.AppID, int64(total), s.rail, "", g.residentAt)
+	s.bus.Count("sched.shootdowns", 0, s.rail, 1)
 	for _, ge := range g.entities {
 		if !ge.onCPU {
 			continue
@@ -464,6 +472,7 @@ func (s *Scheduler) endCosched(g *Group) {
 	}
 	if g.announced {
 		g.announced = false
+		s.bus.Instant(obs.CatSched, "group-resident", g.AppID, 0, s.rail, "")
 		if s.cbs.GroupResident != nil {
 			s.cbs.GroupResident(g.AppID, false)
 		}

@@ -9,6 +9,7 @@ package sched
 import (
 	"fmt"
 
+	"psbox/internal/obs"
 	"psbox/internal/sim"
 )
 
@@ -168,6 +169,19 @@ type Scheduler struct {
 	wakeLatTotal sim.Duration
 	wakeLatCount uint64
 	wakePending  map[*Task]sim.Time
+
+	// Observability (nil-safe; the bus snapshots itself).
+	bus *obs.Bus
+	//psbox:allow-snapshotstate observability wiring installed at construction, not replayed state
+	rail string
+}
+
+// SetBus routes the scheduler's trace events and metrics to a bus. rail
+// names the CPU power rail so run spans join with meter samples in the
+// attribution timeline.
+func (s *Scheduler) SetBus(b *obs.Bus, rail string) {
+	s.bus = b
+	s.rail = rail
 }
 
 // New builds a scheduler and arms its tick.
@@ -440,6 +454,7 @@ func (s *Scheduler) stopCurrent(core int) {
 	}
 	t := c.curTask
 	c.curTask = nil
+	s.bus.Span(obs.CatSched, "run", t.AppID, int64(core), s.rail, t.Name, t.started)
 	if t.state == StateRunning {
 		t.state = StateRunnable
 	}
@@ -469,10 +484,14 @@ func (s *Scheduler) runTask(core int, t *Task) {
 	t.started = s.eng.Now()
 	c.curTask = t
 	s.ctxSwitches++
+	s.bus.Instant(obs.CatSched, "switch", t.AppID, int64(core), s.rail, t.Name)
+	s.bus.Count("sched.ctx_switches", 0, s.rail, 1)
 	if at, ok := s.wakePending[t]; ok {
-		s.wakeLatTotal += s.eng.Now().Sub(at)
+		lat := s.eng.Now().Sub(at)
+		s.wakeLatTotal += lat
 		s.wakeLatCount++
 		delete(s.wakePending, t)
+		s.bus.Observe("sched.wake_latency", t.AppID, "", lat)
 	}
 	if s.cbs.RunTask != nil {
 		s.cbs.RunTask(core, t)

@@ -9,6 +9,7 @@ import (
 	"sort"
 
 	"psbox/internal/hw/power"
+	"psbox/internal/obs"
 	"psbox/internal/sim"
 )
 
@@ -30,7 +31,13 @@ type Meter struct {
 	// drops holds per-rail sample-dropout windows (fault injection: a DAQ
 	// buffer overrun, a flaky sense line). Sorted, non-overlapping.
 	drops map[string][]Window
+
+	// Observability (nil-safe; the bus snapshots itself).
+	bus *obs.Bus
 }
+
+// SetBus routes DAQ sample-window events (dropouts) to a bus.
+func (m *Meter) SetBus(b *obs.Bus) { m.bus = b }
 
 // New builds a meter. A non-positive period falls back to DefaultPeriod.
 func New(eng *sim.Engine, period sim.Duration) *Meter {
@@ -108,6 +115,8 @@ func (m *Meter) InjectDropout(rail string, from, to sim.Time) {
 		panic(fmt.Sprintf("meter: dropout window [%v, %v) starts in the past (now %v)",
 			from, to, m.eng.Now()))
 	}
+	m.bus.Instant(obs.CatMeter, "dropout", 0, int64(to.Sub(from)), rail, rail)
+	m.bus.Count("meter.dropouts", 0, rail, 1)
 	ws := append(m.drops[rail], Window{From: from, To: to})
 	sort.Slice(ws, func(i, j int) bool { return ws[i].From < ws[j].From })
 	merged := ws[:1]

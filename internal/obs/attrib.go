@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"psbox/internal/hw/power"
+	"psbox/internal/sim"
+)
+
+// Interval is one stretch of attributable activity on a rail: an owner's
+// task on a core, its command on an accelerator, its frame in the air.
+type Interval struct {
+	Start, End sim.Time
+	Owner      int
+}
+
+// Gap is a stretch with no trustworthy DAQ samples (a meter dropout);
+// blame computed inside one is flagged Degraded.
+type Gap struct {
+	From, To sim.Time
+}
+
+// Share is one owner's fraction of a sample's power.
+type Share struct {
+	Owner int
+	Frac  float64
+}
+
+// Blame is one attributed power sample: the measured watts split into
+// per-owner shares that always sum to 1.0. Owner 0 collects both kernel
+// activity and idle floor power.
+type Blame struct {
+	T        sim.Time
+	W        power.Watts
+	Shares   []Share // sorted by Owner
+	Degraded bool    // window overlaps a meter dropout
+}
+
+// Attribute joins meter samples with activity intervals: each sample's
+// window [T, T+period) is split among the owners active in it. An owner's
+// share is its fraction of total occupancy, scaled by how much of the
+// window was covered at all; the uncovered remainder — idle floor power —
+// goes to owner 0. Shares therefore sum to exactly 1.0 per sample, which
+// the edge-case tests assert across context switches, DVFS overlap, and
+// dropout gaps.
+func Attribute(samples []power.Sample, period sim.Duration, intervals []Interval, gaps []Gap) []Blame {
+	if period <= 0 {
+		panic("obs: attribution needs a positive sample period")
+	}
+	out := make([]Blame, 0, len(samples))
+	for _, s := range samples {
+		lo, hi := s.T, s.T.Add(period)
+		occ := make(map[int]sim.Duration)
+		var clipped []Interval
+		var total sim.Duration
+		for _, iv := range intervals {
+			a, b := iv.Start, iv.End
+			if a < lo {
+				a = lo
+			}
+			if b > hi {
+				b = hi
+			}
+			if b <= a {
+				continue
+			}
+			occ[iv.Owner] += b.Sub(a)
+			total += b.Sub(a)
+			clipped = append(clipped, Interval{Start: a, End: b, Owner: iv.Owner})
+		}
+		covered := union(clipped)
+		window := hi.Sub(lo)
+		bl := Blame{T: s.T, W: s.W, Degraded: overlapsGap(lo, hi, gaps)}
+		idle := float64(window-covered) / float64(window)
+		owners := make([]int, 0, len(occ))
+		for o := range occ {
+			owners = append(owners, o)
+		}
+		sort.Ints(owners)
+		activeFrac := float64(covered) / float64(window)
+		for _, o := range owners {
+			frac := float64(occ[o]) / float64(total) * activeFrac
+			if o == 0 {
+				idle += frac
+				continue
+			}
+			bl.Shares = append(bl.Shares, Share{Owner: o, Frac: frac})
+		}
+		bl.Shares = append([]Share{{Owner: 0, Frac: idle}}, bl.Shares...)
+		out = append(out, bl)
+	}
+	return out
+}
+
+// union measures the merged coverage of intervals already clipped to one
+// window.
+func union(ivs []Interval) sim.Duration {
+	if len(ivs) == 0 {
+		return 0
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].Start != ivs[j].Start {
+			return ivs[i].Start < ivs[j].Start
+		}
+		return ivs[i].End < ivs[j].End
+	})
+	var d sim.Duration
+	curA, curB := ivs[0].Start, ivs[0].End
+	for _, iv := range ivs[1:] {
+		if iv.Start > curB {
+			d += curB.Sub(curA)
+			curA, curB = iv.Start, iv.End
+			continue
+		}
+		if iv.End > curB {
+			curB = iv.End
+		}
+	}
+	return d + curB.Sub(curA)
+}
+
+func overlapsGap(lo, hi sim.Time, gaps []Gap) bool {
+	for _, g := range gaps {
+		if g.From < hi && g.To > lo {
+			return true
+		}
+	}
+	return false
+}
+
+// IntervalsFromEvents extracts the activity intervals for one rail from a
+// trace: every span event whose Rail matches. Events arrive oldest-first
+// from Bus.Events, so the result is deterministic.
+func IntervalsFromEvents(events []Event, rail string) []Interval {
+	var out []Interval
+	for _, ev := range events {
+		if ev.Type != TypeSpan || ev.Rail != rail {
+			continue
+		}
+		out = append(out, Interval{Start: ev.T, End: ev.End, Owner: ev.Owner})
+	}
+	return out
+}
+
+// WriteBlame renders an attribution timeline as stable text: one line per
+// sample with the measured watts and each owner's share.
+func WriteBlame(w io.Writer, rail string, blames []Blame, owners map[int]string) error {
+	if _, err := fmt.Fprintf(w, "# blame timeline rail=%s samples=%d\n", rail, len(blames)); err != nil {
+		return err
+	}
+	for _, bl := range blames {
+		flag := ""
+		if bl.Degraded {
+			flag = " DEGRADED"
+		}
+		if _, err := fmt.Fprintf(w, "%12d %8.4fW%s", int64(bl.T), bl.W, flag); err != nil {
+			return err
+		}
+		for _, sh := range bl.Shares {
+			name := owners[sh.Owner]
+			if sh.Owner == 0 {
+				name = "idle"
+			} else if name == "" {
+				name = fmt.Sprintf("app%d", sh.Owner)
+			}
+			if _, err := fmt.Fprintf(w, " %s=%.4f", name, sh.Frac); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"psbox/internal/sim"
+)
+
+// busForExport builds a small deterministic dump, optionally overflowing
+// the ring.
+func busForExport(overflow bool) *Bus {
+	capacity := 64
+	if overflow {
+		capacity = 4
+	}
+	eng := sim.NewEngine()
+	b := NewBus(eng, capacity)
+	b.NameOwner(1, "vision#1")
+	b.NameOwner(2, `odd"name`)
+	b.Enable()
+	eng.At(sim.Time(2*sim.Millisecond), func(sim.Time) {
+		b.Span(CatSched, "run", 1, 0, "cpu", "vision#1/render", 0)
+		b.Instant(CatSched, "switch", 1, 0, "cpu", "vision#1/render")
+		b.Span(CatAccel, "exec", 2, 7, "gpu", "frame", sim.Time(sim.Millisecond))
+		b.Instant(CatDVFS, "freq-change", 0, 1<<32|2, "cpu", "cpu")
+		b.Instant(CatFault, "nic-flap", 0, 1, "", "wifi")
+		b.Instant(CatNIC, "mode-active", 0, 0, "wifi", "wifi")
+	})
+	eng.RunFor(2 * sim.Millisecond)
+	return b
+}
+
+func TestEncoderForUnknownFormat(t *testing.T) {
+	if _, err := EncoderFor("svg"); err == nil {
+		t.Fatal("want error for unknown format")
+	}
+	for _, f := range []string{"perfetto", "csv", "ascii"} {
+		if _, err := EncoderFor(f); err != nil {
+			t.Fatalf("EncoderFor(%q): %v", f, err)
+		}
+	}
+}
+
+func encodeAll(t *testing.T, d *Dump) map[string][]byte {
+	t.Helper()
+	out := make(map[string][]byte)
+	for _, f := range []string{"perfetto", "csv", "ascii"} {
+		enc, err := EncoderFor(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b bytes.Buffer
+		if err := enc.Encode(&b, d); err != nil {
+			t.Fatalf("%s: %v", f, err)
+		}
+		out[f] = b.Bytes()
+	}
+	return out
+}
+
+// Identical dumps must give identical bytes in every format — the
+// determinism contract the CI goldens enforce.
+func TestEncodersAreByteDeterministic(t *testing.T) {
+	a := encodeAll(t, busForExport(false).Dump())
+	for i := 0; i < 3; i++ {
+		b := encodeAll(t, busForExport(false).Dump())
+		for f := range a {
+			if !bytes.Equal(a[f], b[f]) {
+				t.Fatalf("%s output differs between identical dumps", f)
+			}
+		}
+	}
+}
+
+// The Perfetto output must be valid JSON with the expected envelope.
+func TestPerfettoIsValidTraceEventJSON(t *testing.T) {
+	raw := encodeAll(t, busForExport(false).Dump())["perfetto"]
+	var doc struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			Tid  int             `json:"tid"`
+			Ts   json.Number     `json:"ts"`
+			Dur  json.Number     `json:"dur"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		OtherData       struct {
+			Dropped uint64 `json:"dropped_events"`
+			Total   uint64 `json:"total_events"`
+		} `json:"otherData"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("perfetto output is not valid JSON: %v\n%s", err, raw)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	if doc.OtherData.Total != 6 || doc.OtherData.Dropped != 0 {
+		t.Errorf("otherData = %+v", doc.OtherData)
+	}
+	var phX, phI, meta int
+	for _, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			phX++
+		case "i":
+			phI++
+		case "M":
+			meta++
+		}
+	}
+	// 2 spans, 4 instants, and one process_name + one thread_name per
+	// category (5 categories).
+	if phX != 2 || phI != 4 || meta != 6 {
+		t.Errorf("ph counts X=%d i=%d M=%d, want 2/4/6", phX, phI, meta)
+	}
+}
+
+func TestCSVQuotesAndWarnsOnDrop(t *testing.T) {
+	clean := string(encodeAll(t, busForExport(false).Dump())["csv"])
+	if !strings.HasPrefix(clean, "seq,type,cat,kind,start_ns,end_ns,owner,owner_name,arg,rail,name\n") {
+		t.Fatalf("csv header missing:\n%s", clean)
+	}
+	if !strings.Contains(clean, `"odd""name"`) {
+		t.Errorf("csv should quote embedded quotes:\n%s", clean)
+	}
+	if strings.Contains(clean, "WARNING") {
+		t.Errorf("no drops, no warning expected")
+	}
+
+	dropped := string(encodeAll(t, busForExport(true).Dump())["csv"])
+	if !strings.Contains(dropped, "# WARNING: trace ring dropped 2 events (oldest first)") {
+		t.Errorf("csv drop warning missing:\n%s", dropped)
+	}
+}
+
+func TestASCIIReportsAndWarnsOnDrop(t *testing.T) {
+	clean := string(encodeAll(t, busForExport(false).Dump())["ascii"])
+	if !strings.Contains(clean, "psbox trace: 6 events retained (2 spans), 0 dropped") {
+		t.Fatalf("ascii header:\n%s", clean)
+	}
+	if !strings.Contains(clean, "sched") || !strings.Contains(clean, "accel") {
+		t.Errorf("ascii should render span lanes:\n%s", clean)
+	}
+	if !strings.Contains(clean, "1 × dvfs/freq-change") {
+		t.Errorf("ascii should tally instants:\n%s", clean)
+	}
+
+	dropped := string(encodeAll(t, busForExport(true).Dump())["ascii"])
+	if !strings.Contains(dropped, "WARNING: trace ring dropped 2 events (oldest first)") {
+		t.Errorf("ascii drop warning missing:\n%s", dropped)
+	}
+}

@@ -1,0 +1,203 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"psbox/internal/sim"
+)
+
+// Key identifies one metric series: a name qualified by the owning app
+// and the power rail it concerns. Owner 0 / empty rail mean "whole
+// system".
+type Key struct {
+	Name  string
+	Owner int
+	Rail  string
+}
+
+// histBounds are the sim-time histogram bucket upper bounds; a final
+// implicit +Inf bucket catches the rest. Latencies in the simulator span
+// microseconds (wakeups) to seconds (balloon drains), hence the decades.
+var histBounds = []sim.Duration{
+	10 * sim.Microsecond,
+	100 * sim.Microsecond,
+	sim.Millisecond,
+	10 * sim.Millisecond,
+	100 * sim.Millisecond,
+	sim.Second,
+}
+
+// histLabels renders the bucket bounds once for reports.
+var histLabels = [numBuckets]string{"10us", "100us", "1ms", "10ms", "100ms", "1s", "+inf"}
+
+// numBuckets is len(histBounds) plus the implicit +Inf bucket.
+const numBuckets = 7
+
+// Hist is a fixed-bucket histogram over simulated durations.
+type Hist struct {
+	Buckets [numBuckets]uint64 // non-cumulative counts per bucket
+	Count   uint64
+	Sum     sim.Duration
+}
+
+func (h *Hist) observe(d sim.Duration) {
+	i := 0
+	for ; i < len(histBounds); i++ {
+		if d <= histBounds[i] {
+			break
+		}
+	}
+	h.Buckets[i]++
+	h.Count++
+	h.Sum += d
+}
+
+// Count adds n to a counter.
+func (b *Bus) Count(name string, owner int, rail string, n int64) {
+	if b == nil || !b.enabled {
+		return
+	}
+	b.counters[Key{name, owner, rail}] += n
+}
+
+// Gauge sets a gauge to its latest value.
+func (b *Bus) Gauge(name string, owner int, rail string, v float64) {
+	if b == nil || !b.enabled {
+		return
+	}
+	b.gauges[Key{name, owner, rail}] = v
+}
+
+// Observe records one duration into a histogram.
+func (b *Bus) Observe(name string, owner int, rail string, d sim.Duration) {
+	if b == nil || !b.enabled {
+		return
+	}
+	h := b.hists[Key{name, owner, rail}]
+	if h == nil {
+		h = &Hist{}
+		b.hists[Key{name, owner, rail}] = h
+	}
+	h.observe(d)
+}
+
+// Counter reads a counter (0 if never written).
+func (b *Bus) Counter(name string, owner int, rail string) int64 {
+	if b == nil {
+		return 0
+	}
+	return b.counters[Key{name, owner, rail}]
+}
+
+// GaugeValue reads a gauge (0 if never written).
+func (b *Bus) GaugeValue(name string, owner int, rail string) float64 {
+	if b == nil {
+		return 0
+	}
+	return b.gauges[Key{name, owner, rail}]
+}
+
+// Histogram reads a histogram, or nil.
+func (b *Bus) Histogram(name string, owner int, rail string) *Hist {
+	if b == nil {
+		return nil
+	}
+	return b.hists[Key{name, owner, rail}]
+}
+
+// sortKeys returns map keys in canonical (Name, Owner, Rail) order.
+func sortKeys[V any](m map[Key]V) []Key {
+	keys := make([]Key, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		if a.Owner != b.Owner {
+			return a.Owner < b.Owner
+		}
+		return a.Rail < b.Rail
+	})
+	return keys
+}
+
+// keyCols renders the owner and rail columns; "-" marks the system-wide
+// defaults so columns stay aligned and grep-able.
+func (b *Bus) keyCols(k Key) (string, string) {
+	owner := "-"
+	if k.Owner != 0 {
+		owner = fmt.Sprintf("%d", k.Owner)
+		if name := b.owners[k.Owner]; name != "" {
+			owner = fmt.Sprintf("%d:%s", k.Owner, name)
+		}
+	}
+	rail := k.Rail
+	if rail == "" {
+		rail = "-"
+	}
+	return owner, rail
+}
+
+// WriteMetrics emits the canonical metrics report: one sorted line per
+// series, counters then gauges then histograms, closed by the trace
+// accounting footer. Same state, same bytes — the CI observability job
+// diffs this against a committed golden.
+func (b *Bus) WriteMetrics(w io.Writer) error {
+	if b == nil {
+		_, err := fmt.Fprintln(w, "# psbox metrics (no bus)")
+		return err
+	}
+	if _, err := fmt.Fprintln(w, "# psbox metrics"); err != nil {
+		return err
+	}
+	for _, k := range sortKeys(b.counters) {
+		owner, rail := b.keyCols(k)
+		if _, err := fmt.Fprintf(w, "counter %-34s owner=%-14s rail=%-8s %d\n",
+			k.Name, owner, rail, b.counters[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortKeys(b.gauges) {
+		owner, rail := b.keyCols(k)
+		if _, err := fmt.Fprintf(w, "gauge   %-34s owner=%-14s rail=%-8s %.6g\n",
+			k.Name, owner, rail, b.gauges[k]); err != nil {
+			return err
+		}
+	}
+	for _, k := range sortKeys(b.hists) {
+		owner, rail := b.keyCols(k)
+		h := b.hists[k]
+		if _, err := fmt.Fprintf(w, "hist    %-34s owner=%-14s rail=%-8s count=%d sum=%v",
+			k.Name, owner, rail, h.Count, h.Sum); err != nil {
+			return err
+		}
+		for i, label := range histLabels {
+			if _, err := fmt.Fprintf(w, " le%s=%d", label, h.Buckets[i]); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "counter %-34s owner=%-14s rail=%-8s %d\n",
+		"obs.events_total", "-", "-", b.seq); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "counter %-34s owner=%-14s rail=%-8s %d\n",
+		"obs.dropped_events", "-", "-", b.dropped); err != nil {
+		return err
+	}
+	if b.dropped > 0 {
+		if _, err := fmt.Fprintf(w, "WARNING: trace ring dropped %d events (oldest first); raise the bus capacity to keep them\n",
+			b.dropped); err != nil {
+			return err
+		}
+	}
+	return nil
+}

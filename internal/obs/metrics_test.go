@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"psbox/internal/sim"
+)
+
+func TestWriteMetricsCanonical(t *testing.T) {
+	b := NewBus(sim.NewEngine(), 8)
+	b.NameOwner(1, "vision#1")
+	b.Enable()
+	// Insert out of order; the report must come out sorted.
+	b.Count("z.last", 0, "", 2)
+	b.Count("a.first", 1, "cpu", 3)
+	b.Count("a.first", 1, "cpu", 4)
+	b.Gauge("dvfs.freq_mhz", 0, "cpu", 1500)
+	b.Gauge("dvfs.freq_mhz", 0, "cpu", 600) // latest wins
+	b.Observe("lat", 1, "", 5*sim.Microsecond)
+	b.Observe("lat", 1, "", 2*sim.Millisecond)
+	b.Instant(CatSim, "tick", 0, 0, "", "")
+
+	var sb strings.Builder
+	if err := b.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	want := "# psbox metrics\n" +
+		"counter a.first                            owner=1:vision#1     rail=cpu      7\n" +
+		"counter z.last                             owner=-              rail=-        2\n" +
+		"gauge   dvfs.freq_mhz                      owner=-              rail=cpu      600\n" +
+		"hist    lat                                owner=1:vision#1     rail=-        count=2 sum=2.005ms le10us=1 le100us=0 le1ms=0 le10ms=1 le100ms=0 le1s=0 le+inf=0\n" +
+		"counter obs.events_total                   owner=-              rail=-        1\n" +
+		"counter obs.dropped_events                 owner=-              rail=-        0\n"
+	if got != want {
+		t.Fatalf("metrics report:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Repeated renders are byte-identical.
+	var sb2 strings.Builder
+	if err := b.WriteMetrics(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if sb2.String() != got {
+		t.Fatal("metrics report not stable across renders")
+	}
+}
+
+func TestWriteMetricsDropWarning(t *testing.T) {
+	b := NewBus(sim.NewEngine(), 2)
+	b.Enable()
+	for i := 0; i < 5; i++ {
+		b.Instant(CatSim, "tick", 0, int64(i), "", "")
+	}
+	var sb strings.Builder
+	if err := b.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(),
+		"WARNING: trace ring dropped 3 events (oldest first); raise the bus capacity to keep them") {
+		t.Fatalf("drop warning missing:\n%s", sb.String())
+	}
+}
+
+func TestWriteMetricsNilBus(t *testing.T) {
+	var b *Bus
+	var sb strings.Builder
+	if err := b.WriteMetrics(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no bus") {
+		t.Fatalf("nil-bus report: %q", sb.String())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	b := NewBus(sim.NewEngine(), 8)
+	b.Enable()
+	durs := []sim.Duration{
+		sim.Microsecond,      // le10us
+		50 * sim.Microsecond, // le100us
+		sim.Millisecond,      // le1ms (inclusive bound)
+		9 * sim.Millisecond,  // le10ms
+		99 * sim.Millisecond, // le100ms
+		sim.Second,           // le1s
+		2 * sim.Second,       // +inf
+	}
+	for _, d := range durs {
+		b.Observe("x", 0, "", d)
+	}
+	h := b.Histogram("x", 0, "")
+	if h == nil || h.Count != 7 {
+		t.Fatalf("hist = %+v", h)
+	}
+	for i, n := range h.Buckets {
+		if n != 1 {
+			t.Errorf("bucket %d = %d, want 1", i, n)
+		}
+	}
+}

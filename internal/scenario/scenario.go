@@ -113,6 +113,16 @@ var counterNames = []string{"kb", "frames", "chunks", "cmds", "gflops", "bytes",
 
 // Run executes the scenario.
 func Run(s *Spec) (*Report, error) {
+	rep, _, err := RunWithSystem(s, nil)
+	return rep, err
+}
+
+// RunWithSystem executes the scenario like Run, but calls setup (when
+// non-nil) on the freshly assembled system before any apps are installed
+// — the hook point for enabling tracing or registering extra snapshotters
+// — and returns the driven system alongside the report so callers can
+// read traces, metrics, and blame timelines off it.
+func RunWithSystem(s *Spec, setup func(*psbox.System)) (*Report, *psbox.System, error) {
 	var sys *psbox.System
 	switch s.Platform {
 	case "am57":
@@ -121,6 +131,9 @@ func Run(s *Spec) (*Report, error) {
 		sys = psbox.NewBeagleBone(s.Seed)
 	case "mobile":
 		sys = psbox.NewMobile(s.Seed)
+	}
+	if setup != nil {
+		setup(sys)
 	}
 	catalog := workload.Catalog()
 	type inst struct {
@@ -144,7 +157,7 @@ func Run(s *Spec) (*Report, error) {
 				}
 				box, err := sys.Sandbox.Create(app, scopes...)
 				if err != nil {
-					return nil, fmt.Errorf("scenario: boxing %s: %w", app.Name, err)
+					return nil, nil, fmt.Errorf("scenario: boxing %s: %w", app.Name, err)
 				}
 				box.Enter()
 				it.box = box
@@ -184,7 +197,7 @@ func Run(s *Spec) (*Report, error) {
 		}
 		rep.Apps = append(rep.Apps, ar)
 	}
-	return rep, nil
+	return rep, sys, nil
 }
 
 // Render prints a human-readable report.

@@ -65,6 +65,26 @@ type Engine struct {
 	//psbox:allow-snapshotstate transient re-entrancy guard; true whenever a checkpoint event could observe it
 	running bool
 	fired   uint64
+
+	// probe, when set, observes every probeStride-th fired event. The
+	// fired counter is a pure function of the scenario, so probe firings
+	// replay identically across checkpoint/restore — unlike Run-call
+	// boundaries, which differ between a straight run and a resumed one.
+	probe func(now Time, fired uint64)
+	//psbox:allow-snapshotstate probe configuration, rewired by the rebuilt scenario, not replayed state
+	probeStride uint64
+}
+
+// SetFiredProbe installs a hook invoked after every stride-th event
+// fires, with the current time and cumulative fired count. A nil fn
+// clears the probe. The observability layer uses this to mark engine
+// progress without the engine importing it.
+func (e *Engine) SetFiredProbe(stride uint64, fn func(now Time, fired uint64)) {
+	if stride == 0 {
+		stride = 1
+	}
+	e.probe = fn
+	e.probeStride = stride
 }
 
 // NewEngine returns an engine positioned at time zero.
@@ -138,6 +158,9 @@ func (e *Engine) Run(until Time) {
 		}
 		e.now = next.at
 		e.fired++
+		if e.probe != nil && e.fired%e.probeStride == 0 {
+			e.probe(e.now, e.fired)
+		}
 		next.fn(e.now)
 	}
 	if until > e.now {
@@ -169,6 +192,9 @@ func (e *Engine) Drain(maxEvents uint64) bool {
 		}
 		e.now = next.at
 		e.fired++
+		if e.probe != nil && e.fired%e.probeStride == 0 {
+			e.probe(e.now, e.fired)
+		}
 		next.fn(e.now)
 	}
 	return true

@@ -2,6 +2,8 @@ package trace
 
 import (
 	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -22,6 +24,28 @@ func TestPlotRenders(t *testing.T) {
 	}
 	if Plot(nil, 0, 0, 10, 4) != "(empty plot)\n" {
 		t.Fatal("empty plot handling")
+	}
+}
+
+// The legend must map EVERY series name to its plotting glyph, cycling
+// through the glyph set when there are more series than glyphs.
+func TestPlotLegendMapsAllSeries(t *testing.T) {
+	names := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	var series []Series
+	for i, n := range names {
+		series = append(series, Series{Name: n, Samples: []power.Sample{{T: sim.Time(i * 10), W: float64(i + 1)}}})
+	}
+	out := Plot(series, 0, 100, 30, 6)
+	glyphs := []byte{'*', 'o', '+', 'x', '#'}
+	for i, n := range names {
+		want := "        " + string(glyphs[i%len(glyphs)]) + " " + n + "\n"
+		if !strings.Contains(out, want) {
+			t.Errorf("legend line %q missing:\n%s", want, out)
+		}
+	}
+	// The sixth series wraps back to '*'.
+	if !strings.Contains(out, "        * zeta\n") {
+		t.Errorf("glyph wrap-around missing:\n%s", out)
 	}
 }
 
@@ -79,6 +103,51 @@ func TestWriteCSV(t *testing.T) {
 	out := b.String()
 	if !strings.HasPrefix(out, "series,time_s,watts\n") || !strings.Contains(out, "cpu,1.000000000,1.500000") {
 		t.Fatalf("csv:\n%s", out)
+	}
+}
+
+// buildCSV renders a fixed two-series trace through the exporter; the
+// golden test pins its exact bytes.
+func buildCSV(t *testing.T) string {
+	t.Helper()
+	e := sim.NewEngine()
+	r := power.NewRail(e, "cpu", 1)
+	e.At(sim.Time(25*sim.Millisecond), func(sim.Time) { r.Set(2.5) })
+	e.At(sim.Time(60*sim.Millisecond), func(sim.Time) { r.Set(0.75) })
+	e.Run(sim.Time(100 * sim.Millisecond))
+	raw := []power.Sample{
+		{T: sim.Time(5 * sim.Millisecond), W: 1.25},
+		{T: sim.Time(15 * sim.Millisecond), W: 1.75},
+		{T: sim.Time(35 * sim.Millisecond), W: 2.5},
+		{T: sim.Time(75 * sim.Millisecond), W: 0.5},
+	}
+	series := []Series{
+		{Name: "cpu_rail", Samples: DownsampleRail(r, 0, sim.Time(100*sim.Millisecond), 20*sim.Millisecond)},
+		{Name: "victim_psbox", Samples: DownsampleSamples(raw, 0, sim.Time(100*sim.Millisecond), 10*sim.Millisecond, 20*sim.Millisecond)},
+	}
+	var b strings.Builder
+	if err := WriteCSV(&b, series); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestWriteCSVGolden byte-compares the CSV exporter against its committed
+// golden. Regenerate with UPDATE_GOLDEN=1 go test ./internal/trace/.
+func TestWriteCSVGolden(t *testing.T) {
+	got := buildCSV(t)
+	path := filepath.Join("testdata", "write-csv.golden")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (regenerate with UPDATE_GOLDEN=1)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("CSV output diverged from golden (regenerate with UPDATE_GOLDEN=1 if intended):\ngot:\n%s\nwant:\n%s", got, want)
 	}
 }
 

@@ -40,6 +40,7 @@ import (
 	"psbox/internal/kernel/netsched"
 	"psbox/internal/kernel/sched"
 	"psbox/internal/meter"
+	"psbox/internal/obs"
 	"psbox/internal/sim"
 )
 
@@ -206,6 +207,11 @@ type System struct {
 	// "dsp", "wifi") for the baseline accounting of §6.1.
 	Recorders map[string]*account.Recorder
 
+	// Trace is the observability bus: every subsystem emits its spans and
+	// instants here once EnableTracing arms it. Disabled (and free) by
+	// default.
+	Trace *obs.Bus
+
 	// Periodic invariant auditing (SetAuditEvery) and scenario-registered
 	// checkpoint sections (RegisterSnapshotter).
 	auditStop  func()
@@ -214,18 +220,33 @@ type System struct {
 }
 
 // NewSystem assembles a platform from a config.
+// simProbeStride is how many fired engine events separate two CatSim
+// "fired" heartbeat instants on the trace. Milestones are counted in
+// fired events, not Run calls, so a straight run and a crash-resumed
+// run of the same scenario produce byte-identical traces.
+const simProbeStride = 4096
+
 func NewSystem(cfg PlatformConfig) *System {
 	eng := sim.NewEngine()
+	bus := obs.NewBus(eng, 0)
+	eng.SetFiredProbe(simProbeStride, func(now sim.Time, fired uint64) {
+		bus.Instant(obs.CatSim, "fired", 0, int64(fired), "", "")
+	})
 	c := cpu.MustNew(eng, cfg.CPU)
+	c.SetBus(bus)
 	schedCfg := sched.DefaultConfig(cfg.CPU.Cores)
 	if cfg.Sched != nil {
 		schedCfg = *cfg.Sched
 	}
 	k := kernel.New(eng, kernel.Config{CPU: c, Sched: schedCfg, Seed: cfg.Seed})
+	k.SetBus(bus)
+	k.Scheduler().SetBus(bus, cfg.CPU.Name)
 	m := meter.New(eng, cfg.MeterPeriod)
+	m.SetBus(bus)
 	m.AddRail(c.Rail())
 
 	inj := faults.New(eng, cfg.Seed)
+	inj.SetBus(bus)
 	inj.RegisterCPU(cfg.CPU.Name, c)
 	inj.RegisterMeter(m)
 
@@ -245,6 +266,7 @@ func NewSystem(cfg PlatformConfig) *System {
 		drv := accel.New(eng, dev, accel.Callbacks{
 			Usage: func(owner int, s, e sim.Time) { rec.Record(owner, s, e) },
 		})
+		drv.SetBus(bus)
 		k.AttachAccel(name, drv)
 		m.AddRail(dev.Rail())
 	}
@@ -268,6 +290,7 @@ func NewSystem(cfg PlatformConfig) *System {
 	}
 	if cfg.WiFi != nil {
 		n := nic.MustNew(eng, *cfg.WiFi)
+		n.SetBus(bus)
 		inj.RegisterNIC("wifi", n)
 		rec := &account.Recorder{}
 		recorders["wifi"] = rec
@@ -278,6 +301,7 @@ func NewSystem(cfg PlatformConfig) *System {
 		nd := netsched.NewWithConfig(eng, netCfg, n, netsched.Callbacks{
 			Usage: func(owner int, s, e sim.Time) { rec.Record(owner, s, e) },
 		})
+		nd.SetBus(bus)
 		k.AttachNet(nd)
 		m.AddRail(n.Rail())
 	}
@@ -292,6 +316,7 @@ func NewSystem(cfg PlatformConfig) *System {
 	m.AddRail(power.SumRail(eng, "battery", components...))
 
 	sandbox := core.NewManager(k, m)
+	sandbox.SetBus(bus)
 	return &System{
 		Eng:        eng,
 		Kernel:     k,
@@ -300,6 +325,7 @@ func NewSystem(cfg PlatformConfig) *System {
 		Faults:     inj,
 		Invariants: core.NewChecker(sandbox, "battery"),
 		Recorders:  recorders,
+		Trace:      bus,
 	}
 }
 
@@ -383,6 +409,28 @@ func (s *System) EnableAccelWatchdogs(cfg WatchdogConfig) {
 
 // Now reports the current simulated time.
 func (s *System) Now() Time { return s.Eng.Now() }
+
+// EnableTracing arms the observability bus: from this point on every
+// instrumented subsystem records its spans and instants (and metric
+// updates) on s.Trace. Tracing costs nothing while off — emission sites
+// are nil-safe no-ops.
+func (s *System) EnableTracing() { s.Trace.Enable() }
+
+// Blame joins one rail's DAQ samples with the trace's activity spans into
+// the per-sample attribution timeline of the canonical report: for every
+// sample window, which principals the drawn power is blamed on. Dropout
+// windows injected on the rail mark overlapping samples degraded.
+// Tracing must have been enabled before the window of interest, or the
+// spans (and thus the blame) are empty.
+func (s *System) Blame(rail string, from, to Time) []obs.Blame {
+	samples := s.Meter.Samples(rail, from, to)
+	var gaps []obs.Gap
+	for _, w := range s.Meter.Dropouts(rail, from, to) {
+		gaps = append(gaps, obs.Gap{From: w.From, To: w.To})
+	}
+	intervals := obs.IntervalsFromEvents(s.Trace.Events(), rail)
+	return obs.Attribute(samples, s.Meter.Period(), intervals, gaps)
+}
 
 // Accountant builds the baseline comparator over one rail — the "existing
 // approach" columns of Fig. 6.

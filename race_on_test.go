@@ -1,0 +1,8 @@
+//go:build race
+
+package psbox_test
+
+// raceEnabled reports that this test binary was built with the race
+// detector, whose memory-access instrumentation invalidates wall-clock
+// timing budgets.
+const raceEnabled = true

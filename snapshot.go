@@ -51,6 +51,7 @@ func (s *System) registry() *snapshot.Registry {
 	if s.Faults != nil {
 		reg.Add("faults", s.Faults)
 	}
+	reg.Add("obs", s.Trace)
 	snapRecorders := func(enc *snapshot.Encoder) {
 		names := make([]string, 0, len(s.Recorders))
 		for name := range s.Recorders {
