@@ -1,17 +1,23 @@
 // Command psbox-lint runs psbox's determinism and energy-accounting
-// analyzers over the whole module and exits non-zero on any finding. It is
-// the static half of the determinism contract: the CI determinism job
-// catches divergence after the fact; psbox-lint rejects the constructs
-// that cause it before they merge.
+// analyzers and exits non-zero on any finding. It is the static half of
+// the determinism contract: the CI determinism job catches divergence
+// after the fact; psbox-lint rejects the constructs that cause it before
+// they merge.
 //
 // Usage:
 //
-//	go run ./cmd/psbox-lint ./...
+//	go run ./cmd/psbox-lint [-json] [packages]
 //
-// The package patterns are accepted for familiarity but the tool always
-// analyzes the entire module containing the working directory; the
+// Package patterns (./..., ./internal/..., ./cmd/psbox-lint) select which
+// packages' findings are reported. The whole module containing the working
+// directory is always loaded and analyzed regardless — the interprocedural
+// analyzers need the full call graph — so narrowing the patterns narrows
+// the report, not the analysis. With no patterns, ./... is assumed. The
 // analyzers' package scopes (below) are fixed by DESIGN.md, not by the
 // command line.
+//
+// With -json, each finding is printed to stdout as one JSON object per
+// line with the fields file, line, col, analyzer, and message.
 //
 // Scopes:
 //
@@ -23,10 +29,16 @@
 //	snapshotstate  — every package (escape: //psbox:allow-snapshotstate)
 //	obsdeterminism — instrumented internal subtrees (sim, kernel, hw,
 //	                 meter, faults, core); report via the obs bus instead
+//	walltaint      — psbox/internal/... (whole-program taint)
+//	unbilledenergy — psbox/internal/... (whole-program pairing)
+//	maporderflow   — every package (whole-program dataflow)
 package main
 
 import (
+	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -35,24 +47,54 @@ import (
 )
 
 func main() {
-	root, err := moduleRoot()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("psbox-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit one JSON object per finding instead of text lines")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	cwd, err := os.Getwd()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "psbox-lint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "psbox-lint:", err)
+		return 2
+	}
+	root, err := moduleRoot(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "psbox-lint:", err)
+		return 2
 	}
 	loader, err := analysis.NewLoader(root)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "psbox-lint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "psbox-lint:", err)
+		return 2
 	}
 	pkgs, err := loader.LoadAll()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "psbox-lint:", err)
-		os.Exit(2)
+		fmt.Fprintln(stderr, "psbox-lint:", err)
+		return 2
 	}
 
+	match, err := compilePatterns(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "psbox-lint:", err)
+		return 2
+	}
+
+	prog := analysis.NewProgram(pkgs)
 	total := 0
 	for _, pkg := range pkgs {
+		if !match(pkg.Dir) {
+			continue
+		}
 		var suite []*analysis.Analyzer
 		for _, a := range analysis.All() {
 			if !analysis.InScope(a, pkg.Path) {
@@ -60,23 +102,88 @@ func main() {
 			}
 			suite = append(suite, a)
 		}
-		for _, d := range analysis.RunAnalyzers(pkg, suite) {
-			fmt.Println(relativize(root, d))
+		for _, d := range analysis.RunAnalyzersProgram(prog, pkg, suite) {
+			printDiag(stdout, root, d, *jsonOut)
 			total++
 		}
 	}
 	if total > 0 {
-		fmt.Fprintf(os.Stderr, "psbox-lint: %d finding(s)\n", total)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "psbox-lint: %d finding(s)\n", total)
+		return 1
 	}
+	return 0
 }
 
-// moduleRoot walks up from the working directory to the enclosing go.mod.
-func moduleRoot() (string, error) {
-	dir, err := os.Getwd()
-	if err != nil {
-		return "", err
+// compilePatterns turns go-style package patterns, resolved against the
+// working directory, into a directory matcher.
+func compilePatterns(cwd string, patterns []string) (func(dir string) bool, error) {
+	type rule struct {
+		base    string
+		subtree bool
 	}
+	var rules []rule
+	for _, p := range patterns {
+		if strings.HasPrefix(p, "-") {
+			return nil, fmt.Errorf("flag %s must precede package patterns", p)
+		}
+		rest, subtree := strings.CutSuffix(p, "/...")
+		if rest == "" {
+			rest = "."
+		}
+		base := rest
+		if !filepath.IsAbs(base) {
+			base = filepath.Join(cwd, base)
+		}
+		rules = append(rules, rule{base: filepath.Clean(base), subtree: subtree})
+	}
+	return func(dir string) bool {
+		dir = filepath.Clean(dir)
+		for _, r := range rules {
+			if dir == r.base {
+				return true
+			}
+			if r.subtree && strings.HasPrefix(dir, r.base+string(filepath.Separator)) {
+				return true
+			}
+		}
+		return false
+	}, nil
+}
+
+// jsonDiag is the -json wire form of one finding.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func printDiag(w io.Writer, root string, d analysis.Diagnostic, asJSON bool) {
+	file := d.Pos.Filename
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		file = rel
+	}
+	if asJSON {
+		b, err := json.Marshal(jsonDiag{
+			File:     file,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+		if err != nil {
+			panic(err) // a flat struct of strings and ints cannot fail
+		}
+		fmt.Fprintf(w, "%s\n", b)
+		return
+	}
+	d.Pos.Filename = file
+	fmt.Fprintln(w, d.String())
+}
+
+// moduleRoot walks up from dir to the enclosing go.mod.
+func moduleRoot(dir string) (string, error) {
 	for {
 		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
 			return dir, nil
@@ -87,12 +194,4 @@ func moduleRoot() (string, error) {
 		}
 		dir = parent
 	}
-}
-
-// relativize shortens diagnostic paths to module-relative form.
-func relativize(root string, d analysis.Diagnostic) string {
-	if rel, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-		d.Pos.Filename = rel
-	}
-	return d.String()
 }

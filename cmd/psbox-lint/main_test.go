@@ -1,0 +1,111 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// lintFixture lays out a throwaway module with one known violation and one
+// clean package and chdirs into it for the duration of the test.
+func lintFixture(t *testing.T) {
+	t.Helper()
+	root := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module psbox\n\ngo 1.22\n",
+		"internal/clock/clock.go": `package clock
+
+import "time"
+
+func Now() int64 { return time.Now().UnixNano() }
+`,
+		"internal/ok/ok.go": `package ok
+
+func Add(a, b int) int { return a + b }
+`,
+	}
+	for name, src := range files {
+		p := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(root); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { os.Chdir(old) })
+}
+
+const (
+	wantTextLine = "internal/clock/clock.go:5:27: nowallclock: time.Now reads the host wall clock; use the sim engine's virtual clock (Engine.Now/After/At)\n"
+	wantJSONLine = `{"file":"internal/clock/clock.go","line":5,"col":27,"analyzer":"nowallclock","message":"time.Now reads the host wall clock; use the sim engine's virtual clock (Engine.Now/After/At)"}` + "\n"
+)
+
+func TestTextOutputGolden(t *testing.T) {
+	lintFixture(t)
+	var out, errs bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errs); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errs.String())
+	}
+	if out.String() != wantTextLine {
+		t.Errorf("stdout = %q, want %q", out.String(), wantTextLine)
+	}
+	if errs.String() != "psbox-lint: 1 finding(s)\n" {
+		t.Errorf("stderr = %q", errs.String())
+	}
+}
+
+func TestNoArgsMatchesExplicitAll(t *testing.T) {
+	lintFixture(t)
+	var a, b bytes.Buffer
+	codeA := run(nil, &a, new(bytes.Buffer))
+	codeB := run([]string{"./..."}, &b, new(bytes.Buffer))
+	if codeA != codeB || !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Errorf("bare invocation must be byte-identical to ./...: %q vs %q", a.String(), b.String())
+	}
+}
+
+func TestJSONOutputGolden(t *testing.T) {
+	lintFixture(t)
+	var out bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &out, new(bytes.Buffer)); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if out.String() != wantJSONLine {
+		t.Errorf("stdout = %q, want %q", out.String(), wantJSONLine)
+	}
+}
+
+func TestPatternsNarrowTheReport(t *testing.T) {
+	lintFixture(t)
+	var out bytes.Buffer
+	if code := run([]string{"./internal/ok"}, &out, new(bytes.Buffer)); code != 0 {
+		t.Fatalf("clean package selected, exit code = %d, want 0; out: %s", code, out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("stdout = %q, want empty", out.String())
+	}
+	out.Reset()
+	if code := run([]string{"./internal/..."}, &out, new(bytes.Buffer)); code != 1 {
+		t.Fatalf("subtree with violation, exit code = %d, want 1", code)
+	}
+	if out.String() != wantTextLine {
+		t.Errorf("stdout = %q, want %q", out.String(), wantTextLine)
+	}
+}
+
+func TestFlagAfterPatternRejected(t *testing.T) {
+	lintFixture(t)
+	var errs bytes.Buffer
+	if code := run([]string{"./...", "-json"}, new(bytes.Buffer), &errs); code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr: %s", code, errs.String())
+	}
+}

@@ -4,9 +4,10 @@
 // The framework mirrors the shape of golang.org/x/tools/go/analysis —
 // an Analyzer holds a name, a doc string, and a Run function over a
 // type-checked package — but is built only on the standard library so the
-// module stays dependency-free. Seven analyzers enforce the simulator's
-// determinism, checkpoint, and observability contracts (see DESIGN.md
-// §"Determinism contract", §"Checkpoint/restore" and §"Observability"):
+// module stays dependency-free. Ten analyzers enforce the simulator's
+// determinism, checkpoint, billing, and observability contracts (see
+// DESIGN.md §"Determinism contract", §"Checkpoint/restore" and
+// §"Observability"):
 //
 //	nowallclock    — no time.Now/Sleep/Since/After inside internal/
 //	nomathrand     — no math/rand outside internal/sim/rand.go
@@ -15,9 +16,22 @@
 //	energyaccum    — no ad-hoc += into energy/joule/charge accumulators
 //	snapshotstate  — no stateful fields missing from Snapshot/Restore
 //	obsdeterminism — no fmt.Fprint*/log.* in instrumented packages
+//	walltaint      — no wall-clock/env/pid-derived values reaching sim
+//	                 state, snapshot writers, or obs events (whole-program)
+//	unbilledenergy — rail power transitions must be billed into
+//	                 internal/account on every path (whole-program)
+//	maporderflow   — maporder's float-accumulation rule through locals
+//	                 and helper calls (whole-program)
+//
+// The last three are interprocedural: they consult a whole-program view —
+// the cross-package call graph and bottom-up function summaries — carried
+// by a Program and shared across analyzers through its fact cache.
 //
 // A finding can be suppressed with an explicit, reasoned directive on the
-// offending line (or the line above, or file-wide in the header):
+// offending line (or the line above, or file-wide in the header). A
+// directive on the line above a statement that wraps across several lines
+// covers the whole statement, so findings reported on a continuation line
+// are suppressed too:
 //
 //	//psbox:allow-<analyzer> <reason>
 //
@@ -32,6 +46,8 @@ import (
 	"regexp"
 	"sort"
 	"strings"
+
+	"psbox/internal/analysis/callgraph"
 )
 
 // An Analyzer is one named static check.
@@ -53,7 +69,10 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
 }
 
-// A Pass carries one analyzer's view of one type-checked package.
+// A Pass carries one analyzer's view of one type-checked package. Prog is
+// the whole program the package was loaded as a part of; intraprocedural
+// analyzers ignore it, interprocedural ones pull the call graph and shared
+// summary tables from it.
 type Pass struct {
 	Analyzer *Analyzer
 	Fset     *token.FileSet
@@ -61,15 +80,70 @@ type Pass struct {
 	PkgPath  string
 	Pkg      *types.Package
 	Info     *types.Info
+	Prog     *Program
 
 	diags      *[]Diagnostic
 	directives map[string]*fileDirectives // keyed by filename
+}
+
+// A Program is the package set of one lint run. It owns the expensive
+// whole-program artifacts — the cross-package call graph and the
+// interprocedural analyzers' bottom-up summary tables — so each is built
+// once per run instead of once per package.
+type Program struct {
+	Pkgs []*Package // deterministic import-path order
+
+	cg    *callgraph.Graph
+	facts map[string]any
+}
+
+// NewProgram wraps an already-loaded package set.
+func NewProgram(pkgs []*Package) *Program {
+	return &Program{Pkgs: pkgs, facts: make(map[string]any)}
+}
+
+// Package returns the loaded package with the given import path, or nil.
+func (p *Program) Package(path string) *Package {
+	for _, pkg := range p.Pkgs {
+		if pkg.Path == path {
+			return pkg
+		}
+	}
+	return nil
+}
+
+// CallGraph builds (once) and returns the program's call graph.
+func (p *Program) CallGraph() *callgraph.Graph {
+	if p.cg == nil {
+		cgPkgs := make([]*callgraph.Package, len(p.Pkgs))
+		for i, pkg := range p.Pkgs {
+			cgPkgs[i] = &callgraph.Package{Path: pkg.Path, Files: pkg.Files, Types: pkg.Types, Info: pkg.Info}
+		}
+		p.cg = callgraph.Build(cgPkgs)
+	}
+	return p.cg
+}
+
+// Fact memoizes a whole-program computation under key. The first caller's
+// build result is handed to every later caller, so an analyzer that runs
+// once per package computes its summary table once per program.
+func (p *Program) Fact(key string, build func() any) any {
+	if v, ok := p.facts[key]; ok {
+		return v
+	}
+	v := build()
+	p.facts[key] = v
+	return v
 }
 
 // fileDirectives records the //psbox:allow-* lines of one file.
 type fileDirectives struct {
 	fileScope map[string]bool // analyzer name → allowed for whole file
 	lines     map[string]map[int]bool
+	// spans are the line ranges of multi-line statements covered by a
+	// directive on or directly above their first line, so a finding on a
+	// continuation line is suppressed too.
+	spans map[string][][2]int
 }
 
 var directiveRe = regexp.MustCompile(`^//psbox:allow-([a-z]+)(?:\s+(.*))?$`)
@@ -82,6 +156,7 @@ func scanDirectives(fset *token.FileSet, files []*ast.File, report func(token.Po
 		fd := &fileDirectives{
 			fileScope: make(map[string]bool),
 			lines:     make(map[string]map[int]bool),
+			spans:     make(map[string][][2]int),
 		}
 		out[fset.Position(f.Pos()).Filename] = fd
 		for _, cg := range f.Comments {
@@ -103,15 +178,71 @@ func scanDirectives(fset *token.FileSet, files []*ast.File, report func(token.Po
 				if fd.lines[name] == nil {
 					fd.lines[name] = make(map[int]bool)
 				}
-				fd.lines[name][fset.Position(c.Pos()).Line] = true
+				line := fset.Position(c.Pos()).Line
+				fd.lines[name][line] = true
+				if from, to, ok := stmtSpanAt(fset, f, line); ok && to > from {
+					fd.spans[name] = append(fd.spans[name], [2]int{from, to})
+				}
 			}
 		}
 	}
 	return out
 }
 
+// stmtSpanAt returns the line range of the innermost statement a directive
+// at line covers: the statement beginning on the directive's own line or
+// on the line directly below. For statements that carry a body (if, for,
+// switch, select), coverage stops at the opening brace so a directive
+// above a control statement never silences the body.
+func stmtSpanAt(fset *token.FileSet, f *ast.File, line int) (int, int, bool) {
+	var best ast.Stmt
+	ast.Inspect(f, func(n ast.Node) bool {
+		s, ok := n.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		start := fset.Position(s.Pos()).Line
+		if start != line && start != line+1 {
+			return true
+		}
+		if best == nil || (s.Pos() >= best.Pos() && s.End() <= best.End()) {
+			best = s
+		}
+		return true
+	})
+	if best == nil {
+		return 0, 0, false
+	}
+	return fset.Position(best.Pos()).Line, fset.Position(stmtCoverageEnd(best)).Line, true
+}
+
+// stmtCoverageEnd is the last position a directive on a statement's first
+// line speaks for.
+func stmtCoverageEnd(s ast.Stmt) token.Pos {
+	switch s := s.(type) {
+	case *ast.IfStmt:
+		return s.Body.Lbrace
+	case *ast.ForStmt:
+		return s.Body.Lbrace
+	case *ast.RangeStmt:
+		return s.Body.Lbrace
+	case *ast.SwitchStmt:
+		return s.Body.Lbrace
+	case *ast.TypeSwitchStmt:
+		return s.Body.Lbrace
+	case *ast.SelectStmt:
+		return s.Body.Lbrace
+	case *ast.BlockStmt:
+		return s.Lbrace
+	case *ast.LabeledStmt:
+		return stmtCoverageEnd(s.Stmt)
+	}
+	return s.End()
+}
+
 // allowed reports whether an analyzer finding at pos is covered by a
-// directive on the same line, the line above, or the file header.
+// directive on the same line, the line above, the spanned lines of the
+// statement the directive heads, or the file header.
 func (p *Pass) allowed(pos token.Pos) bool {
 	position := p.Fset.Position(pos)
 	fd := p.directives[position.Filename]
@@ -122,7 +253,15 @@ func (p *Pass) allowed(pos token.Pos) bool {
 		return true
 	}
 	lines := fd.lines[p.Analyzer.Name]
-	return lines[position.Line] || lines[position.Line-1]
+	if lines[position.Line] || lines[position.Line-1] {
+		return true
+	}
+	for _, sp := range fd.spans[p.Analyzer.Name] {
+		if position.Line >= sp[0] && position.Line <= sp[1] {
+			return true
+		}
+	}
+	return false
 }
 
 // Reportf records a finding unless an allow directive covers it.
@@ -142,9 +281,11 @@ func (p *Pass) Filename(n ast.Node) string {
 	return p.Fset.Position(n.Pos()).Filename
 }
 
-// All is the complete suite in stable order.
+// All is the complete suite in stable order. The last three analyzers are
+// interprocedural; when run through RunAnalyzers' single-package wrapper
+// they see a one-package program and degrade to intraprocedural checking.
 func All() []*Analyzer {
-	return []*Analyzer{NoWallClock, NoMathRand, NoConcurrency, MapOrder, EnergyAccum, SnapshotState, ObsDeterminism}
+	return []*Analyzer{NoWallClock, NoMathRand, NoConcurrency, MapOrder, EnergyAccum, SnapshotState, ObsDeterminism, WallTaint, UnbilledEnergy, MapOrderFlow}
 }
 
 // obsInstrumented are the package subtrees that emit on the observability
@@ -170,7 +311,9 @@ var obsInstrumented = []string{
 // core/vmeter.go) and allow directives as the only escape hatches.
 func InScope(a *Analyzer, pkgPath string) bool {
 	switch a.Name {
-	case "nowallclock":
+	case "nowallclock", "walltaint", "unbilledenergy":
+		// cmd tools may legitimately read host time and environment; the
+		// simulator tree may not, directly or through any call chain.
 		return strings.HasPrefix(pkgPath, "psbox/internal")
 	case "obsdeterminism":
 		for _, p := range obsInstrumented {
@@ -183,10 +326,17 @@ func InScope(a *Analyzer, pkgPath string) bool {
 	return true
 }
 
-// RunAnalyzers applies each analyzer to the package and returns the
-// findings sorted by position. Malformed allow directives are reported
-// once per package under the pseudo-analyzer name "directive".
+// RunAnalyzers applies each analyzer to the package as a one-package
+// program. Interprocedural analyzers see no callees beyond the package;
+// use RunAnalyzersProgram for whole-program precision.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	return RunAnalyzersProgram(NewProgram([]*Package{pkg}), pkg, analyzers)
+}
+
+// RunAnalyzersProgram applies each analyzer to one package of prog and
+// returns the findings sorted by position. Malformed allow directives are
+// reported once per package under the pseudo-analyzer name "directive".
+func RunAnalyzersProgram(prog *Program, pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	dirs := scanDirectives(pkg.Fset, pkg.Files, func(pos token.Pos, msg string) {
 		diags = append(diags, Diagnostic{
@@ -203,6 +353,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 			PkgPath:    pkg.Path,
 			Pkg:        pkg.Types,
 			Info:       pkg.Info,
+			Prog:       prog,
 			diags:      &diags,
 			directives: dirs,
 		}

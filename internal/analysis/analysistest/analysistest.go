@@ -14,7 +14,10 @@ package analysistest
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -33,24 +36,82 @@ var wantArgRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
 
 // Run loads each fixture package under root (GOPATH-style: the package's
 // import path is its directory relative to root) and applies the analyzer,
-// comparing findings against the fixtures' want comments.
-func Run(t *testing.T, root string, a *analysis.Analyzer, pkgs ...string) {
+// comparing findings against the fixtures' want comments. A pattern ending
+// in "/..." expands to every package in that subtree, so a multi-package
+// fixture — a package plus the helpers it imports — is analyzed as one
+// program: the analyzer sees every loaded package (fixture helpers and
+// stub packages at real psbox import paths included) through the program's
+// call graph, and want comments are checked in each expanded package.
+func Run(t testing.TB, root string, a *analysis.Analyzer, pkgs ...string) {
 	t.Helper()
 	loader, err := analysis.NewLoader(root)
 	if err != nil {
 		t.Fatalf("loader: %v", err)
 	}
-	for _, path := range pkgs {
-		pkg, err := loader.Load(path)
-		if err != nil {
-			t.Fatalf("loading fixture %q: %v", path, err)
+	var targets []*analysis.Package
+	for _, pattern := range pkgs {
+		for _, path := range expand(t, root, pattern) {
+			pkg, err := loader.Load(path)
+			if err != nil {
+				t.Fatalf("loading fixture %q: %v", path, err)
+			}
+			targets = append(targets, pkg)
 		}
-		diags := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{a})
+	}
+	// The program spans everything the loader has pulled in, so imported
+	// helper and stub packages resolve in the call graph.
+	prog := analysis.NewProgram(loader.Loaded())
+	for _, pkg := range targets {
+		diags := analysis.RunAnalyzersProgram(prog, pkg, []*analysis.Analyzer{a})
 		check(t, pkg, diags)
 	}
 }
 
-func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+// expand resolves one package pattern: either a literal import path or a
+// "prefix/..." subtree walk returning every directory under root/prefix
+// that holds non-test Go files, in sorted order.
+func expand(t testing.TB, root, pattern string) []string {
+	prefix, ok := strings.CutSuffix(pattern, "/...")
+	if !ok {
+		return []string{pattern}
+	}
+	base := filepath.Join(root, filepath.FromSlash(prefix))
+	var paths []string
+	err := filepath.WalkDir(base, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		entries, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if !e.IsDir() && strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go") {
+				rel, err := filepath.Rel(root, p)
+				if err != nil {
+					return err
+				}
+				paths = append(paths, filepath.ToSlash(rel))
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("expanding fixture pattern %q: %v", pattern, err)
+	}
+	if len(paths) == 0 {
+		t.Fatalf("fixture pattern %q matched no packages", pattern)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+func check(t testing.TB, pkg *analysis.Package, diags []analysis.Diagnostic) {
 	t.Helper()
 	var wants []*expectation
 	for _, f := range pkg.Files {

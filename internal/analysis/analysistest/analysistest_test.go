@@ -1,0 +1,100 @@
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fakeTB captures Fatalf so tests can assert on harness failures without
+// failing themselves. Fatalf must stop the caller the way testing.T does,
+// so it panics with a sentinel the test recovers.
+type fakeTB struct {
+	testing.TB
+	fatal string
+}
+
+type fatalSentinel struct{}
+
+func (f *fakeTB) Helper() {}
+
+func (f *fakeTB) Fatalf(format string, args ...any) {
+	f.fatal = fmt.Sprintf(format, args...)
+	panic(fatalSentinel{})
+}
+
+// runExpand drives expand through a fakeTB, reporting whether it called
+// Fatalf and with what message.
+func runExpand(root, pattern string) (paths []string, fatal string) {
+	f := &fakeTB{}
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(fatalSentinel); !ok {
+				panic(r)
+			}
+			fatal = f.fatal
+		}
+	}()
+	paths = expand(f, root, pattern)
+	return paths, ""
+}
+
+func writeFixtureTree(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for name, src := range files {
+		p := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestExpandSubtreePattern(t *testing.T) {
+	root := writeFixtureTree(t, map[string]string{
+		"fix/a/a.go":              "package a\n",
+		"fix/a/deep/d.go":         "package deep\n",
+		"fix/b/b.go":              "package b\n",
+		"fix/empty/.keep":         "",
+		"fix/only_test/x_test.go": "package only_test\n",
+	})
+	paths, fatal := runExpand(root, "fix/...")
+	if fatal != "" {
+		t.Fatalf("unexpected Fatalf: %s", fatal)
+	}
+	want := []string{"fix/a", "fix/a/deep", "fix/b"}
+	if len(paths) != len(want) {
+		t.Fatalf("expand = %v, want %v", paths, want)
+	}
+	for i := range want {
+		if paths[i] != want[i] {
+			t.Fatalf("expand = %v, want %v (sorted, test-only and empty dirs skipped)", paths, want)
+		}
+	}
+}
+
+func TestExpandLiteralPatternPassesThrough(t *testing.T) {
+	root := writeFixtureTree(t, map[string]string{"p/p.go": "package p\n"})
+	paths, fatal := runExpand(root, "p")
+	if fatal != "" || len(paths) != 1 || paths[0] != "p" {
+		t.Fatalf("expand = %v (fatal %q), want [p]", paths, fatal)
+	}
+}
+
+func TestExpandEmptyPatternFails(t *testing.T) {
+	root := writeFixtureTree(t, map[string]string{"fix/empty/.keep": ""})
+	_, fatal := runExpand(root, "fix/...")
+	if !strings.Contains(fatal, `matched no packages`) {
+		t.Fatalf("empty subtree must fail the test, got fatal %q", fatal)
+	}
+	_, fatal = runExpand(root, "nosuchdir/...")
+	if fatal == "" {
+		t.Fatal("pattern over a missing directory must fail the test")
+	}
+}

@@ -1,0 +1,98 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"psbox/internal/analysis"
+)
+
+// lintModule runs the full in-scope suite over every package of the tree
+// rooted at root — the same work one psbox-lint invocation does.
+func lintModule(tb testing.TB, root string) int {
+	tb.Helper()
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		tb.Fatal(err)
+	}
+	prog := analysis.NewProgram(pkgs)
+	findings := 0
+	for _, pkg := range pkgs {
+		var suite []*analysis.Analyzer
+		for _, a := range analysis.All() {
+			if analysis.InScope(a, pkg.Path) {
+				suite = append(suite, a)
+			}
+		}
+		findings += len(analysis.RunAnalyzersProgram(prog, pkg, suite))
+	}
+	return findings
+}
+
+// BenchmarkLintAll measures repeated whole-module lint runs. The loader's
+// process-wide cache means only the first iteration pays for type-checking;
+// the typechecks/op metric makes the cache benefit visible — it tends to
+// zero as b.N grows, where an uncached loader would hold it constant at
+// the full package count.
+func BenchmarkLintAll(b *testing.B) {
+	before := analysis.TypeCheckCount()
+	for i := 0; i < b.N; i++ {
+		lintModule(b, "../..")
+	}
+	b.ReportMetric(float64(analysis.TypeCheckCount()-before)/float64(b.N), "typechecks/op")
+}
+
+// TestLoaderCacheIsSharedAcrossInvocations proves the load-once contract:
+// a second NewLoader for the same root returns the same instance, and a
+// second LoadAll performs zero additional type-checks.
+func TestLoaderCacheIsSharedAcrossInvocations(t *testing.T) {
+	root := t.TempDir()
+	if err := os.WriteFile(filepath.Join(root, "go.mod"), []byte("module cachedemo\n\ngo 1.22\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dir := filepath.Join(root, "leaf")
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "leaf.go"), []byte("package leaf\n\nfunc Leaf() int { return 1 }\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	first, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := first.LoadAll(); err != nil {
+		t.Fatal(err)
+	}
+	checked := analysis.TypeCheckCount()
+	if checked == 0 {
+		t.Fatal("first LoadAll performed no type-checks")
+	}
+
+	second, err := analysis.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second != first {
+		t.Error("NewLoader for the same root must return the cached instance")
+	}
+	pkgs, err := second.LoadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 || pkgs[0].Path != "cachedemo/leaf" {
+		t.Fatalf("unexpected packages: %v", pkgs)
+	}
+	if got := analysis.TypeCheckCount(); got != checked {
+		t.Errorf("second LoadAll re-type-checked: count went %d -> %d", checked, got)
+	}
+	if loaded := second.Loaded(); len(loaded) != 1 || loaded[0] != pkgs[0] {
+		t.Errorf("Loaded() must return the cached package objects")
+	}
+}

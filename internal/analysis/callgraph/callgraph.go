@@ -1,0 +1,256 @@
+// Package callgraph builds a cross-package call graph over a set of
+// type-checked packages, for the interprocedural analyzers in
+// internal/analysis.
+//
+// Edges come from two resolution strategies:
+//
+//   - static dispatch: calls whose callee is a named function or a method
+//     on a concrete receiver resolve to exactly one node;
+//   - method-set resolution: a call through an interface fans out to the
+//     corresponding method of every named type in the analyzed program
+//     whose method set implements that interface.
+//
+// Calls through function values (fields, parameters, closures) and via
+// reflection are not resolved; analyses treat such call sites
+// conservatively. The graph is deterministic: nodes appear in (package,
+// file, declaration) order and SCCs in bottom-up (callee-before-caller)
+// order, so fixpoints over it converge to identical results on every run.
+package callgraph
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A Package is one type-checked package of the program under analysis.
+type Package struct {
+	Path  string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Node is one declared function or method with a body in the program.
+type Node struct {
+	Fn   *types.Func
+	Decl *ast.FuncDecl
+	Pkg  *Package
+	Out  []*Node // deduplicated callees, first-call order
+}
+
+// A Graph is the whole-program call graph.
+type Graph struct {
+	nodes map[*types.Func]*Node
+	order []*Node
+}
+
+// Node returns the graph node for fn, or nil when fn has no body in the
+// analyzed program (stdlib, interface method, external).
+func (g *Graph) Node(fn *types.Func) *Node { return g.nodes[fn] }
+
+// Nodes returns every node in deterministic declaration order.
+func (g *Graph) Nodes() []*Node { return g.order }
+
+// Build constructs the call graph. pkgs must already be type-checked and
+// are visited in the given order, so callers should pass a deterministically
+// sorted slice.
+func Build(pkgs []*Package) *Graph {
+	g := &Graph{nodes: make(map[*types.Func]*Node)}
+
+	// Pass 1: one node per declared function body.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pkg.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				n := &Node{Fn: fn, Decl: fd, Pkg: pkg}
+				g.nodes[fn] = n
+				g.order = append(g.order, n)
+			}
+		}
+	}
+
+	// Concrete named types of the program, in deterministic order, for
+	// interface method-set resolution.
+	var concrete []types.Type
+	for _, pkg := range pkgs {
+		scope := pkg.Types.Scope()
+		for _, name := range scope.Names() { // Names() is sorted
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			t := tn.Type()
+			if types.IsInterface(t) {
+				continue
+			}
+			concrete = append(concrete, t)
+		}
+	}
+
+	// Pass 2: edges.
+	for _, n := range g.order {
+		seen := make(map[*Node]bool)
+		add := func(callee *Node) {
+			if callee != nil && !seen[callee] {
+				seen[callee] = true
+				n.Out = append(n.Out, callee)
+			}
+		}
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			call, ok := x.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if fn := StaticCallee(n.Pkg.Info, call); fn != nil {
+				add(g.nodes[fn])
+				return true
+			}
+			if iface, name := interfaceCall(n.Pkg.Info, call); iface != nil {
+				for _, t := range concrete {
+					impl := implementer(t, iface, name)
+					if impl != nil {
+						add(g.nodes[impl])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return g
+}
+
+// StaticCallee resolves a call expression to the single declared function
+// or method it invokes, or nil for interface calls, calls through function
+// values, type conversions, and builtins.
+func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn.Origin()
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if fn, ok := sel.Obj().(*types.Func); ok {
+				if types.IsInterface(sel.Recv()) {
+					return nil // dynamic dispatch
+				}
+				return fn.Origin()
+			}
+			return nil
+		}
+		// Package-qualified function: pkg.F.
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn.Origin()
+		}
+	}
+	return nil
+}
+
+// interfaceCall reports the interface type and method name of a dynamic
+// method call, or (nil, "").
+func interfaceCall(info *types.Info, call *ast.CallExpr) (*types.Interface, string) {
+	fun, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	sel, ok := info.Selections[fun]
+	if !ok || sel.Kind() != types.MethodVal {
+		return nil, ""
+	}
+	if !types.IsInterface(sel.Recv()) {
+		return nil, ""
+	}
+	iface, ok := sel.Recv().Underlying().(*types.Interface)
+	if !ok {
+		return nil, ""
+	}
+	return iface, fun.Sel.Name
+}
+
+// implementer returns T's (or *T's) declared method name when T implements
+// iface, unwrapping any wrapper to the original declared *types.Func.
+func implementer(t types.Type, iface *types.Interface, name string) *types.Func {
+	ptr := types.NewPointer(t)
+	if !types.Implements(t, iface) && !types.Implements(ptr, iface) {
+		return nil
+	}
+	obj, _, _ := types.LookupFieldOrMethod(ptr, true, nil, name)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	return fn.Origin()
+}
+
+// SCCs returns the strongly connected components of the graph in bottom-up
+// order: every component appears before any component that calls into it,
+// so a summary fixpoint can run callees-first. Within a component, nodes
+// keep declaration order.
+func (g *Graph) SCCs() [][]*Node {
+	// Tarjan's algorithm; with Out-edges pointing caller→callee it emits
+	// sink (callee) components first, which is exactly bottom-up.
+	type state struct {
+		index, low int
+		onStack    bool
+	}
+	st := make(map[*Node]*state, len(g.order))
+	var stack []*Node
+	var out [][]*Node
+	next := 0
+
+	var strong func(*Node)
+	strong = func(v *Node) {
+		sv := &state{index: next, low: next, onStack: true}
+		next++
+		st[v] = sv
+		stack = append(stack, v)
+		for _, w := range v.Out {
+			sw, seen := st[w]
+			if !seen {
+				strong(w)
+				if st[w].low < sv.low {
+					sv.low = st[w].low
+				}
+			} else if sw.onStack {
+				if sw.index < sv.low {
+					sv.low = sw.index
+				}
+			}
+		}
+		if sv.low == sv.index {
+			var comp []*Node
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				st[w].onStack = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			// Restore declaration order within the component for
+			// deterministic fixpoint iteration.
+			reverse(comp)
+			out = append(out, comp)
+		}
+	}
+	for _, v := range g.order {
+		if _, seen := st[v]; !seen {
+			strong(v)
+		}
+	}
+	return out
+}
+
+func reverse(ns []*Node) {
+	for i, j := 0, len(ns)-1; i < j; i, j = i+1, j-1 {
+		ns[i], ns[j] = ns[j], ns[i]
+	}
+}

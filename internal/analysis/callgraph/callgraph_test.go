@@ -1,0 +1,257 @@
+package callgraph
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// check type-checks a set of fake packages (path → source), resolving
+// imports among them, and returns them in the given order.
+func check(t *testing.T, order []string, srcs map[string]string) []*Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	built := make(map[string]*Package)
+	var imp func(path string) (*types.Package, error)
+	std := importer.ForCompiler(fset, "source", nil)
+	imp = func(path string) (*types.Package, error) {
+		if p, ok := built[path]; ok {
+			return p.Types, nil
+		}
+		src, ok := srcs[path]
+		if !ok {
+			return std.Import(path)
+		}
+		f, err := parser.ParseFile(fset, path+"/a.go", src, parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		info := &types.Info{
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+		}
+		conf := types.Config{Importer: importerFunc(imp)}
+		tp, err := conf.Check(path, fset, []*ast.File{f}, info)
+		if err != nil {
+			return nil, fmt.Errorf("check %s: %w", path, err)
+		}
+		built[path] = &Package{Path: path, Files: []*ast.File{f}, Types: tp, Info: info}
+		return tp, nil
+	}
+	var out []*Package
+	for _, p := range order {
+		if _, err := imp(p); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, built[p])
+	}
+	return out
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// find returns the node whose function has the given package path and name
+// (method names as "T.m").
+func find(t *testing.T, g *Graph, pkg, name string) *Node {
+	t.Helper()
+	for _, n := range g.Nodes() {
+		if n.Pkg.Path != pkg {
+			continue
+		}
+		got := n.Fn.Name()
+		if recv := n.Fn.Type().(*types.Signature).Recv(); recv != nil {
+			rt := recv.Type()
+			if p, ok := rt.(*types.Pointer); ok {
+				rt = p.Elem()
+			}
+			if named, ok := rt.(*types.Named); ok {
+				got = named.Obj().Name() + "." + got
+			}
+		}
+		if got == name {
+			return n
+		}
+	}
+	t.Fatalf("no node %s.%s", pkg, name)
+	return nil
+}
+
+func calls(a, b *Node) bool {
+	for _, o := range a.Out {
+		if o == b {
+			return true
+		}
+	}
+	return false
+}
+
+func TestStaticAndCrossPackageEdges(t *testing.T) {
+	pkgs := check(t, []string{"b", "a"}, map[string]string{
+		"b": `package b
+func Helper() int { return leaf() }
+func leaf() int   { return 1 }
+`,
+		"a": `package a
+import "b"
+func Top() int { return b.Helper() }
+`,
+	})
+	g := Build(pkgs)
+	top := find(t, g, "a", "Top")
+	helper := find(t, g, "b", "Helper")
+	leaf := find(t, g, "b", "leaf")
+	if !calls(top, helper) {
+		t.Error("missing cross-package edge a.Top → b.Helper")
+	}
+	if !calls(helper, leaf) {
+		t.Error("missing intra-package edge b.Helper → b.leaf")
+	}
+	if calls(top, leaf) {
+		t.Error("Top does not call leaf directly")
+	}
+}
+
+func TestMethodEdges(t *testing.T) {
+	pkgs := check(t, []string{"m"}, map[string]string{
+		"m": `package m
+type T struct{}
+func (t *T) Do()   { t.helper() }
+func (t *T) helper() {}
+func Use(t *T)     { t.Do() }
+`,
+	})
+	g := Build(pkgs)
+	use := find(t, g, "m", "Use")
+	do := find(t, g, "m", "T.Do")
+	helper := find(t, g, "m", "T.helper")
+	if !calls(use, do) || !calls(do, helper) {
+		t.Error("static method edges missing")
+	}
+}
+
+func TestInterfaceFanOut(t *testing.T) {
+	pkgs := check(t, []string{"i", "impl", "use"}, map[string]string{
+		"i": `package i
+type Doer interface{ Do() }
+`,
+		"impl": `package impl
+type A struct{}
+func (A) Do() {}
+type B struct{}
+func (*B) Do() {}
+type NotDoer struct{}
+func (NotDoer) Other() {}
+`,
+		"use": `package use
+import (
+	"i"
+	"impl"
+)
+func Run(d i.Doer) { d.Do() }
+var _ = impl.A{}
+`,
+	})
+	g := Build(pkgs)
+	run := find(t, g, "use", "Run")
+	aDo := find(t, g, "impl", "A.Do")
+	bDo := find(t, g, "impl", "B.Do")
+	other := find(t, g, "impl", "NotDoer.Other")
+	if !calls(run, aDo) || !calls(run, bDo) {
+		t.Error("interface call must fan out to every implementing method in the program")
+	}
+	if calls(run, other) {
+		t.Error("NotDoer does not implement Doer")
+	}
+}
+
+func TestFuncValueUnresolved(t *testing.T) {
+	pkgs := check(t, []string{"fv"}, map[string]string{
+		"fv": `package fv
+func Target() {}
+func Run(f func()) { f() }
+var _ = Target
+`,
+	})
+	g := Build(pkgs)
+	run := find(t, g, "fv", "Run")
+	if len(run.Out) != 0 {
+		t.Errorf("call through a func value must stay unresolved, got %d edges", len(run.Out))
+	}
+}
+
+func TestSCCBottomUp(t *testing.T) {
+	pkgs := check(t, []string{"s"}, map[string]string{
+		"s": `package s
+func A() { B() }
+func B() { C(); B() }
+func C() {}
+func M1() { M2() }
+func M2() { M1() }
+`,
+	})
+	g := Build(pkgs)
+	sccs := g.SCCs()
+	pos := make(map[*Node]int)
+	for i, comp := range sccs {
+		for _, n := range comp {
+			pos[n] = i
+		}
+	}
+	a := find(t, g, "s", "A")
+	b := find(t, g, "s", "B")
+	c := find(t, g, "s", "C")
+	m1 := find(t, g, "s", "M1")
+	m2 := find(t, g, "s", "M2")
+	if !(pos[c] < pos[b] && pos[b] < pos[a]) {
+		t.Errorf("bottom-up order violated: C=%d B=%d A=%d", pos[c], pos[b], pos[a])
+	}
+	if pos[m1] != pos[m2] {
+		t.Error("mutually recursive M1/M2 must share a component")
+	}
+	if !calls(b, b) {
+		t.Error("self-edge B→B missing")
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	srcs := map[string]string{
+		"d": `package d
+type I interface{ M() }
+type X struct{}
+func (X) M() {}
+type Y struct{}
+func (Y) M() {}
+func Go(i I) { i.M() }
+`,
+	}
+	var prev []string
+	for run := 0; run < 5; run++ {
+		g := Build(check(t, []string{"d"}, srcs))
+		var names []string
+		for _, n := range g.Nodes() {
+			names = append(names, n.Fn.Name())
+			for _, o := range n.Out {
+				names = append(names, "→"+o.Fn.Name())
+			}
+		}
+		if prev != nil {
+			if len(names) != len(prev) {
+				t.Fatalf("node/edge count changed between runs: %v vs %v", prev, names)
+			}
+			for i := range names {
+				if names[i] != prev[i] {
+					t.Fatalf("order changed between runs at %d: %v vs %v", i, prev, names)
+				}
+			}
+		}
+		prev = names
+	}
+}

@@ -1,0 +1,429 @@
+// Package cfg builds per-function control-flow graphs over the Go AST.
+//
+// The graph is statement-granular: every block holds the simple statements
+// and branch-condition expressions that execute unconditionally once the
+// block is entered, in execution order, and edges carry the branching
+// structure of if/for/range/switch/select plus goto, labeled break and
+// continue, and fallthrough. Three constructs get special treatment
+// because the must-pair analyses built on top care about them:
+//
+//   - return statements edge to the single Exit block;
+//   - a statement-position call to panic (or os.Exit, log.Fatal*,
+//     runtime.Goexit, testing's FailNow-alikes are out of scope here)
+//     terminates its block with Panics=true and no successors: paths that
+//     die do not reach Exit and must-pair obligations on them are vacuous;
+//   - defer statements are collected into Graph.Defers, since a deferred
+//     call runs on every exit (normal or panicking) and therefore
+//     post-dominates everything.
+//
+// Function literals are opaque: their bodies are not part of the enclosing
+// function's paths, so the builder does not descend into them. Short-circuit
+// operands (&&, ||) are NOT split into blocks; callers that need
+// may/must precision below statement granularity handle ast.BinaryExpr
+// nesting themselves (see ConditionalCalls).
+package cfg
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// A Block is one straight-line run of nodes with a common set of
+// successors.
+type Block struct {
+	Index  int
+	Nodes  []ast.Node // simple statements and condition expressions, in order
+	Succs  []*Block
+	Panics bool // block terminates the goroutine (panic/os.Exit); no successors
+}
+
+// A Graph is the control-flow graph of one function body.
+type Graph struct {
+	Entry  *Block
+	Exit   *Block // every return and normal fall-off edges here
+	Blocks []*Block
+	Defers []*ast.CallExpr // deferred calls, which run on every exit
+}
+
+// New builds the graph for a function body. A nil body (declaration
+// without definition) yields a two-block graph with Entry wired to Exit.
+func New(body *ast.BlockStmt) *Graph {
+	b := &builder{g: &Graph{}}
+	b.g.Entry = b.newBlock()
+	b.g.Exit = b.newBlock()
+	b.cur = b.g.Entry
+	if body != nil {
+		b.stmtList(body.List)
+	}
+	b.jump(b.g.Exit)
+	for _, pg := range b.gotos {
+		if tgt := b.labels[pg.label]; tgt != nil {
+			pg.from.Succs = append(pg.from.Succs, tgt)
+		}
+	}
+	return b.g
+}
+
+type breakTarget struct {
+	label string
+	brk   *Block // break destination
+	cont  *Block // continue destination; nil for switch/select
+}
+
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+type builder struct {
+	g      *Graph
+	cur    *Block
+	stack  []breakTarget
+	labels map[string]*Block
+	gotos  []pendingGoto
+	// label pending on the next loop/switch statement, for labeled
+	// break/continue.
+	pendingLabel string
+}
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{Index: len(b.g.Blocks)}
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// jump adds an edge cur→to (if cur can fall through) and is a no-op for
+// terminated blocks.
+func (b *builder) jump(to *Block) {
+	if b.cur == nil || b.cur.Panics {
+		return
+	}
+	b.cur.Succs = append(b.cur.Succs, to)
+}
+
+// startUnreachable parks the builder on a fresh, edgeless block for
+// statements following return/panic/goto.
+func (b *builder) startUnreachable() {
+	b.cur = b.newBlock()
+}
+
+func (b *builder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *builder) add(n ast.Node) {
+	if n != nil {
+		b.cur.Nodes = append(b.cur.Nodes, n)
+	}
+}
+
+// terminates reports whether an expression statement's call never returns.
+func terminates(call *ast.CallExpr) bool {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic"
+	case *ast.SelectorExpr:
+		if pkg, ok := fun.X.(*ast.Ident); ok {
+			switch {
+			case pkg.Name == "os" && fun.Sel.Name == "Exit":
+				return true
+			case pkg.Name == "runtime" && fun.Sel.Name == "Goexit":
+				return true
+			case pkg.Name == "log" && (fun.Sel.Name == "Fatal" || fun.Sel.Name == "Fatalf" || fun.Sel.Name == "Fatalln" || fun.Sel.Name == "Panic" || fun.Sel.Name == "Panicf" || fun.Sel.Name == "Panicln"):
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := s.X.(*ast.CallExpr); ok && terminates(call) {
+			b.cur.Panics = true
+			b.startUnreachable()
+		}
+
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.jump(b.g.Exit)
+		b.startUnreachable()
+
+	case *ast.DeferStmt:
+		b.add(s) // the arguments are evaluated here
+		b.g.Defers = append(b.g.Defers, s.Call)
+
+	case *ast.LabeledStmt:
+		if b.labels == nil {
+			b.labels = make(map[string]*Block)
+		}
+		target := b.newBlock()
+		b.jump(target)
+		b.cur = target
+		b.labels[s.Label.Name] = target
+		b.pendingLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.pendingLabel = ""
+
+	case *ast.BranchStmt:
+		b.branch(s)
+
+	case *ast.IfStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Cond)
+		condBlk := b.cur
+		after := b.newBlock()
+
+		b.cur = b.newBlock()
+		condBlk.Succs = append(condBlk.Succs, b.cur)
+		b.stmt(s.Body)
+		b.jump(after)
+
+		if s.Else != nil {
+			b.cur = b.newBlock()
+			condBlk.Succs = append(condBlk.Succs, b.cur)
+			b.stmt(s.Else)
+			b.jump(after)
+		} else {
+			condBlk.Succs = append(condBlk.Succs, after)
+		}
+		b.cur = after
+
+	case *ast.ForStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		head := b.newBlock()
+		after := b.newBlock()
+		post := head
+		if s.Post != nil {
+			post = b.newBlock()
+		}
+		b.jump(head)
+		b.cur = head
+		if s.Cond != nil {
+			b.add(s.Cond)
+			head.Succs = append(head.Succs, after)
+		}
+		body := b.newBlock()
+		head.Succs = append(head.Succs, body)
+		b.cur = body
+		b.push(label, after, post)
+		b.stmt(s.Body)
+		b.pop()
+		b.jump(post)
+		if s.Post != nil {
+			b.cur = post
+			b.stmt(s.Post)
+			b.jump(head)
+		}
+		b.cur = after
+
+	case *ast.RangeStmt:
+		label := b.takeLabel()
+		b.add(s.X) // the ranged expression is evaluated once, up front
+		head := b.newBlock()
+		after := b.newBlock()
+		b.jump(head)
+		head.Succs = append(head.Succs, after) // possibly-empty collection
+		body := b.newBlock()
+		head.Succs = append(head.Succs, body)
+		b.cur = body
+		if s.Key != nil {
+			b.add(s.Key)
+		}
+		if s.Value != nil {
+			b.add(s.Value)
+		}
+		b.push(label, after, head)
+		b.stmt(s.Body)
+		b.pop()
+		b.jump(head)
+		b.cur = after
+
+	case *ast.SwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.cases(label, s.Body, func(c *ast.CaseClause) ([]ast.Stmt, bool) {
+			for _, e := range c.List {
+				b.add(e) // case expressions are evaluated in the dispatch block
+			}
+			return c.Body, c.List == nil
+		})
+
+	case *ast.TypeSwitchStmt:
+		label := b.takeLabel()
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.cases(label, s.Body, func(c *ast.CaseClause) ([]ast.Stmt, bool) {
+			return c.Body, c.List == nil
+		})
+
+	case *ast.SelectStmt:
+		label := b.takeLabel()
+		dispatch := b.cur
+		after := b.newBlock()
+		b.push(label, after, nil)
+		for _, cl := range s.Body.List {
+			comm := cl.(*ast.CommClause)
+			b.cur = b.newBlock()
+			dispatch.Succs = append(dispatch.Succs, b.cur)
+			if comm.Comm != nil {
+				b.stmt(comm.Comm)
+			}
+			b.stmtList(comm.Body)
+			b.jump(after)
+		}
+		b.pop()
+		b.cur = after
+
+	default:
+		// Assign, IncDec, Decl, Send, Go, Empty: straight-line.
+		b.add(s)
+	}
+}
+
+// cases builds the shared switch/type-switch shape: each clause hangs off
+// the dispatch block, fallthrough chains clause bodies, and a missing
+// default wires dispatch straight to the join.
+func (b *builder) cases(label string, body *ast.BlockStmt, clause func(*ast.CaseClause) ([]ast.Stmt, bool)) {
+	dispatch := b.cur
+	after := b.newBlock()
+	b.push(label, after, nil)
+	hasDefault := false
+	// First pass creates every clause's entry block so fallthrough can
+	// target the next clause.
+	entries := make([]*Block, len(body.List))
+	bodies := make([][]ast.Stmt, len(body.List))
+	for i, cl := range body.List {
+		cc := cl.(*ast.CaseClause)
+		stmts, isDefault := clause(cc)
+		if isDefault {
+			hasDefault = true
+		}
+		entries[i] = b.newBlock()
+		bodies[i] = stmts
+		dispatch.Succs = append(dispatch.Succs, entries[i])
+	}
+	for i := range entries {
+		b.cur = entries[i]
+		fell := false
+		for _, st := range bodies[i] {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fell = true
+				break
+			}
+			b.stmt(st)
+		}
+		if fell && i+1 < len(entries) {
+			b.jump(entries[i+1])
+		} else {
+			b.jump(after)
+		}
+	}
+	b.pop()
+	if !hasDefault {
+		dispatch.Succs = append(dispatch.Succs, after)
+	}
+	b.cur = after
+}
+
+func (b *builder) takeLabel() string {
+	l := b.pendingLabel
+	b.pendingLabel = ""
+	return l
+}
+
+func (b *builder) push(label string, brk, cont *Block) {
+	b.stack = append(b.stack, breakTarget{label: label, brk: brk, cont: cont})
+}
+
+func (b *builder) pop() { b.stack = b.stack[:len(b.stack)-1] }
+
+func (b *builder) branch(s *ast.BranchStmt) {
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.stack) - 1; i >= 0; i-- {
+			t := b.stack[i]
+			if s.Label == nil || t.label == s.Label.Name {
+				b.jump(t.brk)
+				break
+			}
+		}
+		b.startUnreachable()
+	case token.CONTINUE:
+		for i := len(b.stack) - 1; i >= 0; i-- {
+			t := b.stack[i]
+			if t.cont == nil {
+				continue // switch/select: continue skips to the enclosing loop
+			}
+			if s.Label == nil || t.label == s.Label.Name {
+				b.jump(t.cont)
+				break
+			}
+		}
+		b.startUnreachable()
+	case token.GOTO:
+		if s.Label != nil && b.cur != nil && !b.cur.Panics {
+			b.gotos = append(b.gotos, pendingGoto{from: b.cur, label: s.Label.Name})
+		}
+		b.startUnreachable()
+	}
+	// FALLTHROUGH is consumed by the switch builder.
+}
+
+// CallsIn invokes fn for every call expression nested in a block node, in
+// source order, without descending into function literals (their bodies are
+// not on the enclosing function's paths). conditional is true when the call
+// sits under the right operand of a short-circuit && or ||, i.e. it may be
+// skipped even though its statement executes.
+func CallsIn(n ast.Node, fn func(call *ast.CallExpr, conditional bool)) {
+	callsIn(n, false, fn)
+}
+
+func callsIn(n ast.Node, cond bool, fn func(*ast.CallExpr, bool)) {
+	switch x := n.(type) {
+	case nil:
+		return
+	case *ast.FuncLit:
+		return
+	case *ast.BinaryExpr:
+		if x.Op == token.LAND || x.Op == token.LOR {
+			callsIn(x.X, cond, fn)
+			callsIn(x.Y, true, fn)
+			return
+		}
+	case *ast.CallExpr:
+		fn(x, cond)
+		callsIn(x.Fun, cond, fn)
+		for _, a := range x.Args {
+			callsIn(a, cond, fn)
+		}
+		return
+	}
+	// Generic traversal over the node's immediate children.
+	ast.Inspect(n, func(c ast.Node) bool {
+		if c == nil || c == n {
+			return true
+		}
+		callsIn(c, cond, fn)
+		return false
+	})
+}

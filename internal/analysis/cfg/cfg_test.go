@@ -1,0 +1,428 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"testing"
+)
+
+// parse returns the body of the first function declaration in src.
+func parse(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", "package p\n"+src, 0)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			return fd.Body
+		}
+	}
+	t.Fatal("no function in src")
+	return nil
+}
+
+// reach walks the graph from Entry and reports which blocks are reachable.
+func reach(g *Graph) map[*Block]bool {
+	seen := make(map[*Block]bool)
+	var walk func(*Block)
+	walk = func(b *Block) {
+		if seen[b] {
+			return
+		}
+		seen[b] = true
+		for _, s := range b.Succs {
+			walk(s)
+		}
+	}
+	walk(g.Entry)
+	return seen
+}
+
+// callNames collects the call idents appearing in a block's nodes.
+func callNames(b *Block) []string {
+	var out []string
+	for _, n := range b.Nodes {
+		CallsIn(n, func(c *ast.CallExpr, _ bool) {
+			if id, ok := c.Fun.(*ast.Ident); ok {
+				out = append(out, id.Name)
+			}
+		})
+	}
+	return out
+}
+
+// mustReach reports whether every path from b to Exit passes a call named
+// name — the must-pair skeleton the analyzers build on.
+func mustReach(g *Graph, from *Block, name string) bool {
+	must := make(map[*Block]bool)
+	for _, b := range g.Blocks {
+		must[b] = true
+	}
+	must[g.Exit] = false
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			if b == g.Exit {
+				continue
+			}
+			v := false
+			for _, c := range callNames(b) {
+				if c == name {
+					v = true
+				}
+			}
+			if !v {
+				if len(b.Succs) == 0 {
+					v = b.Panics // dying paths satisfy vacuously
+				} else {
+					v = true
+					for _, s := range b.Succs {
+						if !must[s] {
+							v = false
+						}
+					}
+				}
+			}
+			if v != must[b] {
+				must[b] = v
+				changed = true
+			}
+		}
+	}
+	return must[from]
+}
+
+func TestStraightLine(t *testing.T) {
+	g := New(parse(t, `func f() { a(); b() }`))
+	if !mustReach(g, g.Entry, "b") {
+		t.Error("b must be on every path")
+	}
+}
+
+func TestIfElseJoin(t *testing.T) {
+	g := New(parse(t, `func f(x bool) {
+		a()
+		if x { b() } else { c() }
+		d()
+	}`))
+	if mustReach(g, g.Entry, "b") {
+		t.Error("b is conditional, not on every path")
+	}
+	if !mustReach(g, g.Entry, "d") {
+		t.Error("d joins both arms")
+	}
+}
+
+func TestIfWithoutElseSkips(t *testing.T) {
+	g := New(parse(t, `func f(x bool) {
+		if x { b() }
+	}`))
+	if mustReach(g, g.Entry, "b") {
+		t.Error("no-else if must have a skip edge")
+	}
+}
+
+func TestEarlyReturnBreaksMust(t *testing.T) {
+	g := New(parse(t, `func f(x bool) {
+		a()
+		if x { return }
+		b()
+	}`))
+	if mustReach(g, g.Entry, "b") {
+		t.Error("early return bypasses b")
+	}
+}
+
+func TestPanicPathIsVacuous(t *testing.T) {
+	g := New(parse(t, `func f(x bool) {
+		if x { panic("boom") }
+		b()
+	}`))
+	if !mustReach(g, g.Entry, "b") {
+		t.Error("the panicking path never reaches Exit; b must-pair on live paths")
+	}
+	var panics bool
+	for _, blk := range g.Blocks {
+		if blk.Panics {
+			panics = true
+			if len(blk.Succs) != 0 {
+				t.Error("panic block must not have successors")
+			}
+		}
+	}
+	if !panics {
+		t.Error("no block marked Panics")
+	}
+}
+
+func TestOsExitTerminates(t *testing.T) {
+	g := New(parse(t, `func f(x bool) {
+		if x { os.Exit(1) }
+		b()
+	}`))
+	if !mustReach(g, g.Entry, "b") {
+		t.Error("os.Exit path should be vacuous")
+	}
+}
+
+func TestForLoopCanSkipBody(t *testing.T) {
+	g := New(parse(t, `func f(n int) {
+		for i := 0; i < n; i++ { b() }
+		d()
+	}`))
+	if mustReach(g, g.Entry, "b") {
+		t.Error("loop body may run zero times")
+	}
+	if !mustReach(g, g.Entry, "d") {
+		t.Error("d follows the loop on every path")
+	}
+}
+
+func TestRangeCanBeEmpty(t *testing.T) {
+	g := New(parse(t, `func f(xs []int) {
+		for range xs { b() }
+		d()
+	}`))
+	if mustReach(g, g.Entry, "b") {
+		t.Error("range body may run zero times")
+	}
+	if !mustReach(g, g.Entry, "d") {
+		t.Error("d follows the range")
+	}
+}
+
+func TestInfiniteLoopWithBreak(t *testing.T) {
+	g := New(parse(t, `func f(x bool) {
+		for {
+			if x { break }
+			b()
+		}
+		d()
+	}`))
+	if !mustReach(g, g.Entry, "d") {
+		t.Error("the only path to Exit goes through break then d")
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := New(parse(t, `func f(xs []int, x bool) {
+	outer:
+		for range xs {
+			for {
+				if x { break outer }
+				b()
+			}
+		}
+		d()
+	}`))
+	if mustReach(g, g.Entry, "b") {
+		t.Error("b sits under two conditions")
+	}
+	if !mustReach(g, g.Entry, "d") {
+		t.Error("labeled break still funnels into d")
+	}
+}
+
+func TestSwitchWithoutDefaultSkips(t *testing.T) {
+	g := New(parse(t, `func f(x int) {
+		switch x {
+		case 1:
+			b()
+		case 2:
+			b()
+		}
+		d()
+	}`))
+	if mustReach(g, g.Entry, "b") {
+		t.Error("switch without default can skip every case")
+	}
+	if !mustReach(g, g.Entry, "d") {
+		t.Error("d joins all cases")
+	}
+}
+
+func TestSwitchWithDefaultCovers(t *testing.T) {
+	g := New(parse(t, `func f(x int) {
+		switch x {
+		case 1:
+			b()
+		default:
+			b()
+		}
+	}`))
+	if !mustReach(g, g.Entry, "b") {
+		t.Error("every clause calls b and a default exists")
+	}
+}
+
+func TestFallthroughChains(t *testing.T) {
+	g := New(parse(t, `func f(x int) {
+		switch x {
+		case 1:
+			a()
+			fallthrough
+		default:
+			b()
+		}
+	}`))
+	if !mustReach(g, g.Entry, "b") {
+		t.Error("case 1 falls through into default's b")
+	}
+}
+
+func TestTypeSwitch(t *testing.T) {
+	g := New(parse(t, `func f(x any) {
+		switch x.(type) {
+		case int:
+			b()
+		default:
+			b()
+		}
+	}`))
+	if !mustReach(g, g.Entry, "b") {
+		t.Error("type switch with default covering all clauses")
+	}
+}
+
+func TestSelectClauses(t *testing.T) {
+	g := New(parse(t, `func f(c chan int) {
+		select {
+		case <-c:
+			b()
+		case c <- 1:
+			b()
+		}
+	}`))
+	if !mustReach(g, g.Entry, "b") {
+		t.Error("both comm clauses call b; select blocks until one fires")
+	}
+}
+
+func TestGotoForward(t *testing.T) {
+	g := New(parse(t, `func f(x bool) {
+		if x { goto done }
+		b()
+	done:
+		d()
+	}`))
+	if mustReach(g, g.Entry, "b") {
+		t.Error("goto bypasses b")
+	}
+	if !mustReach(g, g.Entry, "d") {
+		t.Error("both paths land on the label")
+	}
+}
+
+func TestDefersCollected(t *testing.T) {
+	g := New(parse(t, `func f() {
+		defer cleanup()
+		if x() { return }
+		b()
+	}`))
+	if len(g.Defers) != 1 {
+		t.Fatalf("want 1 defer, got %d", len(g.Defers))
+	}
+	if id, ok := g.Defers[0].Fun.(*ast.Ident); !ok || id.Name != "cleanup" {
+		t.Errorf("wrong deferred call: %v", g.Defers[0].Fun)
+	}
+}
+
+func TestFuncLitIsOpaque(t *testing.T) {
+	g := New(parse(t, `func f() {
+		g := func() { hidden() }
+		g()
+	}`))
+	for _, b := range g.Blocks {
+		for _, name := range callNames(b) {
+			if name == "hidden" {
+				t.Error("calls inside func literals are not on the enclosing function's paths")
+			}
+		}
+	}
+}
+
+func TestShortCircuitConditional(t *testing.T) {
+	body := parse(t, `func f(x bool) bool { return x && pay() }`)
+	g := New(body)
+	var conds []bool
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			CallsIn(n, func(c *ast.CallExpr, cond bool) {
+				if id, ok := c.Fun.(*ast.Ident); ok && id.Name == "pay" {
+					conds = append(conds, cond)
+				}
+			})
+		}
+	}
+	if len(conds) != 1 || !conds[0] {
+		t.Errorf("pay() under && RHS must be flagged conditional: %v", conds)
+	}
+}
+
+func TestEveryReachableBlockTerminates(t *testing.T) {
+	src := `func f(x bool, xs []int) {
+		defer d()
+		for i, v := range xs {
+			switch {
+			case x:
+				continue
+			default:
+				if v > i { break }
+			}
+			a()
+		}
+		if x { panic("no") }
+	}`
+	g := New(parse(t, src))
+	seen := reach(g)
+	if !seen[g.Exit] {
+		t.Error("exit unreachable")
+	}
+	for b := range seen {
+		if len(b.Succs) == 0 && b != g.Exit && !b.Panics {
+			t.Errorf("reachable block %d dangles with no successors", b.Index)
+		}
+	}
+}
+
+func TestNilBody(t *testing.T) {
+	g := New(nil)
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Error("nil body must wire Entry→Exit")
+	}
+}
+
+// TestStress builds graphs for every function in this very file, checking
+// the no-dangling invariant at scale.
+func TestStress(t *testing.T) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test.go", srcOfSelf(t), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok || fd.Body == nil {
+			continue
+		}
+		g := New(fd.Body)
+		for b := range reach(g) {
+			if len(b.Succs) == 0 && b != g.Exit && !b.Panics {
+				t.Errorf("%s: reachable block %d dangles", fd.Name.Name, b.Index)
+			}
+		}
+	}
+}
+
+func srcOfSelf(t *testing.T) string {
+	t.Helper()
+	data, err := os.ReadFile("cfg_test.go")
+	if err != nil {
+		t.Skip("source not available")
+	}
+	return string(data)
+}

@@ -1,0 +1,423 @@
+// Package dataflow provides the value-flow machinery shared by the
+// interprocedural analyzers: a small label-set taint engine that runs over
+// one function at a time, and a bottom-up summary fixpoint that runs a
+// per-function transfer over the call graph in callee-before-caller order.
+//
+// The engine is flow-insensitive within a function (a variable's label set
+// is the union over all its assignments) and field-insensitive (writing a
+// labeled value into a struct labels the whole struct). That
+// over-approximates real flows — deliberately, since the analyzers built
+// on top police contracts where a false positive is a reviewable directive
+// and a false negative is a silent nondeterminism bug. Function literals
+// are opaque: flows through captured closures are a documented soundness
+// caveat (DESIGN.md §"Whole-program checks").
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+
+	"psbox/internal/analysis/callgraph"
+)
+
+// Labels is an element of the taint lattice: two bitsets whose meaning
+// each analyzer chooses. walltaint uses Kinds for wall-clock/env/pid/%p
+// sources and Params for "flows from parameter i"; maporderflow uses Kinds
+// bit 0 for "derived from the loop" and Params for accumulator identity.
+type Labels struct {
+	Kinds  uint64
+	Params uint64
+}
+
+// Union returns the least upper bound of two label sets.
+func (l Labels) Union(m Labels) Labels {
+	return Labels{Kinds: l.Kinds | m.Kinds, Params: l.Params | m.Params}
+}
+
+// Empty reports whether no label is set.
+func (l Labels) Empty() bool { return l.Kinds == 0 && l.Params == 0 }
+
+// Param returns the label set carrying just parameter bit i (capped at 64
+// parameters; beyond that flows are dropped, never invented).
+func Param(i int) Labels {
+	if i < 0 || i >= 64 {
+		return Labels{}
+	}
+	return Labels{Params: 1 << uint(i)}
+}
+
+// Kind returns the label set carrying just source-kind bit i.
+func Kind(i int) Labels {
+	if i < 0 || i >= 64 {
+		return Labels{}
+	}
+	return Labels{Kinds: 1 << uint(i)}
+}
+
+// Hooks parameterizes the engine with analyzer-specific transfer
+// functions.
+type Hooks struct {
+	// Source returns the labels a call expression introduces out of thin
+	// air (time.Now, os.Getenv, ...). May be nil.
+	Source func(call *ast.CallExpr) Labels
+	// Call maps argument labels through a call. arg(i) yields the labels
+	// of the i-th callee parameter position (receiver first for methods,
+	// variadic arguments folded into the last position). Returning
+	// handled=false applies the conservative default: the union of the
+	// receiver's and every argument's labels flows to the result.
+	Call func(call *ast.CallExpr, arg func(int) Labels) (ret Labels, handled bool)
+}
+
+// Analysis holds the per-function fixpoint result.
+type Analysis struct {
+	info  *types.Info
+	hooks Hooks
+	obj   map[types.Object]Labels
+	ret   Labels
+	body  *ast.BlockStmt
+}
+
+// Run computes label sets for every local object of fn's body, starting
+// from the seed map (typically parameters and analyzer-chosen roots).
+// The seed map is not mutated.
+func Run(info *types.Info, body *ast.BlockStmt, seed map[types.Object]Labels, hooks Hooks) *Analysis {
+	a := &Analysis{
+		info:  info,
+		hooks: hooks,
+		obj:   make(map[types.Object]Labels, len(seed)),
+		body:  body,
+	}
+	for o, l := range seed {
+		a.obj[o] = a.obj[o].Union(l)
+	}
+	if body == nil {
+		return a
+	}
+	for {
+		if !a.propagate() {
+			break
+		}
+	}
+	// Return labels: every return expression plus named results (bare
+	// returns read them).
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.ReturnStmt:
+			for _, e := range n.Results {
+				a.ret = a.ret.Union(a.Expr(e))
+			}
+		}
+		return true
+	})
+	return a
+}
+
+// Return reports the labels reaching the function's return values.
+func (a *Analysis) Return() Labels { return a.ret }
+
+// Of reports the labels of one object.
+func (a *Analysis) Of(o types.Object) Labels { return a.obj[o] }
+
+// propagate performs one monotone pass over the body; it reports whether
+// any object's label set grew.
+func (a *Analysis) propagate() bool {
+	changed := false
+	join := func(o types.Object, l Labels) {
+		if o == nil || l.Empty() {
+			return
+		}
+		old := a.obj[o]
+		nw := old.Union(l)
+		if nw != old {
+			a.obj[o] = nw
+			changed = true
+		}
+	}
+	ast.Inspect(a.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // opaque; see package comment
+		case *ast.AssignStmt:
+			a.assign(n, join)
+		case *ast.GenDecl:
+			for _, spec := range n.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for i, name := range vs.Names {
+					if i < len(vs.Values) {
+						join(a.defOrUse(name), a.Expr(vs.Values[i]))
+					} else if len(vs.Values) == 1 {
+						join(a.defOrUse(name), a.Expr(vs.Values[0]))
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			// Ranging over a labeled collection labels the elements.
+			l := a.Expr(n.X)
+			if k := rootObj(a.info, n.Key); k != nil {
+				join(k, l)
+			}
+			if v := rootObj(a.info, n.Value); v != nil {
+				join(v, l)
+			}
+		case *ast.TypeSwitchStmt:
+			var x ast.Expr
+			switch as := n.Assign.(type) {
+			case *ast.AssignStmt:
+				if ta, ok := ast.Unparen(as.Rhs[0]).(*ast.TypeAssertExpr); ok {
+					x = ta.X
+				}
+			case *ast.ExprStmt:
+				if ta, ok := ast.Unparen(as.X).(*ast.TypeAssertExpr); ok {
+					x = ta.X
+				}
+			}
+			if x != nil {
+				l := a.Expr(x)
+				for _, cl := range n.Body.List {
+					join(a.info.Implicits[cl], l)
+				}
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+func (a *Analysis) assign(as *ast.AssignStmt, join func(types.Object, Labels)) {
+	// Multi-value call on the right: every left-hand side receives the
+	// call's labels.
+	if len(as.Lhs) > 1 && len(as.Rhs) == 1 {
+		l := a.Expr(as.Rhs[0])
+		for _, lhs := range as.Lhs {
+			join(rootObj(a.info, lhs), l)
+		}
+		return
+	}
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) {
+			break
+		}
+		join(rootObj(a.info, lhs), a.Expr(as.Rhs[i]))
+	}
+}
+
+func (a *Analysis) defOrUse(id *ast.Ident) types.Object {
+	if o := a.info.Defs[id]; o != nil {
+		return o
+	}
+	return a.info.Uses[id]
+}
+
+// rootObj resolves an assignable expression to the object whose storage it
+// roots in: x, x.f, x[i], *x, (x) all root in x. Writing a labeled value
+// anywhere inside x labels all of x (field-insensitivity).
+func rootObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			if o := info.Defs[x]; o != nil {
+				return o
+			}
+			return info.Uses[x]
+		case *ast.SelectorExpr:
+			// Package-qualified selector roots in nothing local.
+			if id, ok := x.X.(*ast.Ident); ok {
+				if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+					return nil
+				}
+			}
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// Expr evaluates the labels of an expression under the current object map.
+func (a *Analysis) Expr(e ast.Expr) Labels {
+	switch e := e.(type) {
+	case nil:
+		return Labels{}
+	case *ast.Ident:
+		if o := a.defOrUse(e); o != nil {
+			return a.obj[o]
+		}
+		return Labels{}
+	case *ast.BasicLit, *ast.FuncLit:
+		return Labels{}
+	case *ast.ParenExpr:
+		return a.Expr(e.X)
+	case *ast.StarExpr:
+		return a.Expr(e.X)
+	case *ast.UnaryExpr:
+		return a.Expr(e.X)
+	case *ast.BinaryExpr:
+		return a.Expr(e.X).Union(a.Expr(e.Y))
+	case *ast.SelectorExpr:
+		if id, ok := e.X.(*ast.Ident); ok {
+			if _, isPkg := a.info.Uses[id].(*types.PkgName); isPkg {
+				return Labels{} // pkg.Name: a global, unlabeled by default
+			}
+		}
+		return a.Expr(e.X)
+	case *ast.IndexExpr:
+		return a.Expr(e.X)
+	case *ast.IndexListExpr:
+		return a.Expr(e.X)
+	case *ast.SliceExpr:
+		return a.Expr(e.X)
+	case *ast.TypeAssertExpr:
+		return a.Expr(e.X)
+	case *ast.CompositeLit:
+		var l Labels
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				l = l.Union(a.Expr(kv.Key)).Union(a.Expr(kv.Value))
+			} else {
+				l = l.Union(a.Expr(el))
+			}
+		}
+		return l
+	case *ast.CallExpr:
+		return a.call(e)
+	default:
+		return Labels{}
+	}
+}
+
+func (a *Analysis) call(call *ast.CallExpr) Labels {
+	// A conversion T(x) passes x's labels through unchanged.
+	if tv, ok := a.info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			return a.Expr(call.Args[0])
+		}
+		return Labels{}
+	}
+	var l Labels
+	if a.hooks.Source != nil {
+		l = l.Union(a.hooks.Source(call))
+	}
+	if a.hooks.Call != nil {
+		if ret, handled := a.hooks.Call(call, func(i int) Labels { return a.ArgLabels(call, i) }); handled {
+			return l.Union(ret)
+		}
+	}
+	// Conservative default: everything flowing in may flow out. This is
+	// what makes laundering a wall-clock value through fmt.Sprintf or
+	// strings.TrimSpace still count as tainted.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		l = l.Union(a.Expr(sel.X))
+	}
+	for _, arg := range call.Args {
+		l = l.Union(a.Expr(arg))
+	}
+	return l
+}
+
+// ArgLabels returns the labels of the value bound to callee parameter
+// position i: position 0 is the method receiver when the call's callee is
+// a method, and every variadic argument folds into the final position.
+func (a *Analysis) ArgLabels(call *ast.CallExpr, i int) Labels {
+	exprs := a.paramExprs(call)
+	if i < 0 || i >= len(exprs) {
+		return Labels{}
+	}
+	var l Labels
+	for _, e := range exprs[i] {
+		l = l.Union(a.Expr(e))
+	}
+	return l
+}
+
+// NumParams reports how many parameter positions the call binds (receiver
+// included for methods).
+func (a *Analysis) NumParams(call *ast.CallExpr) int { return len(a.paramExprs(call)) }
+
+// paramExprs groups a call's receiver and argument expressions by callee
+// parameter position.
+func (a *Analysis) paramExprs(call *ast.CallExpr) [][]ast.Expr {
+	var out [][]ast.Expr
+	sig := calleeSignature(a.info, call)
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := a.info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+			out = append(out, []ast.Expr{sel.X})
+		}
+	}
+	if sig == nil {
+		for _, arg := range call.Args {
+			out = append(out, []ast.Expr{arg})
+		}
+		return out
+	}
+	np := sig.Params().Len()
+	for i, arg := range call.Args {
+		slot := i
+		if sig.Variadic() && slot >= np-1 {
+			slot = np - 1
+		}
+		slot += len(out) - i // shift past the receiver entry, if present
+		if slot < len(out) {
+			out[slot] = append(out[slot], arg)
+		} else {
+			out = append(out, []ast.Expr{arg})
+		}
+	}
+	return out
+}
+
+func calleeSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	if tv, ok := info.Types[call.Fun]; ok && tv.Type != nil {
+		if sig, ok := tv.Type.Underlying().(*types.Signature); ok {
+			return sig
+		}
+	}
+	return nil
+}
+
+// Fixpoint computes one summary per function by running transfer over the
+// call graph bottom-up, iterating each strongly connected component until
+// its summaries stabilize. get returns the current summary of a callee
+// (the zero S before its first computation), so recursive and mutually
+// recursive groups converge from below. equal decides stabilization.
+func Fixpoint[S comparable](g *callgraph.Graph, transfer func(n *callgraph.Node, get func(*types.Func) S) S) map[*types.Func]S {
+	out := make(map[*types.Func]S, len(g.Nodes()))
+	get := func(fn *types.Func) S { return out[fn] }
+	for _, comp := range g.SCCs() {
+		// Non-recursive singleton: one pass suffices.
+		recursive := len(comp) > 1
+		if !recursive {
+			n := comp[0]
+			for _, o := range n.Out {
+				if o == n {
+					recursive = true
+					break
+				}
+			}
+		}
+		for round := 0; ; round++ {
+			changed := false
+			for _, n := range comp {
+				s := transfer(n, get)
+				if s != out[n.Fn] {
+					out[n.Fn] = s
+					changed = true
+				}
+			}
+			if !recursive || !changed || round > 64 {
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,339 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"psbox/internal/analysis/callgraph"
+)
+
+// checkFn type-checks one package and returns the named function plus the
+// info needed to run the engine.
+func checkPkg(t *testing.T, src string) (*ast.File, *types.Info) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p/a.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	return f, info
+}
+
+func fn(t *testing.T, f *ast.File, name string) *ast.FuncDecl {
+	t.Helper()
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return fd
+		}
+	}
+	t.Fatalf("no func %s", name)
+	return nil
+}
+
+func seedParams(info *types.Info, fd *ast.FuncDecl) map[types.Object]Labels {
+	seed := make(map[types.Object]Labels)
+	i := 0
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			seed[info.Defs[name]] = Param(i)
+			i++
+		}
+	}
+	return seed
+}
+
+func objByName(info *types.Info, fd *ast.FuncDecl, name string) types.Object {
+	var found types.Object
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && id.Name == name {
+			if o := info.Defs[id]; o != nil {
+				found = o
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func TestLocalPropagation(t *testing.T) {
+	f, info := checkPkg(t, `package p
+func f(a, b int) int {
+	x := a
+	y := x + 1
+	z := b
+	_ = z
+	return y
+}`)
+	fd := fn(t, f, "f")
+	a := Run(info, fd.Body, seedParams(info, fd), Hooks{})
+	if got := a.Return(); got != Param(0) {
+		t.Errorf("return depends only on a (param 0); got %+v", got)
+	}
+	if z := objByName(info, fd, "z"); a.Of(z) != Param(1) {
+		t.Errorf("z carries b's label; got %+v", a.Of(z))
+	}
+}
+
+func TestConversionAndCompositePropagate(t *testing.T) {
+	f, info := checkPkg(t, `package p
+type w struct{ v int64 }
+func f(a int) w {
+	u := int64(a)
+	return w{v: u}
+}`)
+	fd := fn(t, f, "f")
+	a := Run(info, fd.Body, seedParams(info, fd), Hooks{})
+	if got := a.Return(); got != Param(0) {
+		t.Errorf("conversion + composite literal must propagate; got %+v", got)
+	}
+}
+
+func TestUnknownCallConservative(t *testing.T) {
+	f, info := checkPkg(t, `package p
+import "strings"
+func f(a string) string {
+	return strings.ToUpper(a)
+}`)
+	fd := fn(t, f, "f")
+	a := Run(info, fd.Body, seedParams(info, fd), Hooks{})
+	if got := a.Return(); got != Param(0) {
+		t.Errorf("unknown calls default to arg→result propagation; got %+v", got)
+	}
+}
+
+func TestCallHookOverrides(t *testing.T) {
+	f, info := checkPkg(t, `package p
+func launder(s string) string { return s }
+func f(a string) string {
+	return launder(a)
+}`)
+	fd := fn(t, f, "f")
+	// A hook that models launder as label-killing.
+	hooks := Hooks{Call: func(call *ast.CallExpr, arg func(int) Labels) (Labels, bool) {
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "launder" {
+			return Labels{}, true
+		}
+		return Labels{}, false
+	}}
+	a := Run(info, fd.Body, seedParams(info, fd), hooks)
+	if got := a.Return(); !got.Empty() {
+		t.Errorf("hook must override the default; got %+v", got)
+	}
+}
+
+func TestSourceHook(t *testing.T) {
+	f, info := checkPkg(t, `package p
+func now() int64 { return 0 }
+func f() int64 {
+	t := now()
+	u := t * 2
+	return u
+}`)
+	fd := fn(t, f, "f")
+	hooks := Hooks{Source: func(call *ast.CallExpr) Labels {
+		if id, ok := call.Fun.(*ast.Ident); ok && id.Name == "now" {
+			return Kind(0)
+		}
+		return Labels{}
+	}}
+	a := Run(info, fd.Body, seedParams(info, fd), hooks)
+	if got := a.Return(); got.Kinds != 1 {
+		t.Errorf("source label must survive arithmetic; got %+v", got)
+	}
+}
+
+func TestRangeOverLabeledCollection(t *testing.T) {
+	f, info := checkPkg(t, `package p
+func f(xs []int) int {
+	for _, v := range xs {
+		return v
+	}
+	return 0
+}`)
+	fd := fn(t, f, "f")
+	a := Run(info, fd.Body, seedParams(info, fd), Hooks{})
+	if got := a.Return(); got != Param(0) {
+		t.Errorf("range element inherits the collection's labels; got %+v", got)
+	}
+}
+
+func TestFieldInsensitiveStructWrite(t *testing.T) {
+	f, info := checkPkg(t, `package p
+type s struct{ a, b int }
+func f(x int) int {
+	var v s
+	v.a = x
+	return v.b
+}`)
+	fd := fn(t, f, "f")
+	a := Run(info, fd.Body, seedParams(info, fd), Hooks{})
+	if got := a.Return(); got != Param(0) {
+		t.Errorf("field-insensitivity: writing v.a labels all of v; got %+v", got)
+	}
+}
+
+func TestFuncLitOpaque(t *testing.T) {
+	f, info := checkPkg(t, `package p
+func f(a int) int {
+	g := func() int { return a }
+	_ = g
+	return 0
+}`)
+	fd := fn(t, f, "f")
+	a := Run(info, fd.Body, seedParams(info, fd), Hooks{})
+	if got := a.Return(); !got.Empty() {
+		t.Errorf("closure flows are out of scope; got %+v", got)
+	}
+}
+
+func TestVariadicFoldsIntoLastParam(t *testing.T) {
+	f, info := checkPkg(t, `package p
+func sink(prefix string, vals ...int) {}
+func f(a, b int) {
+	sink("x", a, b)
+}`)
+	fd := fn(t, f, "f")
+	a := Run(info, fd.Body, seedParams(info, fd), Hooks{})
+	call := findCall(fd, "sink")
+	if call == nil {
+		t.Fatal("no sink call")
+	}
+	want := Param(0).Union(Param(1))
+	if got := a.ArgLabels(call, 1); got != want {
+		t.Errorf("variadic position must union a and b: got %+v want %+v", got, want)
+	}
+	if got := a.ArgLabels(call, 0); !got.Empty() {
+		t.Errorf("the prefix argument is unlabeled: %+v", got)
+	}
+	if n := a.NumParams(call); n != 2 {
+		t.Errorf("sink binds 2 positions, got %d", n)
+	}
+}
+
+// findCall locates the first call whose callee name matches name.
+func findCall(fd *ast.FuncDecl, name string) *ast.CallExpr {
+	var found *ast.CallExpr
+	ast.Inspect(fd, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch fun := call.Fun.(type) {
+		case *ast.Ident:
+			if fun.Name == name {
+				found = call
+				return false
+			}
+		case *ast.SelectorExpr:
+			if fun.Sel.Name == name {
+				found = call
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func TestMethodReceiverIsPositionZero(t *testing.T) {
+	f, info := checkPkg(t, `package p
+type r struct{ n int }
+func (x r) m(y int) {}
+func f(a r, b int) {
+	a.m(b)
+}`)
+	fd := fn(t, f, "f")
+	a := Run(info, fd.Body, seedParams(info, fd), Hooks{})
+	call := findCall(fd, "m")
+	if call == nil {
+		t.Fatal("no method call")
+	}
+	if recv, arg1 := a.ArgLabels(call, 0), a.ArgLabels(call, 1); recv != Param(0) || arg1 != Param(1) {
+		t.Errorf("receiver=%+v arg=%+v", recv, arg1)
+	}
+	if n := a.NumParams(call); n != 2 {
+		t.Errorf("receiver + 1 param = 2 positions, got %d", n)
+	}
+}
+
+func TestFixpointRecursion(t *testing.T) {
+	// Summaries over a mutually recursive pair must converge: odd/even
+	// both propagate their parameter to the return.
+	fset := token.NewFileSet()
+	src := `package p
+func odd(n int) int {
+	if n == 0 { return 0 }
+	return even(n - 1)
+}
+func even(n int) int {
+	if n == 0 { return n }
+	return odd(n - 1)
+}`
+	f, err := parser.ParseFile(fset, "p/a.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+	}
+	conf := types.Config{}
+	tp, err := conf.Check("p", fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &callgraph.Package{Path: "p", Files: []*ast.File{f}, Types: tp, Info: info}
+	g := callgraph.Build([]*callgraph.Package{pkg})
+
+	type sum struct{ ret Labels }
+	sums := Fixpoint(g, func(n *callgraph.Node, get func(*types.Func) sum) sum {
+		seed := make(map[types.Object]Labels)
+		i := 0
+		for _, field := range n.Decl.Type.Params.List {
+			for _, name := range field.Names {
+				seed[info.Defs[name]] = Param(i)
+				i++
+			}
+		}
+		hooks := Hooks{Call: func(call *ast.CallExpr, arg func(int) Labels) (Labels, bool) {
+			callee := callgraph.StaticCallee(info, call)
+			if callee == nil {
+				return Labels{}, false
+			}
+			s := get(callee)
+			var l Labels
+			for j := 0; j < 64; j++ {
+				if s.ret.Params&(1<<uint(j)) != 0 {
+					l = l.Union(arg(j))
+				}
+			}
+			l.Kinds |= s.ret.Kinds
+			return l, true
+		}}
+		a := Run(info, n.Decl.Body, seed, hooks)
+		return sum{ret: a.Return()}
+	})
+	for _, n := range g.Nodes() {
+		if got := sums[n.Fn].ret; got != Param(0) {
+			t.Errorf("%s: recursion fixpoint should yield param0→return, got %+v", n.Fn.Name(), got)
+		}
+	}
+}

@@ -70,6 +70,70 @@ func f() {
 	}
 }
 
+func TestDirectiveCoversWrappedStatement(t *testing.T) {
+	// The finding sits on a continuation line of the statement the
+	// directive heads; the directive must still cover it.
+	pkg := loadFixture(t, "p", `package p
+
+import "time"
+
+func report(a, b time.Time) {}
+
+func f() {
+	//psbox:allow-nowallclock operator-facing banner timestamps
+	report(
+		time.Now(),
+		time.Now())
+}
+`)
+	diags := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{analysis.NoWallClock})
+	if len(diags) != 0 {
+		t.Errorf("directive above a wrapped call must cover its continuation lines: %v", diags)
+	}
+}
+
+func TestDirectiveOnFirstLineCoversWrappedStatement(t *testing.T) {
+	pkg := loadFixture(t, "p", `package p
+
+import "time"
+
+func report(a, b time.Time) {}
+
+func f() {
+	report( //psbox:allow-nowallclock operator-facing banner timestamps
+		time.Now(),
+		time.Now())
+}
+`)
+	diags := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{analysis.NoWallClock})
+	if len(diags) != 0 {
+		t.Errorf("same-line directive on a wrapped call must cover its continuation lines: %v", diags)
+	}
+}
+
+func TestDirectiveStopsAtControlBody(t *testing.T) {
+	// A directive above a control statement speaks for its (possibly
+	// wrapped) header only, never for the body.
+	pkg := loadFixture(t, "p", `package p
+
+import "time"
+
+func cond(a, b bool) bool { return a && b }
+
+func f(a, b bool) {
+	//psbox:allow-nowallclock excuses the condition only
+	if cond(a,
+		b) {
+		_ = time.Now()
+	}
+}
+`)
+	diags := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{analysis.NoWallClock})
+	if len(diags) != 1 {
+		t.Errorf("directive above an if must stop at the opening brace, want 1 finding: %v", diags)
+	}
+}
+
 func TestDirectiveDoesNotLeakAcrossAnalyzers(t *testing.T) {
 	pkg := loadFixture(t, "p", `package p
 

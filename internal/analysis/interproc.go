@@ -1,0 +1,139 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+
+	"psbox/internal/analysis/callgraph"
+	"psbox/internal/analysis/dataflow"
+)
+
+// This file holds the plumbing shared by the interprocedural analyzers
+// (walltaint, unbilledenergy, maporderflow): parameter seeding for the
+// dataflow engine, call walking, and the generic "which parameters flow to
+// the return value" summary that maporderflow maps helper calls through.
+
+// seedFunc seeds every parameter of a declared function with its position
+// label, receiver first, matching the position convention of
+// dataflow.ArgLabels. Unnamed parameters still occupy a position.
+func seedFunc(info *types.Info, fd *ast.FuncDecl) map[types.Object]dataflow.Labels {
+	seed := make(map[types.Object]dataflow.Labels)
+	pos := 0
+	if fd.Recv != nil {
+		for _, field := range fd.Recv.List {
+			for _, name := range field.Names {
+				seed[info.Defs[name]] = dataflow.Param(pos)
+			}
+		}
+		pos = 1
+	}
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			pos++
+			continue
+		}
+		for _, name := range field.Names {
+			seed[info.Defs[name]] = dataflow.Param(pos)
+			pos++
+		}
+	}
+	return seed
+}
+
+// paramPositions counts the parameter positions a function binds, receiver
+// included.
+func paramPositions(fd *ast.FuncDecl) int {
+	n := 0
+	if fd.Recv != nil {
+		n++
+	}
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			n++
+		} else {
+			n += len(field.Names)
+		}
+	}
+	return n
+}
+
+// paramMask returns the bitset of every parameter position of fd.
+func paramMask(fd *ast.FuncDecl) uint64 {
+	n := paramPositions(fd)
+	if n >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(n)) - 1
+}
+
+// forEachCall visits every call expression in body in source order,
+// skipping function literals (opaque to the dataflow engine).
+func forEachCall(body *ast.BlockStmt, fn func(*ast.CallExpr)) {
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if call, ok := x.(*ast.CallExpr); ok {
+			fn(call)
+		}
+		return true
+	})
+}
+
+// funcDesc renders pkg.Name or pkg.Type.Name for diagnostics.
+func funcDesc(fn *types.Func) string {
+	name := fn.Name()
+	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+		t := recv.Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			name = named.Obj().Name() + "." + name
+		}
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		return pkg.Name() + "." + name
+	}
+	return name
+}
+
+// flowSummaries computes, once per program, which parameter positions of
+// each function flow into its return values. maporderflow maps values
+// through helper calls with it; callees outside the program fall back to
+// the engine's conservative default at the call site.
+func flowSummaries(prog *Program) map[*types.Func]dataflow.Labels {
+	v := prog.Fact("flowsum", func() any {
+		g := prog.CallGraph()
+		return dataflow.Fixpoint(g, func(n *callgraph.Node, get func(*types.Func) dataflow.Labels) dataflow.Labels {
+			info := n.Pkg.Info
+			hooks := dataflow.Hooks{
+				Call: func(call *ast.CallExpr, arg func(int) dataflow.Labels) (dataflow.Labels, bool) {
+					callee := callgraph.StaticCallee(info, call)
+					if callee == nil || g.Node(callee) == nil {
+						return dataflow.Labels{}, false
+					}
+					return mapThroughSummary(get(callee), arg), true
+				},
+			}
+			return dataflow.Run(info, n.Decl.Body, seedFunc(info, n.Decl), hooks).Return()
+		})
+	})
+	return v.(map[*types.Func]dataflow.Labels)
+}
+
+// mapThroughSummary applies a callee's return summary at a call site:
+// source kinds pass through unconditionally, and each parameter bit pulls
+// in the labels of the matching argument position.
+func mapThroughSummary(sum dataflow.Labels, arg func(int) dataflow.Labels) dataflow.Labels {
+	l := dataflow.Labels{Kinds: sum.Kinds}
+	for i := 0; i < 64; i++ {
+		if sum.Params&(1<<uint(i)) != 0 {
+			l = l.Union(arg(i))
+		}
+	}
+	return l
+}

@@ -41,20 +41,49 @@ type Loader struct {
 	loading map[string]bool
 }
 
-// NewLoader returns a loader for the module rooted at dir. The module path
-// is read from go.mod; a tree without one is treated as fixture layout.
+// Process-wide load-once cache. psbox-lint and the analysis tests load the
+// same trees over and over (once per analyzer suite, once per benchmark
+// iteration); parsing is cheap but type-checking the transitive standard
+// library from source is not, so one FileSet, one stdlib importer, and one
+// Loader per root are shared for the life of the process. The tool is
+// single-threaded by design (see noconcurrency), so the maps need no
+// locking; the cache assumes sources do not change under a running
+// process, which holds for a lint invocation and for tests.
+var (
+	sharedFset     = token.NewFileSet()
+	sharedStd      types.Importer
+	loaderCache    = make(map[string]*Loader)
+	typeCheckCount int
+)
+
+// TypeCheckCount reports how many package type-checks this process has
+// performed. BenchmarkLintAll uses it to show the cache holds the count
+// flat across iterations.
+func TypeCheckCount() int { return typeCheckCount }
+
+// NewLoader returns the loader for the module rooted at dir, creating it
+// on first use and returning the same cached instance — with all packages
+// it has already type-checked — on every later call. The module path is
+// read from go.mod; a tree without one is treated as fixture layout.
 func NewLoader(dir string) (*Loader, error) {
 	abs, err := filepath.Abs(dir)
 	if err != nil {
 		return nil, err
 	}
+	abs = filepath.Clean(abs)
+	if l, ok := loaderCache[abs]; ok {
+		return l, nil
+	}
+	if sharedStd == nil {
+		sharedStd = importer.ForCompiler(sharedFset, "source", nil)
+	}
 	l := &Loader{
-		Fset:    token.NewFileSet(),
+		Fset:    sharedFset,
 		Root:    abs,
+		std:     sharedStd,
 		pkgs:    make(map[string]*Package),
 		loading: make(map[string]bool),
 	}
-	l.std = importer.ForCompiler(l.Fset, "source", nil)
 	if data, err := os.ReadFile(filepath.Join(abs, "go.mod")); err == nil {
 		for _, line := range strings.Split(string(data), "\n") {
 			line = strings.TrimSpace(line)
@@ -64,7 +93,23 @@ func NewLoader(dir string) (*Loader, error) {
 			}
 		}
 	}
+	loaderCache[abs] = l
 	return l, nil
+}
+
+// Loaded returns every package this loader has type-checked so far, in
+// sorted import-path order.
+func (l *Loader) Loaded() []*Package {
+	paths := make([]string, 0, len(l.pkgs))
+	for p := range l.pkgs {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	out := make([]*Package, len(paths))
+	for i, p := range paths {
+		out[i] = l.pkgs[p]
+	}
+	return out
 }
 
 // dirFor maps an import path inside the tree to its directory.
@@ -153,6 +198,7 @@ func (l *Loader) Load(path string) (*Package, error) {
 		Importer: l,
 		Error:    func(err error) { typeErrs = append(typeErrs, err) },
 	}
+	typeCheckCount++
 	tpkg, err := conf.Check(path, l.Fset, files, info)
 	if len(typeErrs) > 0 {
 		return nil, fmt.Errorf("type-checking %s: %v", path, typeErrs[0])

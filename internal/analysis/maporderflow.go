@@ -1,0 +1,235 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"psbox/internal/analysis/callgraph"
+	"psbox/internal/analysis/dataflow"
+)
+
+// MapOrderFlow is the dataflow upgrade of maporder's accumulation rule.
+// maporder catches the syntactic form (sum += v inside a range over a
+// map); this analyzer runs the taint engine to catch the same
+// order-sensitive float/complex/string accumulation when it is routed
+// through intermediate locals (tmp := v * w; sum = sum + tmp) or through
+// helper calls, including helpers in other packages, resolved through the
+// program's parameter-to-return flow summaries.
+//
+// The rule: inside a range over a map, a plain assignment to an
+// accumulator declared outside the loop is flagged when its right-hand
+// side derives from both the loop's iteration variables and the
+// accumulator's own previous value — the read-modify-write cycle whose
+// result depends on visit order. Reading only the loop variables
+// (min/max-style tracking: best = v) or only the accumulator (sum =
+// sum * 2) stays legal, as do reductions through the order-insensitive
+// min/max builtins and math.Min/math.Max. Op-assigns remain maporder's
+// territory and are not re-reported here.
+var MapOrderFlow = &Analyzer{
+	Name: "maporderflow",
+	Doc: `flag order-sensitive float/complex/string accumulation inside
+range-over-map loops when the flow is routed through intermediate locals
+or helper calls rather than a direct op-assign.`,
+	Run: runMapOrderFlow,
+}
+
+// mofLoopKind is the Kinds bit marking "derived from this loop's
+// iteration variables".
+const mofLoopKind = 0
+
+func runMapOrderFlow(pass *Pass) {
+	flow := flowSummaries(pass.Prog)
+	g := pass.Prog.CallGraph()
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if _, ok := n.(*ast.FuncLit); ok {
+					return false
+				}
+				rng, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				if tv, ok := pass.Info.Types[rng.X]; ok && tv.Type != nil {
+					if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+						checkMapRangeFlow(pass, g, flow, rng)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// mofAccumulator reports whether a type can accumulate order-sensitively:
+// float addition is non-associative and string concatenation is
+// order-dependent; integer sums are exact and stay legal.
+func mofAccumulator(t types.Type) (string, bool) {
+	basic, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return "", false
+	}
+	switch {
+	case basic.Info()&(types.IsFloat|types.IsComplex) != 0:
+		return "float", true
+	case basic.Info()&types.IsString != 0:
+		return "string", true
+	}
+	return "", false
+}
+
+func checkMapRangeFlow(pass *Pass, g *callgraph.Graph, flow map[*types.Func]dataflow.Labels, rng *ast.RangeStmt) {
+	info := pass.Info
+
+	// Candidate accumulators: float/complex/string variables declared
+	// outside the loop and plainly assigned inside its body. Each gets a
+	// private Param bit as its identity through the engine.
+	candBit := make(map[types.Object]int)
+	var cands []types.Object
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN {
+			return true
+		}
+		for _, lhs := range as.Lhs {
+			root := rootIdent(lhs)
+			if root == nil {
+				continue
+			}
+			obj := objOf(info, root)
+			if obj == nil || declaredWithin(obj, rng) {
+				continue
+			}
+			// Only flag writes to the variable itself; indexed writes
+			// keyed by a loop variable are per-key and order-free.
+			if _, isIdent := lhs.(*ast.Ident); !isIdent {
+				continue
+			}
+			if _, ok := mofAccumulator(obj.Type()); !ok {
+				continue
+			}
+			if _, seen := candBit[obj]; !seen && len(cands) < 64 {
+				candBit[obj] = len(cands)
+				cands = append(cands, obj)
+			}
+		}
+		return true
+	})
+	if len(cands) == 0 {
+		return
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].Pos() < cands[j].Pos() })
+	for i, o := range cands {
+		candBit[o] = i
+	}
+
+	// Seed: this loop's key/value carry the loop kind; each accumulator
+	// carries its identity bit.
+	seed := make(map[types.Object]dataflow.Labels)
+	if k := rootIdent(rng.Key); k != nil {
+		if o := objOf(info, k); o != nil {
+			seed[o] = dataflow.Kind(mofLoopKind)
+		}
+	}
+	if rng.Value != nil {
+		if v := rootIdent(rng.Value); v != nil {
+			if o := objOf(info, v); o != nil {
+				seed[o] = dataflow.Kind(mofLoopKind)
+			}
+		}
+	}
+	for o, bit := range candBit {
+		seed[o] = seed[o].Union(dataflow.Param(bit))
+	}
+
+	hooks := dataflow.Hooks{
+		Call: func(call *ast.CallExpr, arg func(int) dataflow.Labels) (dataflow.Labels, bool) {
+			if mofOrderFree(info, call) {
+				// min/max reductions are commutative and exact: the
+				// result no longer depends on visit order.
+				var l dataflow.Labels
+				for i := range call.Args {
+					l = l.Union(arg(i))
+				}
+				l.Kinds = 0
+				return l, true
+			}
+			callee := callgraph.StaticCallee(info, call)
+			if callee == nil || g.Node(callee) == nil {
+				return dataflow.Labels{}, false
+			}
+			return mapThroughSummary(flow[callee], arg), true
+		},
+	}
+	// The engine runs over the loop body only: the read-modify-write
+	// cycle being hunted lives entirely inside the loop, and scoping out
+	// the rest of the function keeps a post-loop write like `x.field =
+	// sum` from taint-cycling the accumulator's identity through the
+	// container being ranged over (field-insensitivity would otherwise
+	// label the range elements with it).
+	a := dataflow.Run(info, rng.Body, seed, hooks)
+
+	reported := make(map[types.Object]bool)
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN {
+			return true
+		}
+		for i, lhs := range as.Lhs {
+			id, ok := lhs.(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj := objOf(info, id)
+			bit, isCand := candBit[obj]
+			if !isCand || reported[obj] {
+				continue
+			}
+			var rhs ast.Expr
+			if len(as.Rhs) == len(as.Lhs) {
+				rhs = as.Rhs[i]
+			} else if len(as.Rhs) == 1 {
+				rhs = as.Rhs[0]
+			} else {
+				continue
+			}
+			l := a.Expr(rhs)
+			if l.Kinds&(1<<mofLoopKind) == 0 || l.Params&(1<<uint(bit)) == 0 {
+				continue
+			}
+			reported[obj] = true
+			kind, _ := mofAccumulator(obj.Type())
+			pass.Reportf(as.Pos(),
+				"%s accumulation into %s depends on map iteration order (value flows through intermediates back into %s); iterate sorted keys", kind, id.Name, id.Name)
+		}
+		return true
+	})
+}
+
+// mofOrderFree matches the builtin min/max and math.Min/math.Max calls
+// whose results are independent of reduction order.
+func mofOrderFree(info *types.Info, call *ast.CallExpr) bool {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b, ok := info.Uses[fun].(*types.Builtin); ok {
+			return b.Name() == "min" || b.Name() == "max"
+		}
+	case *ast.SelectorExpr:
+		if name, ok := qualifiedName(info, fun, "math"); ok {
+			return name == "Min" || name == "Max"
+		}
+	}
+	return false
+}

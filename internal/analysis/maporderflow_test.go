@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"psbox/internal/analysis"
+	"psbox/internal/analysis/analysistest"
+)
+
+func TestMapOrderFlow(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.MapOrderFlow, "maporderflow/...")
+}

@@ -28,6 +28,7 @@ func TestModuleIsLintClean(t *testing.T) {
 	if len(pkgs) < 20 {
 		t.Fatalf("suspiciously few packages loaded: %d", len(pkgs))
 	}
+	prog := analysis.NewProgram(pkgs)
 	for _, pkg := range pkgs {
 		var suite []*analysis.Analyzer
 		for _, a := range analysis.All() {
@@ -35,7 +36,7 @@ func TestModuleIsLintClean(t *testing.T) {
 				suite = append(suite, a)
 			}
 		}
-		for _, d := range analysis.RunAnalyzers(pkg, suite) {
+		for _, d := range analysis.RunAnalyzersProgram(prog, pkg, suite) {
 			t.Errorf("%s", d)
 		}
 	}

@@ -1,0 +1,12 @@
+// Package b holds cross-package helpers for the maporderflow fixtures.
+package b
+
+// Add is a float accumulator step hidden behind a call.
+func Add(a, c float64) float64 {
+	return a + c
+}
+
+// Fresh ignores its inputs; the result carries no flow.
+func Fresh(a, c float64) float64 {
+	return 0
+}

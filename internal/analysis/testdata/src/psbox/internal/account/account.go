@@ -1,0 +1,13 @@
+// Package account is the fixture stub of the real energy-billing ledger:
+// unbilledenergy recognizes any call into this import path as the billing
+// half of a transition/billing pair.
+package account
+
+// Bill charges owner for joules of rail energy.
+func Bill(owner int, joules float64) {}
+
+// Recorder is the callback-style billing surface.
+type Recorder struct{}
+
+// Record charges owner for the span's metered energy.
+func (r *Recorder) Record(owner int, joules float64) {}

@@ -1,0 +1,16 @@
+// Package power is the fixture stub of the real rail model: unbilledenergy
+// matches Rail.Set/Rail.Adjust by package path, receiver type name, and
+// method name, so the stub must live at the real import path.
+package power
+
+// Rail is one supply rail whose draw the sandbox meters.
+type Rail struct{ w float64 }
+
+// Set moves the rail to an absolute power draw.
+func (r *Rail) Set(w float64) { r.w = w }
+
+// Adjust moves the rail by a delta.
+func (r *Rail) Adjust(d float64) { r.w = r.w + d }
+
+// Load reads the rail without changing state; not a transition.
+func (r *Rail) Load() float64 { return r.w }

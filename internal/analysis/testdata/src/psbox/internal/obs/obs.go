@@ -1,0 +1,11 @@
+// Package obs is the fixture stub of the real observability bus: just
+// enough surface for the walltaint fixtures to type-check (the analyzer
+// treats every function in this import path as a deterministic-state sink,
+// so the stub must live at the real import path).
+package obs
+
+// Emit records one named sample on the deterministic event bus.
+func Emit(name string, v int64) {}
+
+// Annotate attaches a free-form label to the current trace span.
+func Annotate(key, value string) {}

@@ -1,0 +1,21 @@
+// Package sim is the fixture stub of the deterministic simulator core.
+// For walltaint it is a sink package, and a host-state read inside it is a
+// violation at the read itself — even where nowallclock has been waved off
+// with a directive.
+package sim
+
+import "time"
+
+// Engine is the fixture's virtual-time engine.
+type Engine struct{ now int64 }
+
+// Sync smuggles the host clock into the virtual clock.
+func (e *Engine) Sync() {
+	//psbox:allow-nowallclock fixture: the directive excuses the read, not the flow
+	e.now = time.Now().UnixNano() // want `wall-clock time read inside psbox/internal/sim`
+}
+
+// Advance moves virtual time forward deterministically; legal.
+func (e *Engine) Advance(d int64) {
+	e.now += d
+}

@@ -1,0 +1,95 @@
+// Package a exercises unbilledenergy: every rail power transition must be
+// post-dominated by a billing call into psbox/internal/account, in any
+// function that participates in billing.
+package a
+
+import (
+	"psbox/internal/account"
+	"psbox/internal/hw/power"
+	"unbilledenergy/b"
+)
+
+// Billed on the only path: legal.
+func Paired(r *power.Rail, w float64) {
+	r.Set(w)
+	account.Bill(1, w)
+}
+
+// The early return skips billing.
+func Branchy(r *power.Rail, w float64, fast bool) {
+	r.Set(w) // want `rail power transition \(power\.Rail\.Set\) is not billed on every path`
+	if fast {
+		return
+	}
+	account.Bill(1, w)
+}
+
+// A deferred billing call covers every exit: legal.
+func Deferred(r *power.Rail, w float64, fast bool) {
+	defer account.Bill(1, w)
+	r.Set(w)
+	if fast {
+		return
+	}
+	r.Adjust(-w)
+}
+
+// No billing anywhere in reach: the obligation floats to the caller via
+// the exposes summary instead of being flagged here.
+func Exposes(r *power.Rail, w float64) {
+	r.Set(w)
+}
+
+// Cross-package: the transition happens inside b.Ramp, the missing branch
+// is here.
+func ViaHelper(r *power.Rail, w float64, fast bool) {
+	b.Ramp(r, w) // want `rail power transition \(call to b\.Ramp \(which changes rail power\)\) is not billed on every path`
+	if fast {
+		return
+	}
+	account.Bill(1, w)
+}
+
+// Cross-package, billed on every path: legal.
+func ViaHelperPaired(r *power.Rail, w float64) {
+	b.Ramp(r, w)
+	account.Bill(1, w)
+}
+
+// A callee that always bills counts as the billing half.
+func PairedViaHelper(r *power.Rail, w float64) {
+	r.Set(w)
+	settle(w)
+}
+
+func settle(w float64) {
+	account.Bill(1, w)
+}
+
+// A provably panicking path is vacuously paired; the surviving path bills.
+func PanicPath(r *power.Rail, w float64, bad bool) {
+	r.Set(w)
+	if bad {
+		panic("rail fault")
+	}
+	account.Bill(1, w)
+}
+
+// Billing on the short-circuited side of && may never run and does not
+// count as the pairing half.
+func CondBill(r *power.Rail, w float64, ok bool) {
+	r.Set(w) // want `rail power transition \(power\.Rail\.Set\) is not billed on every path`
+	_ = ok && settleOK(w)
+}
+
+func settleOK(w float64) bool {
+	account.Bill(1, w)
+	return true
+}
+
+// Reading the rail is not a transition.
+func ReadOnly(r *power.Rail) float64 {
+	v := b.Probe(r)
+	account.Bill(1, v)
+	return v
+}

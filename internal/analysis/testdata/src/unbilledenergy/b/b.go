@@ -1,0 +1,15 @@
+// Package b holds cross-package helpers for the unbilledenergy fixtures.
+package b
+
+import "psbox/internal/hw/power"
+
+// Ramp changes rail power without billing: callers inherit the obligation
+// through the exposes summary.
+func Ramp(r *power.Rail, w float64) {
+	r.Set(w)
+}
+
+// Probe only reads the rail; no obligation.
+func Probe(r *power.Rail) float64 {
+	return r.Load()
+}

@@ -1,0 +1,66 @@
+// Package a exercises walltaint: host-dependent values must not reach
+// deterministic-state packages, directly or through helpers.
+package a
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"psbox/internal/obs"
+	"walltaint/b"
+)
+
+// Direct flow into a sink package.
+func Direct() {
+	t := time.Now().UnixNano()
+	obs.Emit("t", t) // want `wall-clock time flows into obs.Emit`
+}
+
+// Laundering through stdlib calls keeps the taint.
+func Laundered() {
+	s := fmt.Sprintf("%d", os.Getpid())
+	n := int64(len(s))
+	obs.Emit("pid", n) // want `process id flows into obs.Emit`
+}
+
+// Cross-package: the helper lives in another package and forwards its
+// argument into obs.
+func ViaHelper() {
+	t := time.Now().UnixNano()
+	b.Forward("t", t) // want `wall-clock time flows into b.Forward, which forwards it into deterministic state`
+}
+
+// Cross-package: the taint arrives through a helper's return value.
+func ViaReturn() {
+	obs.Emit("t", b.Stamp()) // want `wall-clock time flows into obs.Emit`
+}
+
+// Environment values are a distinct source kind.
+func Env() {
+	home := os.Getenv("HOME")
+	obs.Emit("len", int64(len(home))) // want `process-environment value flows into obs.Emit`
+}
+
+// %p formatting leaks ASLR-randomized addresses.
+func PtrFmt(x *int) {
+	s := fmt.Sprintf("%p", x)
+	obs.Emit("addr", int64(len(s))) // want `pointer-formatted address flows into obs.Emit`
+}
+
+// Sim-provided values are clean; emitting them is the intended use.
+func SimTime(now int64) {
+	obs.Emit("sim", now)
+}
+
+// A host read that never reaches a sink is nowallclock's business, not
+// walltaint's.
+func HostLocal() int64 {
+	t := time.Now().UnixNano()
+	return b.Drop("t", t)
+}
+
+// %d formatting of a clean value stays clean.
+func CleanFmt(v int64) {
+	obs.Annotate("v", fmt.Sprintf("%d", v))
+}

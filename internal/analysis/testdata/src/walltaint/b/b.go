@@ -1,0 +1,26 @@
+// Package b holds cross-package helpers for the walltaint fixtures: one
+// that forwards its argument into deterministic state, one that mints a
+// tainted value, and one that swallows its argument.
+package b
+
+import (
+	"time"
+
+	"psbox/internal/obs"
+)
+
+// Forward relays a metric into the obs bus; its v parameter is a
+// transitive sink.
+func Forward(name string, v int64) {
+	obs.Emit(name, v)
+}
+
+// Stamp mints a wall-clock value; its return carries the taint.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// Drop uses its argument locally and never sinks it.
+func Drop(name string, v int64) int64 {
+	return v + int64(len(name))
+}

@@ -1,0 +1,264 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"psbox/internal/analysis/callgraph"
+	"psbox/internal/analysis/cfg"
+	"psbox/internal/analysis/dataflow"
+)
+
+// UnbilledEnergy enforces the energy-accounting pairing contract: a rail
+// power-state transition (Rail.Set / Rail.Adjust in internal/hw/*) must be
+// post-dominated by a call into internal/account on every path to return —
+// the lock/unlock shape, with the transition as the lock and billing as
+// the unlock. A billing call in a deferred statement covers every exit;
+// paths that provably panic are vacuously paired.
+//
+// The check is interprocedural in both directions. A helper that changes
+// rail power without billing *exposes* the obligation to its callers, so a
+// call to it counts as a transition there; a callee that bills on every
+// one of its own paths counts as a billing site at its call sites. Only
+// functions that themselves participate in billing (some path reaches
+// internal/account) are held to the pairing rule: psbox's hw components
+// deliberately leave billing to kernel accounting callbacks, so a
+// component that never bills merely floats the obligation upward instead
+// of being flagged. Calls on the short-circuited side of && / || may not
+// execute and therefore never count as the billing half of a pair.
+var UnbilledEnergy = &Analyzer{
+	Name: "unbilledenergy",
+	Doc: `flag rail power-state transitions (internal/hw Rail.Set/Adjust)
+that are not post-dominated by a billing call into internal/account on
+every path to return, in functions that participate in billing.`,
+	Run: runUnbilledEnergy,
+}
+
+func isBillingCallee(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	return pkg != nil &&
+		(pkg.Path() == "psbox/internal/account" || strings.HasPrefix(pkg.Path(), "psbox/internal/account/"))
+}
+
+// isRailTransition matches the power-state mutators of internal/hw's Rail.
+func isRailTransition(fn *types.Func) bool {
+	pkg := fn.Pkg()
+	if pkg == nil || !strings.HasPrefix(pkg.Path(), "psbox/internal/hw") {
+		return false
+	}
+	if fn.Name() != "Set" && fn.Name() != "Adjust" {
+		return false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Rail"
+}
+
+// ubSum is one function's bottom-up summary.
+type ubSum struct {
+	mayBill     bool // some call chain reaches internal/account
+	alwaysBills bool // every entry→exit path passes a billing call
+	exposes     bool // contains a transition unbilled on some following path
+}
+
+// ubSite is one transition call site that is not billed on every path out
+// of its function.
+type ubSite struct {
+	call *ast.CallExpr
+	desc string
+}
+
+// ubFacts is the full per-function analysis; transfer keeps only the
+// comparable summary, the reporting pass also reads the sites.
+type ubFacts struct {
+	sum   ubSum
+	sites []ubSite
+}
+
+func ubSummaries(prog *Program) map[*types.Func]ubSum {
+	v := prog.Fact("unbilledenergy.sums", func() any {
+		g := prog.CallGraph()
+		return dataflow.Fixpoint(g, func(n *callgraph.Node, get func(*types.Func) ubSum) ubSum {
+			return ubAnalyze(n.Pkg.Info, g, n.Decl, get).sum
+		})
+	})
+	return v.(map[*types.Func]ubSum)
+}
+
+// ubAnalyze classifies every statement of fd as billing and/or
+// transitioning, then runs a greatest-fixpoint must-analysis over the CFG:
+// billedFrom(b) holds when every path from the start of block b to the
+// exit passes a non-conditional billing statement.
+func ubAnalyze(info *types.Info, g *callgraph.Graph, fd *ast.FuncDecl, get func(*types.Func) ubSum) ubFacts {
+	var facts ubFacts
+	graph := cfg.New(fd.Body)
+
+	type siteAt struct {
+		block *cfg.Block
+		idx   int
+		call  *ast.CallExpr
+		desc  string
+	}
+	var sites []siteAt
+	billingIdx := make(map[*cfg.Block][]int)
+
+	classify := func(call *ast.CallExpr, conditional bool, b *cfg.Block, idx int) {
+		callee := callgraph.StaticCallee(info, call)
+		if callee == nil {
+			return
+		}
+		billing := isBillingCallee(callee)
+		transition := isRailTransition(callee)
+		desc := funcDesc(callee)
+		if !billing && !transition && g.Node(callee) != nil {
+			s := get(callee)
+			if s.mayBill {
+				facts.sum.mayBill = true
+			}
+			if s.alwaysBills {
+				billing = true
+			}
+			if s.exposes {
+				transition = true
+				desc = "call to " + desc + " (which changes rail power)"
+			}
+		}
+		if billing {
+			facts.sum.mayBill = true
+			if !conditional && b != nil {
+				billingIdx[b] = append(billingIdx[b], idx)
+			}
+		}
+		if transition && b != nil {
+			sites = append(sites, siteAt{block: b, idx: idx, call: call, desc: desc})
+		}
+	}
+
+	for _, b := range graph.Blocks {
+		for idx, node := range b.Nodes {
+			b, idx := b, idx
+			cfg.CallsIn(node, func(call *ast.CallExpr, conditional bool) {
+				classify(call, conditional, b, idx)
+			})
+		}
+	}
+
+	// Deferred billing runs on every exit, normal or panicking, so it
+	// pairs every transition in the function.
+	deferredBills := false
+	for _, d := range graph.Defers {
+		callee := callgraph.StaticCallee(info, d)
+		if callee == nil {
+			continue
+		}
+		if isBillingCallee(callee) || (g.Node(callee) != nil && get(callee).alwaysBills) {
+			deferredBills = true
+			facts.sum.mayBill = true
+		} else if g.Node(callee) != nil && get(callee).mayBill {
+			facts.sum.mayBill = true
+		}
+	}
+	for _, d := range graph.Defers {
+		callee := callgraph.StaticCallee(info, d)
+		if callee == nil {
+			continue
+		}
+		// A transition hidden in a defer still creates an obligation.
+		transition := isRailTransition(callee) || (g.Node(callee) != nil && get(callee).exposes)
+		if transition && !deferredBills {
+			facts.sum.exposes = true
+		}
+	}
+
+	// billedFrom: must-analysis, greatest fixpoint. Blocks containing a
+	// non-conditional billing statement and provably-panicking blocks are
+	// vacuously true; the exit is false; everything else is the AND of
+	// its successors.
+	billedFrom := make(map[*cfg.Block]bool, len(graph.Blocks))
+	for _, b := range graph.Blocks {
+		billedFrom[b] = true
+	}
+	billedFrom[graph.Exit] = false
+	for changed := true; changed; {
+		changed = false
+		for _, b := range graph.Blocks {
+			if b == graph.Exit || b.Panics || len(billingIdx[b]) > 0 {
+				continue
+			}
+			v := len(b.Succs) > 0
+			for _, s := range b.Succs {
+				v = v && billedFrom[s]
+			}
+			if v != billedFrom[b] {
+				billedFrom[b] = v
+				changed = true
+			}
+		}
+	}
+	facts.sum.alwaysBills = deferredBills || billedFrom[graph.Entry]
+
+	for _, s := range sites {
+		if deferredBills || s.block.Panics {
+			continue
+		}
+		paired := false
+		for _, j := range billingIdx[s.block] {
+			if j > s.idx {
+				paired = true
+				break
+			}
+		}
+		if !paired {
+			paired = len(s.block.Succs) > 0
+			for _, succ := range s.block.Succs {
+				paired = paired && billedFrom[succ]
+			}
+		}
+		if !paired {
+			facts.sum.exposes = true
+			facts.sites = append(facts.sites, ubSite{call: s.call, desc: s.desc})
+		}
+	}
+	return facts
+}
+
+func runUnbilledEnergy(pass *Pass) {
+	// The account package is the billing implementation itself; holding
+	// its internals to the pairing rule would be circular.
+	if isBillingPkg(pass.PkgPath) {
+		return
+	}
+	sums := ubSummaries(pass.Prog)
+	g := pass.Prog.CallGraph()
+	get := func(fn *types.Func) ubSum { return sums[fn] }
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			facts := ubAnalyze(pass.Info, g, fd, get)
+			if !facts.sum.mayBill {
+				// No billing anywhere in reach: the obligation floats to
+				// the caller via the exposes summary instead.
+				continue
+			}
+			for _, s := range facts.sites {
+				pass.Reportf(s.call.Pos(),
+					"rail power transition (%s) is not billed on every path to return; pair it with a call into psbox/internal/account, or bill in a defer", s.desc)
+			}
+		}
+	}
+}
+
+func isBillingPkg(path string) bool {
+	return path == "psbox/internal/account" || strings.HasPrefix(path, "psbox/internal/account/")
+}

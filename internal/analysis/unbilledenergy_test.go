@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"psbox/internal/analysis"
+	"psbox/internal/analysis/analysistest"
+)
+
+func TestUnbilledEnergy(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.UnbilledEnergy, "unbilledenergy/...")
+}

@@ -1,0 +1,237 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"psbox/internal/analysis/callgraph"
+	"psbox/internal/analysis/dataflow"
+)
+
+// WallTaint is the interprocedural upgrade of nowallclock: instead of
+// flagging where a host-dependent value is *read*, it flags where one
+// *arrives* — in sim state, snapshot writers, or obs events. A read behind
+// an //psbox:allow-nowallclock directive is still a taint source here: the
+// directive excuses the read (say, for operator-facing logging), never the
+// flow into deterministic state.
+//
+// Sources are wall-clock reads (time.Now/Since/Until), the process
+// environment (os.Getenv and friends), process ids (os.Getpid/Getppid),
+// and pointer-formatted strings (a fmt.Sprint* with a %p verb — addresses
+// differ per run under ASLR). Taint propagates through locals, arithmetic,
+// conversions, composite literals, unknown calls (laundering through
+// fmt.Sprintf stays tainted), and — via bottom-up call-graph summaries —
+// through helper functions in other packages. Sinks are the parameters of
+// every function in a deterministic-state package, so passing a tainted
+// value into one directly, or into any helper that forwards it there, is
+// reported at the call site. Flows through captured closures are out of
+// scope (DESIGN.md §"Whole-program checks").
+var WallTaint = &Analyzer{
+	Name: "walltaint",
+	Doc: `flag host-dependent values (wall-clock time, environment, pids,
+%p-formatted addresses) flowing into sim state, snapshot writers, or obs
+events, directly or through helper calls in other packages.`,
+	Run: runWallTaint,
+}
+
+// wallTaintSinkPkgs are the deterministic-state package subtrees whose
+// inputs must be host-independent.
+var wallTaintSinkPkgs = []string{
+	"psbox/internal/sim",
+	"psbox/internal/snapshot",
+	"psbox/internal/obs",
+}
+
+func isWallTaintSinkPkg(path string) bool {
+	for _, p := range wallTaintSinkPkgs {
+		if path == p || strings.HasPrefix(path, p+"/") {
+			return true
+		}
+	}
+	return false
+}
+
+// Source kinds, one bit each in Labels.Kinds.
+const (
+	wtWallClock = iota
+	wtEnv
+	wtPid
+	wtPtrFmt
+)
+
+var wallTaintKindNames = [...]string{
+	"wall-clock time",
+	"process-environment value",
+	"process id",
+	"pointer-formatted address",
+}
+
+func wallTaintKindList(kinds uint64) string {
+	var parts []string
+	for i, name := range wallTaintKindNames {
+		if kinds&(1<<uint(i)) != 0 {
+			parts = append(parts, name)
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// wallTaintSource labels the calls that mint host-dependent values.
+func wallTaintSource(info *types.Info, call *ast.CallExpr) dataflow.Labels {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return dataflow.Labels{}
+	}
+	if name, ok := qualifiedName(info, sel, "time"); ok {
+		switch name {
+		case "Now", "Since", "Until":
+			return dataflow.Kind(wtWallClock)
+		}
+		return dataflow.Labels{}
+	}
+	if name, ok := qualifiedName(info, sel, "os"); ok {
+		switch name {
+		case "Getenv", "LookupEnv", "Environ", "ExpandEnv":
+			return dataflow.Kind(wtEnv)
+		case "Getpid", "Getppid":
+			return dataflow.Kind(wtPid)
+		}
+		return dataflow.Labels{}
+	}
+	if name, ok := qualifiedName(info, sel, "fmt"); ok && strings.HasPrefix(name, "Sprint") {
+		for _, arg := range call.Args {
+			tv, ok := info.Types[arg]
+			if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+				continue
+			}
+			if strings.Contains(constant.StringVal(tv.Value), "%p") {
+				return dataflow.Kind(wtPtrFmt)
+			}
+		}
+	}
+	return dataflow.Labels{}
+}
+
+// wallTaintSum is one function's bottom-up summary: which source kinds and
+// parameter positions reach its return values, and which parameter
+// positions reach a deterministic-state sink inside it (transitively).
+type wallTaintSum struct {
+	ret  dataflow.Labels
+	sink uint64
+}
+
+func wallTaintSummaries(prog *Program) map[*types.Func]wallTaintSum {
+	v := prog.Fact("walltaint.sums", func() any {
+		g := prog.CallGraph()
+		return dataflow.Fixpoint(g, func(n *callgraph.Node, get func(*types.Func) wallTaintSum) wallTaintSum {
+			info := n.Pkg.Info
+			a := wallTaintAnalyze(g, info, n.Decl, get)
+			sum := wallTaintSum{ret: a.Return()}
+			if isWallTaintSinkPkg(n.Pkg.Path) {
+				// Every parameter of a deterministic-state function is
+				// itself a sink.
+				sum.sink = paramMask(n.Decl)
+			}
+			forEachCall(n.Decl.Body, func(call *ast.CallExpr) {
+				mask := wallTaintSinkMask(g, info, call, get)
+				if mask == 0 {
+					return
+				}
+				np := a.NumParams(call)
+				for i := 0; i < np && i < 64; i++ {
+					if mask&(1<<uint(i)) != 0 {
+						sum.sink |= a.ArgLabels(call, i).Params
+					}
+				}
+			})
+			return sum
+		})
+	})
+	return v.(map[*types.Func]wallTaintSum)
+}
+
+// wallTaintSinkMask reports which argument positions of a call land in
+// deterministic state: all of them for a direct call into a sink package,
+// the callee's summarized sink positions otherwise.
+func wallTaintSinkMask(g *callgraph.Graph, info *types.Info, call *ast.CallExpr, get func(*types.Func) wallTaintSum) uint64 {
+	callee := callgraph.StaticCallee(info, call)
+	if callee == nil {
+		return 0
+	}
+	if pkg := callee.Pkg(); pkg != nil && isWallTaintSinkPkg(pkg.Path()) {
+		return ^uint64(0)
+	}
+	if g.Node(callee) == nil {
+		return 0
+	}
+	return get(callee).sink
+}
+
+// wallTaintAnalyze runs the taint engine over one function body with
+// sources enabled and known callees mapped through their summaries.
+func wallTaintAnalyze(g *callgraph.Graph, info *types.Info, fd *ast.FuncDecl, get func(*types.Func) wallTaintSum) *dataflow.Analysis {
+	hooks := dataflow.Hooks{
+		Source: func(call *ast.CallExpr) dataflow.Labels { return wallTaintSource(info, call) },
+		Call: func(call *ast.CallExpr, arg func(int) dataflow.Labels) (dataflow.Labels, bool) {
+			callee := callgraph.StaticCallee(info, call)
+			if callee == nil || g.Node(callee) == nil {
+				// Unknown callee (stdlib, func value): conservative
+				// default, so laundering keeps the taint.
+				return dataflow.Labels{}, false
+			}
+			return mapThroughSummary(get(callee).ret, arg), true
+		},
+	}
+	return dataflow.Run(info, fd.Body, seedFunc(info, fd), hooks)
+}
+
+func runWallTaint(pass *Pass) {
+	sums := wallTaintSummaries(pass.Prog)
+	g := pass.Prog.CallGraph()
+	get := func(fn *types.Func) wallTaintSum { return sums[fn] }
+	inSink := isWallTaintSinkPkg(pass.PkgPath)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			a := wallTaintAnalyze(g, pass.Info, fd, get)
+			forEachCall(fd.Body, func(call *ast.CallExpr) {
+				if inSink {
+					// Inside a deterministic-state package a source read
+					// is the violation itself: the value is born next to
+					// the state it must not touch.
+					if l := wallTaintSource(pass.Info, call); !l.Empty() {
+						pass.Reportf(call.Pos(),
+							"%s read inside %s: deterministic-state packages must not observe host state", wallTaintKindList(l.Kinds), pass.PkgPath)
+						return
+					}
+				}
+				mask := wallTaintSinkMask(g, pass.Info, call, get)
+				if mask == 0 {
+					return
+				}
+				np := a.NumParams(call)
+				var kinds uint64
+				for i := 0; i < np && i < 64; i++ {
+					if mask&(1<<uint(i)) != 0 {
+						kinds |= a.ArgLabels(call, i).Kinds
+					}
+				}
+				if kinds == 0 {
+					return
+				}
+				callee := callgraph.StaticCallee(pass.Info, call)
+				desc := funcDesc(callee)
+				if pkg := callee.Pkg(); pkg == nil || !isWallTaintSinkPkg(pkg.Path()) {
+					desc += ", which forwards it into deterministic state"
+				}
+				pass.Reportf(call.Pos(),
+					"%s flows into %s; sim state, snapshots, and obs events must be host-independent", wallTaintKindList(kinds), desc)
+			})
+		}
+	}
+}
