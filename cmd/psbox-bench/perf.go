@@ -1,0 +1,149 @@
+// The -perf mode: microbenchmarks over the simulator's two hottest paths
+// — the engine's event heap and the meter's sample retrieval — rendered
+// as events/sec, ns/event, and allocs/event. The committed BENCH_1.json
+// is the baseline these numbers regress against; rerun with
+//
+//	go run ./cmd/psbox-bench -perf -json
+//
+// on comparable hardware before comparing. The workload under measurement
+// is deterministic (fixed seed, fixed event mix); only the host timings
+// vary.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"psbox"
+	"psbox/internal/sim"
+)
+
+// perfResult is one benchmark's summary. "Event" means one fired engine
+// event for the heap benchmarks and one retrieved DAQ sample for the
+// meter benchmark.
+type perfResult struct {
+	Bench          string  `json:"bench"`
+	Events         int     `json:"events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	NsPerEvent     float64 `json:"ns_per_event"`
+	AllocsPerEvent float64 `json:"allocs_per_event"`
+	BytesPerEvent  float64 `json:"bytes_per_event"`
+}
+
+func runPerf(asJSON bool, out io.Writer) {
+	benches := []struct {
+		name string
+		fn   func(*testing.B)
+	}{
+		{"engine/heap-churn", benchEngineHeapChurn},
+		{"engine/heap-mixed-horizon", benchEngineHeapMixed},
+		{"meter/sampling", benchMeterSampling},
+	}
+	enc := json.NewEncoder(out)
+	if asJSON {
+		host := map[string]any{
+			"schema": "psbox-perf/1",
+			"goos":   runtime.GOOS,
+			"goarch": runtime.GOARCH,
+			"cpus":   runtime.NumCPU(),
+		}
+		if err := enc.Encode(host); err != nil {
+			panic(err)
+		}
+	}
+	for _, b := range benches {
+		r := testing.Benchmark(b.fn)
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		res := perfResult{
+			Bench:          b.name,
+			Events:         r.N,
+			EventsPerSec:   1e9 / ns,
+			NsPerEvent:     ns,
+			AllocsPerEvent: float64(r.AllocsPerOp()),
+			BytesPerEvent:  float64(r.AllocedBytesPerOp()),
+		}
+		if asJSON {
+			if err := enc.Encode(res); err != nil {
+				panic(err)
+			}
+			continue
+		}
+		fmt.Fprintf(out, "%-26s %12.0f events/sec  %8.1f ns/event  %5.1f allocs/event  %7.1f B/event  (n=%d)\n",
+			res.Bench, res.EventsPerSec, res.NsPerEvent, res.AllocsPerEvent, res.BytesPerEvent, res.Events)
+	}
+}
+
+// benchEngineHeapChurn measures the heap's steady-state churn: a fixed
+// fan-out of self-rescheduling events with co-prime periods, so pops and
+// pushes interleave at every heap depth. One op = one fired event.
+func benchEngineHeapChurn(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine()
+	const fanout = 512
+	for i := 0; i < fanout; i++ {
+		d := sim.Duration(i%97+1) * sim.Microsecond
+		var ev sim.Event
+		ev = func(sim.Time) { eng.After(d, ev) }
+		eng.After(d, ev)
+	}
+	b.ResetTimer()
+	eng.Drain(uint64(b.N))
+}
+
+// benchEngineHeapMixed adds the other scheduling shapes the kernel uses —
+// absolute At, periodic Every, and cancellation — to the churn mix.
+func benchEngineHeapMixed(b *testing.B) {
+	b.ReportAllocs()
+	eng := sim.NewEngine()
+	const fanout = 256
+	for i := 0; i < fanout; i++ {
+		d := sim.Duration(i%89+1) * sim.Microsecond
+		var ev sim.Event
+		ev = func(now sim.Time) {
+			h := eng.At(now.Add(2*d), func(sim.Time) {})
+			if i%3 == 0 {
+				eng.Cancel(h)
+			}
+			eng.After(d, ev)
+		}
+		eng.After(d, ev)
+	}
+	for i := 0; i < 32; i++ {
+		eng.Every(sim.Duration(i%13+1)*sim.Microsecond, func(sim.Time) {})
+	}
+	b.ResetTimer()
+	eng.Drain(uint64(b.N))
+}
+
+// benchMeterSampling measures DAQ sample retrieval over a realistic rail
+// history: the mobile platform runs a render loop for 250 ms of sim time,
+// then the benchmark slides a one-period window across the battery rail.
+// One op = one retrieved sample.
+func benchMeterSampling(b *testing.B) {
+	sys := psbox.NewMobile(1)
+	app := sys.Kernel.NewApp("bench")
+	app.Spawn("render", 0, psbox.Loop(
+		psbox.Compute{Cycles: 2e6},
+		psbox.SubmitAccel{Dev: "gpu", Kind: "frame", Work: 3e4, DynW: 0.9},
+		psbox.AwaitAccel{Dev: "gpu", MaxBacklog: 2},
+		psbox.Sleep{D: 4 * psbox.Millisecond},
+	))
+	sys.Run(250 * psbox.Millisecond)
+	m := sys.Meter
+	period := sim.Duration(int64(m.Period()))
+	horizon := sys.Now()
+	b.ReportAllocs()
+	b.ResetTimer()
+	var t sim.Time
+	for i := 0; i < b.N; i++ {
+		to := t.Add(period)
+		if to > horizon {
+			t, to = 0, sim.Time(int64(period))
+		}
+		_ = m.Samples("battery", t, to)
+		t = to
+	}
+}

@@ -1,0 +1,87 @@
+//psbox:allow-noconcurrency the fleet CLI configures the supervisor's host-side worker pool; shard simulations stay single-threaded
+
+// Command psbox-fleet runs a fleet of independently-seeded device
+// simulations across a worker pool under the fault-tolerant supervisor
+// (internal/fleet): per-shard panic isolation, a hung-shard watchdog,
+// retry-with-resume from PSBX checkpoints, and quarantine with explicit
+// coverage accounting. The merged report on stdout is deterministic for a
+// fixed (seed, shards, ms, quanta, retries, chaos) regardless of -workers,
+// completion order, or which retry attempt succeeded — the CI fleet-soak
+// job byte-compares it across worker counts and against goldens.
+//
+// With -chaos, a seeded schedule of shard kills, hangs, and checkpoint
+// corruption exercises the whole supervision path reproducibly.
+//
+// Usage:
+//
+//	psbox-fleet [-seed N] [-shards N] [-workers N] [-ms D] [-quanta N]
+//	            [-ckpt-every N] [-retries N] [-stall D] [-chaos]
+//
+// Exit status: 0 on a complete or chaos-degraded fleet, 1 when shards
+// were quarantined without chaos (an unexpected failure), 2 on usage
+// errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"psbox/internal/fleet"
+	"psbox/internal/sim"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("psbox-fleet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Uint64("seed", 42, "fleet seed; shard i simulates with ShardSeed(seed, i)")
+	shards := fs.Int("shards", 8, "number of device simulations")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = NumCPU); never affects the report")
+	ms := fs.Int64("ms", 200, "per-shard simulated horizon in milliseconds")
+	quanta := fs.Int("quanta", 20, "sim steps per shard (heartbeat granularity)")
+	ckptEvery := fs.Int("ckpt-every", 5, "checkpoint every this many quanta")
+	retries := fs.Int("retries", 2, "retries per shard after the first attempt (0 disables retry)")
+	stall := fs.Duration("stall", 30*time.Second, "hung-shard watchdog: wall time without sim progress before cancellation")
+	chaos := fs.Bool("chaos", false, "inject the seeded chaos schedule (kills, hangs, checkpoint corruption)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *ms <= 0 {
+		fmt.Fprintln(stderr, "psbox-fleet: -ms must be positive")
+		return 2
+	}
+
+	cfg := fleet.Config{
+		Shards:          *shards,
+		Workers:         *workers,
+		Horizon:         sim.Duration(*ms) * sim.Millisecond,
+		Seed:            *seed,
+		Quanta:          *quanta,
+		CheckpointEvery: *ckptEvery,
+		MaxRetries:      *retries,
+		StallTimeout:    *stall,
+	}
+	if *chaos {
+		cfg.Chaos = fleet.NewPlan(*seed, *shards, *quanta, *ckptEvery, *retries+1)
+	}
+	res, err := fleet.Run(cfg)
+	if err != nil {
+		fmt.Fprintln(stderr, "psbox-fleet:", err)
+		return 2
+	}
+	fmt.Fprint(stdout, res.Format())
+	if !*chaos {
+		for _, sh := range res.Shards {
+			if sh.Quarantined {
+				return 1
+			}
+		}
+	}
+	return 0
+}

@@ -1,0 +1,56 @@
+//psbox:allow-noconcurrency exercises the concurrent supervisor through the CLI
+//psbox:allow-nowallclock golden runs shrink the watchdog's host-side stall deadline for speed
+
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestGoldenAcrossWorkers runs the CI fleet-soak configuration at one
+// worker and at four and byte-compares both merged reports against the
+// committed golden: the report must not depend on parallelism,
+// completion order, or which retry attempt succeeded.
+func TestGoldenAcrossWorkers(t *testing.T) {
+	base := []string{"-chaos", "-seed", "42", "-shards", "8", "-ms", "100",
+		"-quanta", "20", "-ckpt-every", "5", "-stall", "500ms"}
+	for _, tc := range []struct {
+		golden  string
+		retries string
+	}{
+		{"fleet_chaos.golden", "2"},
+		{"fleet_chaos_noretry.golden", "0"},
+	} {
+		want, err := os.ReadFile(filepath.Join("testdata", tc.golden))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []string{"1", "4"} {
+			args := append(append([]string{}, base...), "-retries", tc.retries, "-workers", workers)
+			var stdout, stderr bytes.Buffer
+			if code := run(args, &stdout, &stderr); code != 0 {
+				t.Fatalf("%s workers=%s: exit %d, stderr: %s", tc.golden, workers, code, stderr.String())
+			}
+			if !bytes.Equal(stdout.Bytes(), want) {
+				t.Errorf("%s workers=%s: report deviates from golden\n--- got ---\n%s",
+					tc.golden, workers, stdout.String())
+			}
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-no-such-flag"},
+		{"-ms", "0"},
+		{"-shards", "0"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if code := run(args, &stdout, &stderr); code != 2 {
+			t.Errorf("run(%v) = %d, want usage exit 2 (stderr: %s)", args, code, stderr.String())
+		}
+	}
+}

@@ -1,3 +1,5 @@
+//psbox:allow-noconcurrency the hung-run watchdog runs the soak in a goroutine and races it against a wall-clock deadline; the simulation itself stays single-threaded
+
 // Command psbox-soak is the crash-and-resume soak harness: it runs the
 // canonical fault scenario under periodic checkpointing, kills the run at
 // seeded crash points (25/50/75% of the horizon), restores from the last
@@ -5,24 +7,40 @@
 // replay-twin contract of internal/snapshot), runs each resumed copy to
 // the horizon, and byte-compares its final report against the
 // uninterrupted golden run's. It also runs two restored replicas in
-// lockstep, comparing full system snapshots every quantum and panicking
-// on the first divergence.
+// lockstep, comparing full system snapshots every quantum and reporting
+// the first divergence.
 //
 // All output is deterministic for a (seed, ms) pair; the CI soak job
 // diffs it against the goldens under testdata/.
 //
 // Usage:
 //
-//	psbox-soak [-seed N] [-ms D]
+//	psbox-soak [-seed N] [-ms D] [-timeout D]
+//
+// Exit status distinguishes the failure classes so CI and the fleet
+// supervisor can react without parsing the transcript:
+//
+//	0  every resumed report matched the golden and the replicas stayed in
+//	   lockstep
+//	1  divergence: a resumed report or a lockstep replica deviated from
+//	   the golden run
+//	2  restore failure: a checkpoint was missing, unreadable, or failed
+//	   replay verification (takes precedence over divergence)
+//	3  timeout: the soak produced no verdict within -timeout wall time
+//	   and is presumed hung
+//	4  usage error
 package main
 
 import (
 	"crypto/sha256"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"psbox"
 	"psbox/internal/faults"
@@ -31,18 +49,65 @@ import (
 	"psbox/internal/snapshot"
 )
 
+// Exit codes. Restore failures outrank divergence: an unverifiable
+// checkpoint makes the divergence comparison itself meaningless.
+const (
+	exitOK         = 0
+	exitDivergence = 1
+	exitRestore    = 2
+	exitTimeout    = 3
+	exitUsage      = 4
+)
+
+// Test seams, nil in production: mangleCheckpoint corrupts the bytes read
+// back from disk (forcing the restore-failure path), mangleReport
+// corrupts a resumed run's report (forcing the divergence path).
+var (
+	mangleCheckpoint func([]byte) []byte
+	mangleReport     func(string) string
+)
+
 func main() {
-	seed := flag.Uint64("seed", 42, "simulation seed")
-	ms := flag.Int64("ms", 2000, "simulated duration in milliseconds")
-	flag.Parse()
-	if *ms <= 0 {
-		fmt.Fprintln(os.Stderr, "psbox-soak: -ms must be positive")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("psbox-soak", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	ms := fs.Int64("ms", 2000, "simulated duration in milliseconds")
+	timeout := fs.Duration("timeout", 0, "hung-run watchdog: wall time to a verdict before exiting 3 (0 disables)")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
 	}
-	out, ok := soak(*seed, *ms)
-	fmt.Print(out)
-	if !ok {
-		os.Exit(1)
+	if *ms <= 0 {
+		fmt.Fprintln(stderr, "psbox-soak: -ms must be positive")
+		return exitUsage
+	}
+
+	type verdict struct {
+		out  string
+		code int
+	}
+	// The watchdog races the soak against the deadline. The soak goroutine
+	// owns a private System and the buffered channel lets it finish and be
+	// collected even after the watchdog has given up on it.
+	done := make(chan verdict, 1)
+	go func() {
+		out, code := soak(*seed, *ms)
+		done <- verdict{out, code}
+	}()
+	var deadline <-chan time.Time
+	if *timeout > 0 {
+		deadline = time.After(*timeout)
+	}
+	select {
+	case v := <-done:
+		fmt.Fprint(stdout, v.out)
+		return v.code
+	case <-deadline:
+		fmt.Fprintf(stderr, "psbox-soak: no verdict after %v; run presumed hung\n", *timeout)
+		return exitTimeout
 	}
 }
 
@@ -162,12 +227,25 @@ func report(sys *psbox.System) string {
 	return b.String()
 }
 
+// verdictCode folds the two failure classes into one exit code; restore
+// failures win because they invalidate the comparison divergence is
+// judged by.
+func verdictCode(restoreFail, diverged bool) int {
+	switch {
+	case restoreFail:
+		return exitRestore
+	case diverged:
+		return exitDivergence
+	default:
+		return exitOK
+	}
+}
+
 // soak runs the full crash-and-resume protocol and renders its
-// deterministic transcript. ok is false when any resumed report diverges
-// from the golden.
-func soak(seed uint64, ms int64) (string, bool) {
+// deterministic transcript plus the exit code for what it found.
+func soak(seed uint64, ms int64) (string, int) {
 	horizon := sim.Duration(ms) * psbox.Millisecond
-	ok := true
+	var restoreFail, diverged bool
 	var b strings.Builder
 	fmt.Fprintf(&b, "psbox-soak seed=%d ms=%d checkpoints=every %d ms\n\n", seed, ms, ms/10)
 
@@ -179,8 +257,8 @@ func soak(seed uint64, ms int64) (string, bool) {
 
 	tmp, err := os.MkdirTemp("", "psbox-soak-")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "psbox-soak:", err)
-		os.Exit(2)
+		fmt.Fprintf(&b, "FAIL: checkpoint scratch dir: %v\n", err)
+		return b.String(), exitRestore
 	}
 	defer os.RemoveAll(tmp)
 
@@ -201,20 +279,23 @@ func soak(seed uint64, ms int64) (string, bool) {
 		crashed.Run(crashAt)
 		if lastBytes == nil {
 			fmt.Fprintln(&b, "FAIL: no checkpoint before the crash point")
-			ok = false
+			restoreFail = true
 			continue
 		}
 		path := filepath.Join(tmp, fmt.Sprintf("ckpt-%d.psbx", int(frac*100)))
 		if err := snapshot.WriteFile(path, lastBytes); err != nil {
 			fmt.Fprintln(&b, "FAIL: write checkpoint:", err)
-			ok = false
+			restoreFail = true
 			continue
 		}
 		restoredBytes, err := snapshot.ReadFile(path)
 		if err != nil {
 			fmt.Fprintln(&b, "FAIL: read checkpoint:", err)
-			ok = false
+			restoreFail = true
 			continue
+		}
+		if mangleCheckpoint != nil {
+			restoredBytes = mangleCheckpoint(restoredBytes)
 		}
 		fmt.Fprintf(&b, "checkpoint at %d ms (%d bytes, crc ok)\n",
 			int64(lastAt)/int64(psbox.Millisecond), len(restoredBytes))
@@ -233,17 +314,21 @@ func soak(seed uint64, ms int64) (string, bool) {
 		switch {
 		case !restored:
 			fmt.Fprintln(&b, "FAIL: resume never reached the checkpoint instant")
-			ok = false
+			restoreFail = true
 		case restoreErr != nil:
 			fmt.Fprintf(&b, "FAIL: restore verification: %v\n", restoreErr)
-			ok = false
+			restoreFail = true
 		default:
 			fmt.Fprintln(&b, "restore verified")
 		}
-		if got := report(resumed); got != goldenReport {
+		got := report(resumed)
+		if mangleReport != nil {
+			got = mangleReport(got)
+		}
+		if got != goldenReport {
 			fmt.Fprintln(&b, "FAIL: resumed report diverges from golden:")
 			b.WriteString(diffLines(goldenReport, got))
-			ok = false
+			diverged = true
 		} else {
 			fmt.Fprintln(&b, "resumed report identical to golden")
 		}
@@ -254,25 +339,42 @@ func soak(seed uint64, ms int64) (string, bool) {
 
 	if midCkpt != nil {
 		fmt.Fprintln(&b, "\n== lockstep replicas ==")
-		steps := lockstep(seed, horizon, midCkpt, midAt)
-		fmt.Fprintf(&b, "two replicas resumed at %d ms, stepped %d quanta to the horizon: no divergence\n",
-			int64(midAt)/int64(psbox.Millisecond), steps)
+		steps, err := lockstep(seed, horizon, midCkpt, midAt)
+		switch {
+		case errors.As(err, new(restoreError)):
+			fmt.Fprintf(&b, "FAIL: %v\n", err)
+			restoreFail = true
+		case err != nil:
+			fmt.Fprintf(&b, "FAIL: %v\n", err)
+			diverged = true
+		default:
+			fmt.Fprintf(&b, "two replicas resumed at %d ms, stepped %d quanta to the horizon: no divergence\n",
+				int64(midAt)/int64(psbox.Millisecond), steps)
+		}
 	}
 
-	if ok {
+	code := verdictCode(restoreFail, diverged)
+	if code == exitOK {
 		fmt.Fprintln(&b, "\nverdict: ok")
 	} else {
 		fmt.Fprintln(&b, "\nverdict: FAIL")
 	}
-	return b.String(), ok
+	return b.String(), code
 }
+
+// restoreError marks a lockstep failure as a restore-path failure rather
+// than replica divergence.
+type restoreError struct{ err error }
+
+func (e restoreError) Error() string { return e.err.Error() }
+func (e restoreError) Unwrap() error { return e.err }
 
 // lockstep rebuilds two replicas, restores both from the checkpoint, and
 // steps them to the horizon in fixed quanta, comparing full system
-// snapshots after every step. The first divergence panics with the
+// snapshots after every step. It reports the first divergence with the
 // section-qualified diff — this is the detector the soak run arms against
 // nondeterminism that per-report comparison could smear over.
-func lockstep(seed uint64, horizon sim.Duration, ckpt []byte, at psbox.Time) int {
+func lockstep(seed uint64, horizon sim.Duration, ckpt []byte, at psbox.Time) (int, error) {
 	replicas := [2]*psbox.System{}
 	for i := range replicas {
 		var restoreErr error
@@ -283,7 +385,7 @@ func lockstep(seed uint64, horizon sim.Duration, ckpt []byte, at psbox.Time) int
 		})
 		sys.Run(sim.Duration(int64(at)))
 		if restoreErr != nil {
-			panic(fmt.Sprintf("psbox-soak: lockstep replica %d restore: %v", i, restoreErr))
+			return 0, restoreError{fmt.Errorf("lockstep replica %d restore: %w", i, restoreErr)}
 		}
 		replicas[i] = sys
 	}
@@ -296,11 +398,11 @@ func lockstep(seed uint64, horizon sim.Duration, ckpt []byte, at psbox.Time) int
 		steps++
 		a, c := replicas[0].Snapshot(), replicas[1].Snapshot()
 		if d := snapshot.Diff(a, c); d != "" {
-			panic(fmt.Sprintf("psbox-soak: replicas diverged at %v (step %d): %s",
-				replicas[0].Now(), steps, d))
+			return steps, fmt.Errorf("replicas diverged at %v (step %d): %s",
+				replicas[0].Now(), steps, d)
 		}
 	}
-	return steps
+	return steps, nil
 }
 
 // diffLines renders a compact first-divergence view of two reports.

@@ -1,0 +1,101 @@
+//psbox:allow-noconcurrency exit-code tests drive the watchdog path, which is concurrent by design
+//psbox:allow-nowallclock the timeout table entry needs a real wall-clock deadline to trip the watchdog
+
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestExitCodes tables every documented exit status. The restore-failure
+// and divergence rows use the package's test seams to corrupt,
+// respectively, the checkpoint bytes read back from disk and a resumed
+// run's report — each exercising the full protocol around the injected
+// fault.
+func TestExitCodes(t *testing.T) {
+	mangleCkpt := func(b []byte) []byte {
+		out := append([]byte(nil), b...)
+		out[len(out)/2] ^= 0x01
+		return out
+	}
+	mangleRep := func(s string) string { return strings.Replace(s, "battery=", "battery=9", 1) }
+
+	tests := []struct {
+		name       string
+		args       []string
+		ckpt       func([]byte) []byte
+		report     func(string) string
+		want       int
+		wantStdout string // "" skips the check
+		wantStderr string
+	}{
+		{
+			name: "ok", args: []string{"-seed", "7", "-ms", "100"},
+			want: exitOK, wantStdout: "verdict: ok",
+		},
+		{
+			name: "divergence", args: []string{"-seed", "7", "-ms", "100"},
+			report: mangleRep,
+			want:   exitDivergence, wantStdout: "resumed report diverges from golden",
+		},
+		{
+			name: "restore failure", args: []string{"-seed", "7", "-ms", "100"},
+			ckpt: mangleCkpt,
+			want: exitRestore, wantStdout: "FAIL: restore verification",
+		},
+		{
+			// Both classes at once: restore failure must win the exit code.
+			name: "restore failure outranks divergence", args: []string{"-seed", "7", "-ms", "100"},
+			ckpt: mangleCkpt, report: mangleRep,
+			want: exitRestore,
+		},
+		{
+			name: "timeout", args: []string{"-seed", "7", "-ms", "60000", "-timeout", "50ms"},
+			want: exitTimeout, wantStderr: "no verdict after 50ms; run presumed hung",
+		},
+		{
+			name: "usage: bad flag", args: []string{"-no-such-flag"},
+			want: exitUsage,
+		},
+		{
+			name: "usage: non-positive horizon", args: []string{"-ms", "0"},
+			want: exitUsage, wantStderr: "-ms must be positive",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			mangleCheckpoint, mangleReport = tc.ckpt, tc.report
+			defer func() { mangleCheckpoint, mangleReport = nil, nil }()
+			var stdout, stderr bytes.Buffer
+			if got := run(tc.args, &stdout, &stderr); got != tc.want {
+				t.Errorf("exit code = %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					got, tc.want, stdout.String(), stderr.String())
+			}
+			if tc.wantStdout != "" && !strings.Contains(stdout.String(), tc.wantStdout) {
+				t.Errorf("stdout missing %q:\n%s", tc.wantStdout, stdout.String())
+			}
+			if tc.wantStderr != "" && !strings.Contains(stderr.String(), tc.wantStderr) {
+				t.Errorf("stderr missing %q:\n%s", tc.wantStderr, stderr.String())
+			}
+		})
+	}
+}
+
+// TestVerdictCode pins the precedence fold directly.
+func TestVerdictCode(t *testing.T) {
+	for _, tc := range []struct {
+		restoreFail, diverged bool
+		want                  int
+	}{
+		{false, false, exitOK},
+		{false, true, exitDivergence},
+		{true, false, exitRestore},
+		{true, true, exitRestore},
+	} {
+		if got := verdictCode(tc.restoreFail, tc.diverged); got != tc.want {
+			t.Errorf("verdictCode(%v, %v) = %d, want %d", tc.restoreFail, tc.diverged, got, tc.want)
+		}
+	}
+}

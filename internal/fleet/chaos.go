@@ -1,0 +1,160 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"psbox/internal/sim"
+)
+
+// Injection is one planned chaos fault against a specific (shard, attempt).
+type Injection struct {
+	Attempt int
+	Kind    FailureKind // FailPanic (kill) or FailHang
+	Quantum int         // the fault fires just before this quantum (1-based)
+	Corrupt bool        // additionally bit-flip the stored checkpoint after this attempt fails
+}
+
+// Plan is a deterministic chaos schedule: which shards fail, on which
+// attempts, how. A pure function of its seed and shape parameters, so a
+// chaos run is exactly as reproducible as a clean one.
+type Plan struct {
+	seed    uint64
+	byShard map[int][]Injection
+}
+
+// NewPlan draws a chaos schedule over a fleet: roughly 40% of shards (at
+// least one, at most all) are afflicted, cycling through the taxonomy —
+// kill, hang, kill-then-corrupt-checkpoint — so every supervision path is
+// exercised whenever at least three shards are afflicted. Each afflicted
+// shard fails its first 1..maxFailures attempts at seeded-random quantum
+// boundaries and succeeds after (or quarantines, if the supervisor's
+// retry budget runs out first). A corrupt-checkpoint shard plans exactly
+// one kill, placed after the first checkpoint instant (ckptEvery), so a
+// checkpoint provably exists to corrupt: its arc is kill → corrupt
+// detected on resume → restart from zero.
+func NewPlan(seed uint64, shards, quanta, ckptEvery, maxFailures int) *Plan {
+	if shards < 1 || quanta < 2 {
+		panic(fmt.Sprintf("fleet: chaos plan needs shards >= 1 and quanta >= 2, have %d/%d", shards, quanta))
+	}
+	if ckptEvery < 1 || ckptEvery >= quanta {
+		ckptEvery = quanta / 2
+	}
+	if maxFailures < 1 {
+		maxFailures = 1
+	}
+	p := &Plan{seed: seed, byShard: make(map[int][]Injection)}
+	r := sim.NewRand(seed ^ 0xc4a05f1ee7)
+
+	afflicted := (2 * shards) / 5
+	if afflicted < 1 {
+		afflicted = 1
+	}
+	// Seeded partial Fisher-Yates: pick `afflicted` distinct shards.
+	perm := make([]int, shards)
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := 0; i < afflicted; i++ {
+		j := i + r.Intn(shards-i)
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	picked := append([]int(nil), perm[:afflicted]...)
+	sort.Ints(picked)
+
+	kinds := []FailureKind{FailPanic, FailHang, FailPanic}
+	for i, shard := range picked {
+		kind := kinds[i%len(kinds)]
+		corrupt := i%len(kinds) == 2
+		if corrupt {
+			span := quanta - ckptEvery - 1
+			if span < 1 {
+				span = 1
+			}
+			p.byShard[shard] = append(p.byShard[shard], Injection{
+				Attempt: 0,
+				Kind:    kind,
+				Quantum: ckptEvery + 1 + r.Intn(span),
+				Corrupt: true,
+			})
+			continue
+		}
+		fails := 1 + r.Intn(maxFailures)
+		for a := 0; a < fails; a++ {
+			p.byShard[shard] = append(p.byShard[shard], Injection{
+				Attempt: a,
+				Kind:    kind,
+				Quantum: 1 + r.Intn(quanta-1),
+			})
+		}
+	}
+	return p
+}
+
+// PlanFromInjections builds an explicit plan — the unit tests' precision
+// tool.
+func PlanFromInjections(seed uint64, byShard map[int][]Injection) *Plan {
+	shards := make([]int, 0, len(byShard))
+	for s := range byShard {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+	m := make(map[int][]Injection, len(byShard))
+	for _, s := range shards {
+		m[s] = append([]Injection(nil), byShard[s]...)
+	}
+	return &Plan{seed: seed, byShard: m}
+}
+
+// injectionFor returns the planned fault for (shard, attempt), nil when
+// the attempt is meant to succeed. Nil-safe: a nil plan injects nothing.
+func (p *Plan) injectionFor(shard, attempt int) *Injection {
+	if p == nil {
+		return nil
+	}
+	for i := range p.byShard[shard] {
+		if p.byShard[shard][i].Attempt == attempt {
+			return &p.byShard[shard][i]
+		}
+	}
+	return nil
+}
+
+// Describe renders the plan in the stable form embedded in the merged
+// fleet report, shards in ascending order.
+func (p *Plan) Describe() string {
+	if p == nil {
+		return "chaos: off\n"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "chaos: seed=%d afflicted=%d shards\n", p.seed, len(p.byShard))
+	shards := make([]int, 0, len(p.byShard))
+	for s := range p.byShard {
+		shards = append(shards, s)
+	}
+	sort.Ints(shards)
+	for _, s := range shards {
+		var parts []string
+		for _, inj := range p.byShard[s] {
+			part := fmt.Sprintf("attempt %d %s@q%d", inj.Attempt, chaosVerb(inj.Kind), inj.Quantum)
+			if inj.Corrupt {
+				part += "+corrupt-checkpoint"
+			}
+			parts = append(parts, part)
+		}
+		fmt.Fprintf(&b, "  shard %d: %s\n", s, strings.Join(parts, "; "))
+	}
+	return b.String()
+}
+
+func chaosVerb(k FailureKind) string {
+	switch k {
+	case FailPanic:
+		return "kill"
+	case FailHang:
+		return "hang"
+	default:
+		return string(k)
+	}
+}

@@ -1,0 +1,150 @@
+package fleet
+
+import (
+	"sort"
+
+	"psbox"
+	"psbox/internal/faults"
+	"psbox/internal/sim"
+)
+
+// DefaultScenario is the fleet's canonical per-shard workload: the mobile
+// platform (CPU + GPU + DSP + WiFi + display + GPS + DRAM) under the
+// three-app mix of the soak harness — a sandboxed GPU renderer, a
+// sandboxed uplink streamer, an unsandboxed background grinder — plus a
+// shard-seeded randomized fault campaign, tracing, accel watchdogs, and a
+// periodic invariant audit. A pure function of (seed, horizon): every
+// attempt of a shard rebuilds the identical event sequence.
+func DefaultScenario(shard int, seed uint64, horizon sim.Duration) *psbox.System {
+	sys := psbox.NewMobile(seed)
+	sys.EnableTracing()
+	sys.EnableAccelWatchdogs(psbox.DefaultWatchdogConfig())
+
+	vision := sys.Kernel.NewApp("vision")
+	vision.Spawn("render", 0, psbox.Loop(
+		psbox.Compute{Cycles: 2e6},
+		psbox.SubmitAccel{Dev: "gpu", Kind: "frame", Work: 3e4, DynW: 0.9},
+		psbox.AwaitAccel{Dev: "gpu", MaxBacklog: 2},
+		psbox.Sleep{D: 4 * psbox.Millisecond},
+	))
+	sys.Sandbox.MustCreate(vision, psbox.HWCPU, psbox.HWGPU).Enter()
+
+	stream := sys.Kernel.NewApp("stream")
+	sock := stream.OpenSocket()
+	stream.Spawn("uplink", 1, psbox.Loop(
+		psbox.Compute{Cycles: 8e5},
+		psbox.Send{Socket: sock, Bytes: 24_000},
+		psbox.AwaitNet{MaxBacklog: 48_000},
+		psbox.Sleep{D: 6 * psbox.Millisecond},
+	))
+	sys.Sandbox.MustCreate(stream, psbox.HWCPU, psbox.HWWiFi).Enter()
+
+	noise := sys.Kernel.NewApp("noise")
+	noise.Spawn("grind", 1, psbox.Loop(
+		psbox.Compute{Cycles: 3e6},
+		psbox.SubmitAccel{Dev: "dsp", Kind: "fft", Work: 4e4, DynW: 0.5},
+		psbox.Sleep{D: 9 * psbox.Millisecond},
+	))
+
+	sys.Faults.Randomize(faults.Campaign{
+		Horizon:       horizon,
+		AccelHangs:    1,
+		NICFlaps:      1,
+		DVFSStalls:    1,
+		MeterDropouts: 2,
+	})
+	sys.SetAuditEvery(horizon / 10)
+	return sys
+}
+
+// BoxRead is one sandbox's observed energy in a shard report.
+type BoxRead struct {
+	App      string
+	DirectJ  float64
+	EstJ     float64
+	Gaps     int
+	Degraded bool
+}
+
+// AppBlame is one principal's attributed battery energy over a shard's
+// horizon ("kernel" collects kernel activity and the idle floor).
+type AppBlame struct {
+	App string
+	J   float64
+}
+
+// ShardReport is one completed shard's deterministic summary: the rollup
+// currency the fleet merge aggregates. It contains only simulated
+// quantities — never wall-clock time, worker identity, or attempt count —
+// so a shard's report is byte-identical whether it ran clean, resumed
+// from a checkpoint, or succeeded on its last retry.
+type ShardReport struct {
+	BatteryJ    float64
+	Boxes       []BoxRead  // sorted by app name
+	Blame       []AppBlame // sorted by principal name
+	Degraded    int        // attribution windows overlapping meter dropouts
+	Faults      int        // injected faults that fired
+	Audits      uint64     // periodic invariant audits
+	TraceEvents uint64     // total events emitted on the obs bus
+}
+
+// Summarize renders a finished system into its shard report: sandbox
+// reads, the battery rail's energy, and the power-attribution rollup
+// (per-principal joules from the obs blame timeline) over [from, to).
+func Summarize(sys *psbox.System, from, to sim.Time) *ShardReport {
+	rep := &ShardReport{
+		BatteryJ:    float64(sys.Meter.Energy("battery", from, to)),
+		Faults:      len(sys.Faults.Log()),
+		Audits:      sys.Audits(),
+		TraceEvents: sys.Trace.Total(),
+	}
+	for _, bx := range sys.Sandbox.Boxes() {
+		direct, est, gaps := bx.ReadDetail()
+		rep.Boxes = append(rep.Boxes, BoxRead{
+			App:      bx.App().Name,
+			DirectJ:  direct,
+			EstJ:     est,
+			Gaps:     gaps,
+			Degraded: bx.Degraded(),
+		})
+	}
+	sort.Slice(rep.Boxes, func(i, j int) bool { return rep.Boxes[i].App < rep.Boxes[j].App })
+
+	names := map[int]string{0: "kernel"}
+	for _, a := range sys.Kernel.Apps() {
+		names[a.ID] = a.Name
+	}
+	// Attribution runs per component rail — spans are tagged with the rail
+	// they drew on; the battery rail is the sum and carries no spans of its
+	// own. Rails iterate in meter registration order, fixed at
+	// construction, so the float accumulation order is deterministic.
+	period := sys.Meter.Period().Seconds()
+	joules := make(map[string]float64)
+	for _, rail := range sys.Meter.Rails() {
+		if rail == "battery" {
+			continue
+		}
+		for _, bl := range sys.Blame(rail, from, to) {
+			if bl.Degraded {
+				rep.Degraded++
+			}
+			for _, sh := range bl.Shares {
+				name, ok := names[sh.Owner]
+				if !ok {
+					name = "unknown"
+				}
+				//psbox:allow-energyaccum summing already-integrated attribution windows (share × sampled W × meter period) in fixed rail-then-window order, not raw power×dt
+				joules[name] += sh.Frac * float64(bl.W) * period
+			}
+		}
+	}
+	blamed := make([]string, 0, len(joules))
+	for name := range joules {
+		blamed = append(blamed, name)
+	}
+	sort.Strings(blamed)
+	for _, name := range blamed {
+		rep.Blame = append(rep.Blame, AppBlame{App: name, J: joules[name]})
+	}
+	return rep
+}

@@ -1,0 +1,43 @@
+package netsched
+
+import (
+	"testing"
+
+	"psbox/internal/sim"
+)
+
+// TestRetryBackoffGoldenSchedule pins the retransmission delays for the
+// default config: 5 ms doubling to an 80 ms ceiling (the BeagleBone/
+// WiLink8 calibration of §6.2). The delays position every requeue event
+// in the engine's queue, so the sequence is part of the deterministic
+// replay surface — a change here invalidates every trace and checkpoint
+// golden in the repo.
+func TestRetryBackoffGoldenSchedule(t *testing.T) {
+	cfg := DefaultConfig()
+	want := []sim.Duration{
+		5 * sim.Millisecond,  // retry 1
+		10 * sim.Millisecond, // retry 2
+		20 * sim.Millisecond, // retry 3
+		40 * sim.Millisecond, // retry 4
+		80 * sim.Millisecond, // retry 5
+		80 * sim.Millisecond, // retry 6: capped
+		80 * sim.Millisecond, // retry 7: stays capped
+	}
+	for i, w := range want {
+		if got := backoffFor(i+1, cfg.RetryBackoff, cfg.RetryBackoffCap); got != w {
+			t.Errorf("retry %d: backoff %v, want %v", i+1, got, w)
+		}
+	}
+}
+
+// TestRetryBackoffDegenerateConfigs covers the shapes NewWithConfig can
+// normalize to: cap below base (clamped to base by validation) and a cap
+// equal to base (every retry waits the same).
+func TestRetryBackoffDegenerateConfigs(t *testing.T) {
+	base := 5 * sim.Millisecond
+	for retry := 1; retry <= 4; retry++ {
+		if got := backoffFor(retry, base, base); got != base {
+			t.Errorf("cap==base, retry %d: backoff %v, want %v", retry, got, base)
+		}
+	}
+}

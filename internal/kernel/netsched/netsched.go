@@ -563,19 +563,28 @@ func (d *Driver) onTxFail(p *nic.Packet) {
 	d.linkRetries++
 	d.bus.Instant(obs.CatNet, "tx-retry", p.Owner, int64(p.ID), d.n.Config().Name, "")
 	d.bus.Count("net.link_retries", p.Owner, d.n.Config().Name, 1)
-	backoff := d.cfg.RetryBackoff
-	for r := 1; r < p.Retries && backoff < d.cfg.RetryBackoffCap; r++ {
-		backoff *= 2
-	}
-	if backoff > d.cfg.RetryBackoffCap {
-		backoff = d.cfg.RetryBackoffCap
-	}
+	backoff := backoffFor(p.Retries, d.cfg.RetryBackoff, d.cfg.RetryBackoffCap)
 	pp, ss := p, s
 	d.eng.After(backoff, func(sim.Time) { d.requeue(pp, ss) })
 	d.pump()
 	if d.cbs.BacklogChange != nil {
 		d.cbs.BacklogChange(p.Owner)
 	}
+}
+
+// backoffFor is the retransmission delay schedule: the first retry waits
+// base, each further retry doubles it, capped at limit. Pinned by the
+// golden-sequence test — the schedule is part of the deterministic replay
+// surface, so changing it shifts every retransmission in every trace.
+func backoffFor(retries int, base, limit sim.Duration) sim.Duration {
+	backoff := base
+	for r := 1; r < retries && backoff < limit; r++ {
+		backoff *= 2
+	}
+	if backoff > limit {
+		backoff = limit
+	}
+	return backoff
 }
 
 // requeue returns a failed frame to the head of its socket once its retry

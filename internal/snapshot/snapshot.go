@@ -123,6 +123,10 @@ func (d *Decoder) take(n int) []byte {
 	if d.err != nil {
 		return nil
 	}
+	if n < 0 {
+		d.err = fmt.Errorf("snapshot: negative length %d at offset %d", n, d.off)
+		return nil
+	}
 	if d.Remaining() < n {
 		d.err = fmt.Errorf("snapshot: truncated payload: need %d bytes at offset %d, have %d", n, d.off, d.Remaining())
 		return nil
@@ -322,6 +326,13 @@ func Parse(data []byte) ([]Section, error) {
 		return nil, fmt.Errorf("snapshot: format version %d, this build reads version %d", v, Version)
 	}
 	n := int(d.U32())
+	// Every section costs at least 8 framing bytes (the label and payload
+	// length prefixes), which bounds how many the remaining body can hold.
+	// Checking before the preallocation keeps a hostile count field from
+	// sizing an allocation the data could never fill.
+	if maxSecs := d.Remaining() / 8; n > maxSecs {
+		return nil, fmt.Errorf("snapshot: section count %d exceeds what %d remaining bytes can frame", n, d.Remaining())
+	}
 	secs := make([]Section, 0, n)
 	for i := 0; i < n; i++ {
 		label := d.Str()
