@@ -1,29 +1,33 @@
-// The -perf mode: microbenchmarks over the simulator's two hottest paths
-// — the engine's event heap and the meter's sample retrieval — rendered
-// as events/sec, ns/event, and allocs/event. The committed BENCH_1.json
-// is the baseline these numbers regress against; rerun with
+// The -perf mode: microbenchmarks over the simulator's hottest paths —
+// the engine's event heap, the meter's sample retrieval, and a whole-repo
+// psbox-lint pass — rendered as events/sec, ns/event, and allocs/event.
+// The committed BENCH_1.json (engine/meter) and BENCH_2.json (adds the
+// lint pass) are the baselines these numbers regress against; rerun with
 //
 //	go run ./cmd/psbox-bench -perf -json
 //
-// on comparable hardware before comparing. The workload under measurement
-// is deterministic (fixed seed, fixed event mix); only the host timings
-// vary.
+// on comparable hardware before comparing. The workloads under
+// measurement are deterministic (fixed seed, fixed event mix, fixed
+// source tree); only the host timings vary.
 package main
 
 import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"testing"
 
 	"psbox"
+	"psbox/internal/analysis"
 	"psbox/internal/sim"
 )
 
 // perfResult is one benchmark's summary. "Event" means one fired engine
-// event for the heap benchmarks and one retrieved DAQ sample for the
-// meter benchmark.
+// event for the heap benchmarks, one retrieved DAQ sample for the meter
+// benchmark, and one whole-repo lint pass for the lint benchmark.
 type perfResult struct {
 	Bench          string  `json:"bench"`
 	Events         int     `json:"events"`
@@ -31,6 +35,12 @@ type perfResult struct {
 	NsPerEvent     float64 `json:"ns_per_event"`
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 	BytesPerEvent  float64 `json:"bytes_per_event"`
+	// TypechecksPerEvent is reported only by lint/whole-repo: package
+	// type-checks per lint pass. Zero is the expected (and meaningful)
+	// value — the loader's content-hash cache revalidates by hashing alone
+	// when sources are unchanged — so the field is a pointer rather than
+	// omitempty-on-zero.
+	TypechecksPerEvent *float64 `json:"typechecks_per_event,omitempty"`
 }
 
 func runPerf(asJSON bool, out io.Writer) {
@@ -41,6 +51,7 @@ func runPerf(asJSON bool, out io.Writer) {
 		{"engine/heap-churn", benchEngineHeapChurn},
 		{"engine/heap-mixed-horizon", benchEngineHeapMixed},
 		{"meter/sampling", benchMeterSampling},
+		{"lint/whole-repo", benchLintWholeRepo},
 	}
 	enc := json.NewEncoder(out)
 	if asJSON {
@@ -65,14 +76,21 @@ func runPerf(asJSON bool, out io.Writer) {
 			AllocsPerEvent: float64(r.AllocsPerOp()),
 			BytesPerEvent:  float64(r.AllocedBytesPerOp()),
 		}
+		if tc, ok := r.Extra["typechecks/op"]; ok {
+			res.TypechecksPerEvent = &tc
+		}
 		if asJSON {
 			if err := enc.Encode(res); err != nil {
 				panic(err)
 			}
 			continue
 		}
-		fmt.Fprintf(out, "%-26s %12.0f events/sec  %8.1f ns/event  %5.1f allocs/event  %7.1f B/event  (n=%d)\n",
+		fmt.Fprintf(out, "%-26s %12.0f events/sec  %8.1f ns/event  %5.1f allocs/event  %7.1f B/event  (n=%d)",
 			res.Bench, res.EventsPerSec, res.NsPerEvent, res.AllocsPerEvent, res.BytesPerEvent, res.Events)
+		if res.TypechecksPerEvent != nil {
+			fmt.Fprintf(out, "  %.2f typechecks/event", *res.TypechecksPerEvent)
+		}
+		fmt.Fprintln(out)
 	}
 }
 
@@ -116,6 +134,63 @@ func benchEngineHeapMixed(b *testing.B) {
 	}
 	b.ResetTimer()
 	eng.Drain(uint64(b.N))
+}
+
+// benchLintWholeRepo measures one full psbox-lint pass over this module:
+// load (revalidated against the loader's content-hash cache) plus every
+// in-scope analyzer on every package. A warm-up pass outside the timer
+// pays the one-time parse + type-check of the tree and its transitive
+// standard library, so the timed op is the steady state an editor or
+// watch loop sees; typechecks/event staying at zero is the cache's
+// correctness showing (any non-zero value means a package re-typechecked
+// with unchanged sources). One op = one whole-repo lint run.
+func benchLintWholeRepo(b *testing.B) {
+	cwd, err := os.Getwd()
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := cwd
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			break
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			b.Fatalf("no go.mod found above %s", cwd)
+		}
+		root = parent
+	}
+	lintPass := func() {
+		loader, err := analysis.NewLoader(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkgs, err := loader.LoadAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog := analysis.NewProgram(pkgs)
+		for _, pkg := range pkgs {
+			var suite []*analysis.Analyzer
+			for _, a := range analysis.All() {
+				if analysis.InScope(a, pkg.Path) {
+					suite = append(suite, a)
+				}
+			}
+			if n := len(analysis.RunAnalyzersProgram(prog, pkg, suite)); n != 0 {
+				b.Fatalf("lint found %d finding(s) in %s; the benchmark tree must be clean", n, pkg.Path)
+			}
+		}
+	}
+	lintPass()
+	b.ReportAllocs()
+	before := analysis.TypeCheckCount()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lintPass()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(analysis.TypeCheckCount()-before)/float64(b.N), "typechecks/op")
 }
 
 // benchMeterSampling measures DAQ sample retrieval over a realistic rail

@@ -1,5 +1,3 @@
-//psbox:allow-noconcurrency the fleet CLI configures the supervisor's host-side worker pool; shard simulations stay single-threaded
-
 // Command psbox-fleet runs a fleet of independently-seeded device
 // simulations across a worker pool under the fault-tolerant supervisor
 // (internal/fleet): per-shard panic isolation, a hung-shard watchdog,

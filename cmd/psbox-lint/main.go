@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/psbox-lint [-json] [packages]
+//	go run ./cmd/psbox-lint [-json] [-fix] [-diff] [-staleallows=false] [packages]
 //
 // Package patterns (./..., ./internal/..., ./cmd/psbox-lint) select which
 // packages' findings are reported. The whole module containing the working
@@ -17,7 +17,20 @@
 // command line.
 //
 // With -json, each finding is printed to stdout as one JSON object per
-// line with the fields file, line, col, analyzer, and message.
+// line with the fields file, line, col, analyzer, message, and — when the
+// analyzer attached machine-applicable remediations — fixes, an array of
+// {message, edits:[{file, start, end, new}]} with byte-offset edits.
+//
+// Suggested fixes are applied with -fix (edits the files in place; a
+// second run is a no-op) or previewed with -diff (prints only the unified
+// diff the fixes would apply, byte-stable across runs, nothing when there
+// is no fix to apply — which makes it a CI gate: non-empty output means a
+// mechanically fixable finding was merged).
+//
+// The staleallows audit runs by default: after the full suite, any
+// //psbox:allow-* directive that suppressed no finding is itself reported
+// (its fix deletes the dead directive). -staleallows=false disables the
+// audit for runs whose narrowed report would make it noisy.
 //
 // Scopes:
 //
@@ -41,6 +54,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 
 	"psbox/internal/analysis"
@@ -54,6 +68,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("psbox-lint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	jsonOut := fs.Bool("json", false, "emit one JSON object per finding instead of text lines")
+	applyFix := fs.Bool("fix", false, "apply suggested fixes to the source files in place")
+	diffOut := fs.Bool("diff", false, "print only the unified diff the suggested fixes would apply")
+	stale := fs.Bool("staleallows", true, "audit //psbox:allow-* directives that no longer suppress anything")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -90,7 +107,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	prog := analysis.NewProgram(pkgs)
-	total := 0
+	var report []analysis.Diagnostic
 	for _, pkg := range pkgs {
 		if !match(pkg.Dir) {
 			continue
@@ -102,14 +119,65 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			suite = append(suite, a)
 		}
-		for _, d := range analysis.RunAnalyzersProgram(prog, pkg, suite) {
-			printDiag(stdout, root, d, *jsonOut)
-			total++
+		if *stale {
+			// Staleness is judged against the findings of this same run,
+			// so the audit must be last in the suite.
+			suite = append(suite, analysis.StaleAllows)
+		}
+		report = append(report, analysis.RunAnalyzersProgram(prog, pkg, suite)...)
+	}
+
+	if *diffOut || *applyFix {
+		if code := emitFixes(report, root, *diffOut, *applyFix, stdout, stderr); code != 0 {
+			return code
 		}
 	}
-	if total > 0 {
-		fmt.Fprintf(stderr, "psbox-lint: %d finding(s)\n", total)
+	if !*diffOut {
+		for _, d := range report {
+			printDiag(stdout, root, d, *jsonOut)
+		}
+	}
+	if len(report) > 0 {
+		fmt.Fprintf(stderr, "psbox-lint: %d finding(s)\n", len(report))
 		return 1
+	}
+	return 0
+}
+
+// emitFixes applies (or previews) every suggested fix of the report. Files
+// are visited in sorted order so -diff output is byte-stable.
+func emitFixes(report []analysis.Diagnostic, root string, diff, apply bool, stdout, stderr io.Writer) int {
+	fixed, notes, err := analysis.ApplyFixes(report, os.ReadFile)
+	if err != nil {
+		fmt.Fprintln(stderr, "psbox-lint:", err)
+		return 2
+	}
+	for _, n := range notes {
+		fmt.Fprintln(stderr, "psbox-lint:", n)
+	}
+	var names []string
+	for name := range fixed {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		orig, err := os.ReadFile(name)
+		if err != nil {
+			fmt.Fprintln(stderr, "psbox-lint:", err)
+			return 2
+		}
+		if diff {
+			fmt.Fprint(stdout, analysis.UnifiedDiff(relTo(root, name), orig, fixed[name]))
+		}
+		if apply {
+			if err := os.WriteFile(name, fixed[name], 0o644); err != nil {
+				fmt.Fprintln(stderr, "psbox-lint:", err)
+				return 2
+			}
+		}
+	}
+	if apply && len(names) > 0 {
+		fmt.Fprintf(stderr, "psbox-lint: fixed %d file(s)\n", len(names))
 	}
 	return 0
 }
@@ -152,28 +220,46 @@ func compilePatterns(cwd string, patterns []string) (func(dir string) bool, erro
 
 // jsonDiag is the -json wire form of one finding.
 type jsonDiag struct {
-	File     string `json:"file"`
-	Line     int    `json:"line"`
-	Col      int    `json:"col"`
-	Analyzer string `json:"analyzer"`
-	Message  string `json:"message"`
+	File     string                  `json:"file"`
+	Line     int                     `json:"line"`
+	Col      int                     `json:"col"`
+	Analyzer string                  `json:"analyzer"`
+	Message  string                  `json:"message"`
+	Fixes    []analysis.SuggestedFix `json:"fixes,omitempty"`
+}
+
+// relTo renders a path relative to the module root when it lies inside.
+func relTo(root, file string) string {
+	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return file
 }
 
 func printDiag(w io.Writer, root string, d analysis.Diagnostic, asJSON bool) {
-	file := d.Pos.Filename
-	if rel, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(rel, "..") {
-		file = rel
-	}
+	file := relTo(root, d.Pos.Filename)
 	if asJSON {
+		// Fix edit paths are relativized like the finding itself, so the
+		// artifact is stable across checkouts.
+		fixes := make([]analysis.SuggestedFix, len(d.Fixes))
+		for i, f := range d.Fixes {
+			edits := make([]analysis.TextEdit, len(f.Edits))
+			for j, e := range f.Edits {
+				e.File = relTo(root, e.File)
+				edits[j] = e
+			}
+			fixes[i] = analysis.SuggestedFix{Message: f.Message, Edits: edits}
+		}
 		b, err := json.Marshal(jsonDiag{
 			File:     file,
 			Line:     d.Pos.Line,
 			Col:      d.Pos.Column,
 			Analyzer: d.Analyzer,
 			Message:  d.Message,
+			Fixes:    fixes,
 		})
 		if err != nil {
-			panic(err) // a flat struct of strings and ints cannot fail
+			panic(err) // a struct of strings and ints cannot fail
 		}
 		fmt.Fprintf(w, "%s\n", b)
 		return

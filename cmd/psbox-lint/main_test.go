@@ -46,7 +46,7 @@ func Add(a, b int) int { return a + b }
 
 const (
 	wantTextLine = "internal/clock/clock.go:5:27: nowallclock: time.Now reads the host wall clock; use the sim engine's virtual clock (Engine.Now/After/At)\n"
-	wantJSONLine = `{"file":"internal/clock/clock.go","line":5,"col":27,"analyzer":"nowallclock","message":"time.Now reads the host wall clock; use the sim engine's virtual clock (Engine.Now/After/At)"}` + "\n"
+	wantJSONLine = `{"file":"internal/clock/clock.go","line":5,"col":27,"analyzer":"nowallclock","message":"time.Now reads the host wall clock; use the sim engine's virtual clock (Engine.Now/After/At)","fixes":[{"message":"add a reasoned //psbox:allow-nowallclock directive","edits":[{"file":"internal/clock/clock.go","start":30,"end":30,"new":"//psbox:allow-nowallclock TODO: justify this exception\n"}]}]}` + "\n"
 )
 
 func TestTextOutputGolden(t *testing.T) {
@@ -107,5 +107,106 @@ func TestFlagAfterPatternRejected(t *testing.T) {
 	var errs bytes.Buffer
 	if code := run([]string{"./...", "-json"}, new(bytes.Buffer), &errs); code != 2 {
 		t.Fatalf("exit code = %d, want 2; stderr: %s", code, errs.String())
+	}
+}
+
+func TestDiffPreviewIsByteStableAndNonMutating(t *testing.T) {
+	lintFixture(t)
+	before, err := os.ReadFile("internal/clock/clock.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first, second bytes.Buffer
+	run([]string{"-diff", "./..."}, &first, new(bytes.Buffer))
+	run([]string{"-diff", "./..."}, &second, new(bytes.Buffer))
+	if first.Len() == 0 {
+		t.Fatal("diff preview is empty; the nowallclock fix should produce one")
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Errorf("diff preview not byte-stable:\n%q\nvs\n%q", first.String(), second.String())
+	}
+	if !bytes.Contains(first.Bytes(), []byte("+//psbox:allow-nowallclock TODO: justify this exception")) {
+		t.Errorf("diff missing inserted directive:\n%s", first.String())
+	}
+	after, err := os.ReadFile("internal/clock/clock.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Error("-diff must not modify files on disk")
+	}
+}
+
+func TestFixAppliesAndIsIdempotent(t *testing.T) {
+	lintFixture(t)
+	var errs bytes.Buffer
+	if code := run([]string{"-fix", "./..."}, new(bytes.Buffer), &errs); code != 1 {
+		t.Fatalf("first -fix run: exit code = %d, want 1 (the finding existed); stderr: %s", code, errs.String())
+	}
+	fixedOnce, err := os.ReadFile("internal/clock/clock.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(fixedOnce, []byte("//psbox:allow-nowallclock TODO: justify this exception\nfunc Now()")) {
+		t.Fatalf("directive stub not inserted:\n%s", fixedOnce)
+	}
+	// The stub now suppresses the finding (and is marked used, so the
+	// stale audit stays quiet): the second run must find nothing and
+	// change nothing.
+	var out bytes.Buffer
+	if code := run([]string{"-fix", "./..."}, &out, new(bytes.Buffer)); code != 0 {
+		t.Fatalf("second -fix run: exit code = %d, want 0; out: %s", code, out.String())
+	}
+	fixedTwice, err := os.ReadFile("internal/clock/clock.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fixedOnce, fixedTwice) {
+		t.Error("-fix is not idempotent")
+	}
+}
+
+func TestStaleDirectiveReportedAndFixed(t *testing.T) {
+	lintFixture(t)
+	waiver := filepath.Join("internal", "ok", "waiver.go")
+	src := `package ok
+
+func Mul(a, b int) int {
+	//psbox:allow-maporder no map loop here anymore
+	return a * b
+}
+`
+	if err := os.WriteFile(waiver, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if code := run([]string{"./internal/ok"}, &out, new(bytes.Buffer)); code != 1 {
+		t.Fatalf("exit code = %d, want 1; out: %s", code, out.String())
+	}
+	wantStale := "internal/ok/waiver.go:4:2: staleallows: //psbox:allow-maporder directive suppresses nothing; remove it\n"
+	if out.String() != wantStale {
+		t.Errorf("stdout = %q, want %q", out.String(), wantStale)
+	}
+	// The audit is optional for narrowed runs.
+	out.Reset()
+	if code := run([]string{"-staleallows=false", "./internal/ok"}, &out, new(bytes.Buffer)); code != 0 || out.Len() != 0 {
+		t.Errorf("with -staleallows=false: exit=%d stdout=%q, want clean", code, out.String())
+	}
+	// Its fix deletes the dead directive line.
+	if code := run([]string{"-fix", "./internal/ok"}, new(bytes.Buffer), new(bytes.Buffer)); code != 1 {
+		t.Fatal("fix run should still report the pre-fix finding")
+	}
+	got, err := os.ReadFile(waiver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `package ok
+
+func Mul(a, b int) int {
+	return a * b
+}
+`
+	if string(got) != want {
+		t.Errorf("after fix:\n%s\nwant:\n%s", got, want)
 	}
 }

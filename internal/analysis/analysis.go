@@ -57,11 +57,13 @@ type Analyzer struct {
 	Run  func(*Pass)
 }
 
-// A Diagnostic is one finding, positioned in the analyzed source.
+// A Diagnostic is one finding, positioned in the analyzed source. Fixes,
+// when present, are machine-applicable remediations (see ApplyFixes).
 type Diagnostic struct {
 	Pos      token.Position
 	Analyzer string
 	Message  string
+	Fixes    []SuggestedFix
 }
 
 // String formats the diagnostic the way go vet does.
@@ -136,14 +138,24 @@ func (p *Program) Fact(key string, build func() any) any {
 	return v
 }
 
+// A directiveEntry is one //psbox:allow-* comment, with everything needed
+// to decide coverage and — after a full-suite run — staleness. used flips
+// when the directive suppresses (or exempts) at least one finding.
+type directiveEntry struct {
+	name      string    // analyzer the directive waives
+	pos, end  token.Pos // the comment's own extent
+	line      int
+	fileScope bool // header directive: whole file exempt
+	// span is the line range of a multi-line statement the directive
+	// heads, so a finding on a continuation line is suppressed too; zero
+	// when the directive covers only its own and the next line.
+	span [2]int
+	used bool
+}
+
 // fileDirectives records the //psbox:allow-* lines of one file.
 type fileDirectives struct {
-	fileScope map[string]bool // analyzer name → allowed for whole file
-	lines     map[string]map[int]bool
-	// spans are the line ranges of multi-line statements covered by a
-	// directive on or directly above their first line, so a finding on a
-	// continuation line is suppressed too.
-	spans map[string][][2]int
+	entries []*directiveEntry
 }
 
 var directiveRe = regexp.MustCompile(`^//psbox:allow-([a-z]+)(?:\s+(.*))?$`)
@@ -153,11 +165,7 @@ var directiveRe = regexp.MustCompile(`^//psbox:allow-([a-z]+)(?:\s+(.*))?$`)
 func scanDirectives(fset *token.FileSet, files []*ast.File, report func(token.Pos, string)) map[string]*fileDirectives {
 	out := make(map[string]*fileDirectives)
 	for _, f := range files {
-		fd := &fileDirectives{
-			fileScope: make(map[string]bool),
-			lines:     make(map[string]map[int]bool),
-			spans:     make(map[string][][2]int),
-		}
+		fd := &fileDirectives{}
 		out[fset.Position(f.Pos()).Filename] = fd
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -170,19 +178,17 @@ func scanDirectives(fset *token.FileSet, files []*ast.File, report func(token.Po
 					report(c.Pos(), fmt.Sprintf("psbox:allow-%s directive requires a reason", name))
 					continue
 				}
+				e := &directiveEntry{name: name, pos: c.Pos(), end: c.End()}
 				if c.Pos() < f.Package {
 					// Header comment: the whole file is exempt.
-					fd.fileScope[name] = true
-					continue
+					e.fileScope = true
+				} else {
+					e.line = fset.Position(c.Pos()).Line
+					if from, to, ok := stmtSpanAt(fset, f, e.line); ok && to > from {
+						e.span = [2]int{from, to}
+					}
 				}
-				if fd.lines[name] == nil {
-					fd.lines[name] = make(map[int]bool)
-				}
-				line := fset.Position(c.Pos()).Line
-				fd.lines[name][line] = true
-				if from, to, ok := stmtSpanAt(fset, f, line); ok && to > from {
-					fd.spans[name] = append(fd.spans[name], [2]int{from, to})
-				}
+				fd.entries = append(fd.entries, e)
 			}
 		}
 	}
@@ -244,24 +250,33 @@ func stmtCoverageEnd(s ast.Stmt) token.Pos {
 // directive on the same line, the line above, the spanned lines of the
 // statement the directive heads, or the file header.
 func (p *Pass) allowed(pos token.Pos) bool {
+	return p.allowedFor(p.Analyzer.Name, pos)
+}
+
+// allowedFor is allowed for an explicit directive name — used where one
+// analyzer honors another's waivers (snapshotdrift inherits
+// allow-snapshotstate field exemptions). Every matching directive is
+// marked used, which is what the staleallows check consumes after a
+// full-suite run.
+func (p *Pass) allowedFor(name string, pos token.Pos) bool {
 	position := p.Fset.Position(pos)
 	fd := p.directives[position.Filename]
 	if fd == nil {
 		return false
 	}
-	if fd.fileScope[p.Analyzer.Name] {
-		return true
-	}
-	lines := fd.lines[p.Analyzer.Name]
-	if lines[position.Line] || lines[position.Line-1] {
-		return true
-	}
-	for _, sp := range fd.spans[p.Analyzer.Name] {
-		if position.Line >= sp[0] && position.Line <= sp[1] {
-			return true
+	hit := false
+	for _, e := range fd.entries {
+		if e.name != name {
+			continue
+		}
+		if e.fileScope ||
+			e.line == position.Line || e.line == position.Line-1 ||
+			(e.span[1] > 0 && position.Line >= e.span[0] && position.Line <= e.span[1]) {
+			e.used = true
+			hit = true
 		}
 	}
-	return false
+	return hit
 }
 
 // Reportf records a finding unless an allow directive covers it.
@@ -281,11 +296,12 @@ func (p *Pass) Filename(n ast.Node) string {
 	return p.Fset.Position(n.Pos()).Filename
 }
 
-// All is the complete suite in stable order. The last three analyzers are
-// interprocedural; when run through RunAnalyzers' single-package wrapper
-// they see a one-package program and degrade to intraprocedural checking.
+// All is the complete suite in stable order. walltaint, unbilledenergy,
+// and maporderflow are interprocedural; when run through RunAnalyzers'
+// single-package wrapper they see a one-package program and degrade to
+// intraprocedural checking.
 func All() []*Analyzer {
-	return []*Analyzer{NoWallClock, NoMathRand, NoConcurrency, MapOrder, EnergyAccum, SnapshotState, ObsDeterminism, WallTaint, UnbilledEnergy, MapOrderFlow}
+	return []*Analyzer{NoWallClock, NoMathRand, NoConcurrency, MapOrder, EnergyAccum, SnapshotState, SnapshotDrift, ObsDeterminism, WallTaint, UnbilledEnergy, MapOrderFlow}
 }
 
 // obsInstrumented are the package subtrees that emit on the observability

@@ -10,10 +10,19 @@
 // expression that must match the message of exactly one finding reported
 // on that line; findings without a matching want, and wants without a
 // matching finding, fail the test.
+//
+// Suggested fixes are asserted through golden files: when a fixture file
+// has a sibling named <file>.golden, the result of applying every fix the
+// analyzer attached to that file's findings must match it byte for byte.
+// A fixture without a golden sibling has its fixes applied but not
+// checked.
 package analysistest
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
+	"io/fs"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -64,6 +73,37 @@ func Run(t testing.TB, root string, a *analysis.Analyzer, pkgs ...string) {
 	for _, pkg := range targets {
 		diags := analysis.RunAnalyzersProgram(prog, pkg, []*analysis.Analyzer{a})
 		check(t, pkg, diags)
+		checkFixes(t, pkg, diags)
+	}
+}
+
+// checkFixes applies every suggested fix of the package's findings and
+// compares the result against <file>.golden siblings where they exist.
+func checkFixes(t testing.TB, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	fixed, _, err := analysis.ApplyFixes(diags, os.ReadFile)
+	if err != nil {
+		t.Fatalf("applying fixes: %v", err)
+	}
+	for _, f := range pkg.Files {
+		name := pkg.Fset.Position(f.Pos()).Filename
+		want, err := os.ReadFile(name + ".golden")
+		if errors.Is(err, fs.ErrNotExist) {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("reading golden for %s: %v", name, err)
+		}
+		got, ok := fixed[name]
+		if !ok {
+			if got, err = os.ReadFile(name); err != nil {
+				t.Fatalf("reading %s: %v", name, err)
+			}
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("applied fixes for %s diverge from %s.golden:\n%s",
+				filepath.Base(name), filepath.Base(name), analysis.UnifiedDiff(name, want, got))
+		}
 	}
 }
 

@@ -1,0 +1,155 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fakeRead serves in-memory file contents to ApplyFixes.
+func fakeRead(files map[string]string) func(string) ([]byte, error) {
+	return func(name string) ([]byte, error) {
+		s, ok := files[name]
+		if !ok {
+			return nil, fmt.Errorf("no such file: %s", name)
+		}
+		return []byte(s), nil
+	}
+}
+
+func diagWithEdits(edits ...TextEdit) Diagnostic {
+	return Diagnostic{Fixes: []SuggestedFix{{Message: "fix", Edits: edits}}}
+}
+
+func TestApplyFixesBasic(t *testing.T) {
+	files := map[string]string{"a.go": "hello world\n"}
+	diags := []Diagnostic{diagWithEdits(TextEdit{File: "a.go", Start: 6, End: 11, New: "psbox"})}
+	out, notes, err := ApplyFixes(diags, fakeRead(files))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(notes) != 0 {
+		t.Errorf("notes = %v", notes)
+	}
+	if got := string(out["a.go"]); got != "hello psbox\n" {
+		t.Errorf("applied = %q", got)
+	}
+}
+
+func TestApplyFixesOrdersAndMerges(t *testing.T) {
+	// Edits arrive out of order and across two files; insertions and a
+	// replacement interleave.
+	files := map[string]string{
+		"b.go": "1234567890",
+		"a.go": "abcdef",
+	}
+	diags := []Diagnostic{
+		diagWithEdits(TextEdit{File: "b.go", Start: 5, End: 5, New: "+"}),
+		diagWithEdits(TextEdit{File: "a.go", Start: 4, End: 6, New: "EF"}),
+		diagWithEdits(TextEdit{File: "a.go", Start: 0, End: 1, New: "A"}),
+	}
+	out, _, err := ApplyFixes(diags, fakeRead(files))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := string(out["a.go"]); got != "AbcdEF" {
+		t.Errorf("a.go = %q", got)
+	}
+	if got := string(out["b.go"]); got != "12345+67890" {
+		t.Errorf("b.go = %q", got)
+	}
+}
+
+func TestApplyFixesDedupesIdenticalEdits(t *testing.T) {
+	// Two diagnostics proposing the same edit (the maporder rewrite when a
+	// loop body holds two accumulations) must collapse to one application.
+	files := map[string]string{"a.go": "x"}
+	e := TextEdit{File: "a.go", Start: 0, End: 1, New: "y"}
+	out, notes, err := ApplyFixes([]Diagnostic{diagWithEdits(e), diagWithEdits(e)}, fakeRead(files))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(notes) != 0 {
+		t.Errorf("dedupe should not produce notes: %v", notes)
+	}
+	if got := string(out["a.go"]); got != "y" {
+		t.Errorf("applied = %q", got)
+	}
+}
+
+func TestApplyFixesDropsOverlaps(t *testing.T) {
+	files := map[string]string{"a.go": "abcdef"}
+	diags := []Diagnostic{
+		diagWithEdits(TextEdit{File: "a.go", Start: 0, End: 4, New: "W"}),
+		diagWithEdits(TextEdit{File: "a.go", Start: 2, End: 6, New: "Z"}),
+	}
+	out, notes, err := ApplyFixes(diags, fakeRead(files))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "overlapping") {
+		t.Fatalf("notes = %v, want one overlap note", notes)
+	}
+	if got := string(out["a.go"]); got != "Wef" {
+		t.Errorf("applied = %q", got)
+	}
+}
+
+func TestApplyFixesDropsCompetingInsertions(t *testing.T) {
+	// Two distinct insertions at the same offset would apply in an
+	// arbitrary-looking nesting; the engine keeps the first in sort order.
+	files := map[string]string{"a.go": "ab"}
+	diags := []Diagnostic{
+		diagWithEdits(TextEdit{File: "a.go", Start: 1, End: 1, New: "X"}),
+		diagWithEdits(TextEdit{File: "a.go", Start: 1, End: 1, New: "Y"}),
+	}
+	out, notes, err := ApplyFixes(diags, fakeRead(files))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(notes) != 1 {
+		t.Fatalf("notes = %v, want one drop note", notes)
+	}
+	if got := string(out["a.go"]); got != "aXb" {
+		t.Errorf("applied = %q", got)
+	}
+}
+
+func TestApplyFixesNoChangeOmitsFile(t *testing.T) {
+	files := map[string]string{"a.go": "same"}
+	diags := []Diagnostic{diagWithEdits(TextEdit{File: "a.go", Start: 0, End: 0, New: ""})}
+	out, _, err := ApplyFixes(diags, fakeRead(files))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 {
+		t.Errorf("no-op edits must not report the file as changed: %v", out)
+	}
+}
+
+func TestUnifiedDiffShape(t *testing.T) {
+	oldSrc := []byte("a\nb\nc\nd\ne\nf\ng\n")
+	newSrc := []byte("a\nb\nc\nD\ne\nf\ng\n")
+	diff := UnifiedDiff("t.go", oldSrc, newSrc)
+	want := "--- t.go\n+++ t.go\n@@ -1,7 +1,7 @@\n a\n b\n c\n-d\n+D\n e\n f\n g\n"
+	if diff != want {
+		t.Errorf("diff = %q, want %q", diff, want)
+	}
+	if UnifiedDiff("t.go", oldSrc, oldSrc) != "" {
+		t.Error("identical contents must diff to empty")
+	}
+}
+
+func TestUnifiedDiffIsDeterministic(t *testing.T) {
+	oldSrc := []byte(strings.Repeat("ctx\n", 10) + "old\n" + strings.Repeat("mid\n", 10) + "tail\n")
+	newSrc := []byte(strings.Repeat("ctx\n", 10) + "new\n" + strings.Repeat("mid\n", 10) + "tail2\n")
+	first := UnifiedDiff("t.go", oldSrc, newSrc)
+	for i := 0; i < 5; i++ {
+		if got := UnifiedDiff("t.go", oldSrc, newSrc); got != first {
+			t.Fatalf("diff not byte-stable on run %d", i)
+		}
+	}
+	if !strings.Contains(first, "-old") || !strings.Contains(first, "+new") {
+		t.Errorf("diff missing changed lines:\n%s", first)
+	}
+}

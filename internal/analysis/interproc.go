@@ -10,34 +10,69 @@ import (
 
 // This file holds the plumbing shared by the interprocedural analyzers
 // (walltaint, unbilledenergy, maporderflow): parameter seeding for the
-// dataflow engine, call walking, and the generic "which parameters flow to
-// the return value" summary that maporderflow maps helper calls through.
+// dataflow engine, call walking, and the generic per-path flow summaries
+// (which parameters reach the return value at which access paths, and
+// which labels a function stores through its pointer-like parameters)
+// that maporderflow and walltaint map helper calls through.
 
 // seedFunc seeds every parameter of a declared function with its position
 // label, receiver first, matching the position convention of
 // dataflow.ArgLabels. Unnamed parameters still occupy a position.
 func seedFunc(info *types.Info, fd *ast.FuncDecl) map[types.Object]dataflow.Labels {
 	seed := make(map[types.Object]dataflow.Labels)
-	pos := 0
-	if fd.Recv != nil {
-		for _, field := range fd.Recv.List {
-			for _, name := range field.Names {
-				seed[info.Defs[name]] = dataflow.Param(pos)
-			}
-		}
-		pos = 1
-	}
-	for _, field := range fd.Type.Params.List {
-		if len(field.Names) == 0 {
-			pos++
-			continue
-		}
-		for _, name := range field.Names {
-			seed[info.Defs[name]] = dataflow.Param(pos)
-			pos++
+	for i, o := range paramObjs(info, fd) {
+		if o != nil {
+			seed[o] = dataflow.Param(i)
 		}
 	}
 	return seed
+}
+
+// paramObjs lists a function's parameter objects by position, receiver
+// first; unnamed parameters hold a nil entry but keep their position.
+func paramObjs(info *types.Info, fd *ast.FuncDecl) []types.Object {
+	var out []types.Object
+	if fd.Recv != nil {
+		var recv types.Object
+		for _, field := range fd.Recv.List {
+			for _, name := range field.Names {
+				recv = info.Defs[name]
+			}
+		}
+		out = append(out, recv)
+	}
+	for _, field := range fd.Type.Params.List {
+		if len(field.Names) == 0 {
+			out = append(out, nil)
+			continue
+		}
+		for _, name := range field.Names {
+			out = append(out, info.Defs[name])
+		}
+	}
+	return out
+}
+
+// storableParam reports whether writes through a parameter object escape
+// to the caller: pointer-like types (pointer, map, slice, channel,
+// interface) share storage across the call boundary; value parameters are
+// copies.
+func storableParam(o types.Object) bool {
+	if o == nil || o.Type() == nil {
+		return false
+	}
+	switch o.Type().Underlying().(type) {
+	case *types.Pointer, *types.Map, *types.Slice, *types.Chan, *types.Interface:
+		return true
+	}
+	return false
+}
+
+// summarize extracts the per-path flow summary of one analyzed function:
+// return paths plus store effects through pointer-like parameters.
+func summarize(a *dataflow.Analysis, info *types.Info, fd *ast.FuncDecl) dataflow.Summary {
+	params := paramObjs(info, fd)
+	return a.Summarize(params, func(i int) bool { return storableParam(params[i]) })
 }
 
 // paramPositions counts the parameter positions a function binds, receiver
@@ -67,15 +102,13 @@ func paramMask(fd *ast.FuncDecl) uint64 {
 }
 
 // forEachCall visits every call expression in body in source order,
-// skipping function literals (opaque to the dataflow engine).
+// function literals included — the engine models closures, so a sink call
+// inside a captured func is as real as one at the top level.
 func forEachCall(body *ast.BlockStmt, fn func(*ast.CallExpr)) {
 	if body == nil {
 		return
 	}
 	ast.Inspect(body, func(x ast.Node) bool {
-		if _, ok := x.(*ast.FuncLit); ok {
-			return false
-		}
 		if call, ok := x.(*ast.CallExpr); ok {
 			fn(call)
 		}
@@ -101,39 +134,29 @@ func funcDesc(fn *types.Func) string {
 	return name
 }
 
-// flowSummaries computes, once per program, which parameter positions of
-// each function flow into its return values. maporderflow maps values
-// through helper calls with it; callees outside the program fall back to
-// the engine's conservative default at the call site.
-func flowSummaries(prog *Program) map[*types.Func]dataflow.Labels {
+// flowSummaries computes, once per program, each function's per-path flow
+// summary: which parameter positions flow into its return values at which
+// access paths, and which labels it stores through pointer-like
+// parameters. maporderflow maps values through helper calls with it;
+// callees outside the program fall back to the engine's conservative
+// default at the call site.
+func flowSummaries(prog *Program) map[*types.Func]dataflow.Summary {
 	v := prog.Fact("flowsum", func() any {
 		g := prog.CallGraph()
-		return dataflow.Fixpoint(g, func(n *callgraph.Node, get func(*types.Func) dataflow.Labels) dataflow.Labels {
+		return dataflow.Fixpoint(g, func(n *callgraph.Node, get func(*types.Func) dataflow.Summary) dataflow.Summary {
 			info := n.Pkg.Info
 			hooks := dataflow.Hooks{
-				Call: func(call *ast.CallExpr, arg func(int) dataflow.Labels) (dataflow.Labels, bool) {
+				Call: func(call *ast.CallExpr, args *dataflow.CallArgs) (dataflow.Value, bool) {
 					callee := callgraph.StaticCallee(info, call)
 					if callee == nil || g.Node(callee) == nil {
-						return dataflow.Labels{}, false
+						return nil, false
 					}
-					return mapThroughSummary(get(callee), arg), true
+					return get(callee).Apply(args), true
 				},
 			}
-			return dataflow.Run(info, n.Decl.Body, seedFunc(info, n.Decl), hooks).Return()
-		})
+			a := dataflow.Run(info, n.Decl.Body, seedFunc(info, n.Decl), hooks)
+			return summarize(a, info, n.Decl)
+		}, dataflow.Summary.Equal)
 	})
-	return v.(map[*types.Func]dataflow.Labels)
-}
-
-// mapThroughSummary applies a callee's return summary at a call site:
-// source kinds pass through unconditionally, and each parameter bit pulls
-// in the labels of the matching argument position.
-func mapThroughSummary(sum dataflow.Labels, arg func(int) dataflow.Labels) dataflow.Labels {
-	l := dataflow.Labels{Kinds: sum.Kinds}
-	for i := 0; i < 64; i++ {
-		if sum.Params&(1<<uint(i)) != 0 {
-			l = l.Union(arg(i))
-		}
-	}
-	return l
+	return v.(map[*types.Func]dataflow.Summary)
 }

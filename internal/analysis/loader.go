@@ -1,6 +1,8 @@
 package analysis
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -22,6 +24,11 @@ type Package struct {
 	Files []*ast.File
 	Types *types.Package
 	Info  *types.Info
+
+	// fingerprint hashes the package's buildable file names and contents;
+	// the cache revalidates against it instead of assuming sources never
+	// change under a live process (psbox-lint -fix edits them mid-process).
+	fingerprint string
 }
 
 // A Loader parses and type-checks packages rooted at a directory. Imports
@@ -39,6 +46,16 @@ type Loader struct {
 	std     types.Importer
 	pkgs    map[string]*Package
 	loading map[string]bool
+	// deps records each loaded package's direct local imports, so a
+	// content change invalidates its importers transitively (their cached
+	// types.Package objects reference the replaced dependency's types).
+	deps map[string]map[string]bool
+	// fresh marks packages revalidated since the current NewLoader call;
+	// it bounds revalidation to one content hash per package per run.
+	fresh map[string]bool
+	// stack is the chain of packages currently type-checking, so Import
+	// knows which package a local dependency edge belongs to.
+	stack []string
 }
 
 // Process-wide load-once cache. psbox-lint and the analysis tests load the
@@ -47,8 +64,10 @@ type Loader struct {
 // library from source is not, so one FileSet, one stdlib importer, and one
 // Loader per root are shared for the life of the process. The tool is
 // single-threaded by design (see noconcurrency), so the maps need no
-// locking; the cache assumes sources do not change under a running
-// process, which holds for a lint invocation and for tests.
+// locking. Cached packages are revalidated by content hash at each
+// NewLoader boundary: a package whose files changed — psbox-lint -fix
+// edits sources mid-process — is re-typechecked, together with every
+// package that imports it.
 var (
 	sharedFset     = token.NewFileSet()
 	sharedStd      types.Importer
@@ -72,6 +91,10 @@ func NewLoader(dir string) (*Loader, error) {
 	}
 	abs = filepath.Clean(abs)
 	if l, ok := loaderCache[abs]; ok {
+		// A NewLoader call is a run boundary: sources may have changed
+		// since the previous run, so cached packages must revalidate
+		// their content fingerprints once more.
+		l.fresh = make(map[string]bool)
 		return l, nil
 	}
 	if sharedStd == nil {
@@ -83,6 +106,8 @@ func NewLoader(dir string) (*Loader, error) {
 		std:     sharedStd,
 		pkgs:    make(map[string]*Package),
 		loading: make(map[string]bool),
+		deps:    make(map[string]map[string]bool),
+		fresh:   make(map[string]bool),
 	}
 	if data, err := os.ReadFile(filepath.Join(abs, "go.mod")); err == nil {
 		for _, line := range strings.Split(string(data), "\n") {
@@ -141,6 +166,13 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 		return types.Unsafe, nil
 	}
 	if l.local(path) {
+		if n := len(l.stack); n > 0 {
+			importer := l.stack[n-1]
+			if l.deps[importer] == nil {
+				l.deps[importer] = make(map[string]bool)
+			}
+			l.deps[importer][path] = true
+		}
 		pkg, err := l.Load(path)
 		if err != nil {
 			return nil, err
@@ -150,10 +182,84 @@ func (l *Loader) Import(path string) (*types.Package, error) {
 	return l.std.Import(path)
 }
 
-// Load parses and type-checks one package by import path, memoized.
+// dirFingerprint hashes the names and contents of a directory's buildable
+// Go files; two loads of an unchanged package hash identically.
+func (l *Loader) dirFingerprint(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	h := sha256.New()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "%s\x00%d\x00", name, len(data))
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// validate revalidates a cached package against the current source tree:
+// its own files must hash to the cached fingerprint and every local
+// dependency must itself validate (a re-typechecked dependency means this
+// package's cached types reference dead objects). A failed validation
+// evicts the package and, transitively, its importers.
+func (l *Loader) validate(path string) bool {
+	pkg, ok := l.pkgs[path]
+	if !ok {
+		return false
+	}
+	if l.fresh[path] {
+		return true
+	}
+	fp, err := l.dirFingerprint(l.dirFor(path))
+	if err != nil || fp != pkg.fingerprint {
+		l.invalidate(path)
+		return false
+	}
+	for d := range l.deps[path] {
+		if !l.validate(d) {
+			// invalidate(d) has already evicted this package too.
+			return false
+		}
+	}
+	l.fresh[path] = true
+	return true
+}
+
+// invalidate evicts a package and every cached package that transitively
+// imports it.
+func (l *Loader) invalidate(path string) {
+	removed := map[string]bool{path: true}
+	delete(l.pkgs, path)
+	delete(l.fresh, path)
+	for changed := true; changed; {
+		changed = false
+		for p := range l.pkgs {
+			for d := range l.deps[p] {
+				if removed[d] {
+					delete(l.pkgs, p)
+					delete(l.fresh, p)
+					removed[p] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+}
+
+// Load parses and type-checks one package by import path, memoized with
+// content-hash revalidation.
 func (l *Loader) Load(path string) (*Package, error) {
-	if pkg, ok := l.pkgs[path]; ok {
-		return pkg, nil
+	if l.validate(path) {
+		return l.pkgs[path], nil
 	}
 	if l.loading[path] {
 		return nil, fmt.Errorf("import cycle through %q", path)
@@ -166,13 +272,22 @@ func (l *Loader) Load(path string) (*Package, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Hash and parse the same bytes, so the recorded fingerprint is
+	// exactly what was type-checked even if the file changes mid-load.
+	h := sha256.New()
 	var files []*ast.File
 	for _, e := range entries {
 		name := e.Name()
 		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
 			continue
 		}
-		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil,
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(h, "%s\x00%d\x00", name, len(data))
+		h.Write(data)
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), data,
 			parser.ParseComments|parser.SkipObjectResolution)
 		if err != nil {
 			return nil, err
@@ -199,15 +314,19 @@ func (l *Loader) Load(path string) (*Package, error) {
 		Error:    func(err error) { typeErrs = append(typeErrs, err) },
 	}
 	typeCheckCount++
+	l.deps[path] = nil // rebuilt below via Import during the check
+	l.stack = append(l.stack, path)
 	tpkg, err := conf.Check(path, l.Fset, files, info)
+	l.stack = l.stack[:len(l.stack)-1]
 	if len(typeErrs) > 0 {
 		return nil, fmt.Errorf("type-checking %s: %v", path, typeErrs[0])
 	}
 	if err != nil {
 		return nil, fmt.Errorf("type-checking %s: %v", path, err)
 	}
-	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info}
+	pkg := &Package{Path: path, Dir: dir, Fset: l.Fset, Files: files, Types: tpkg, Info: info, fingerprint: hex.EncodeToString(h.Sum(nil))}
 	l.pkgs[path] = pkg
+	l.fresh[path] = true
 	return pkg, nil
 }
 

@@ -1,0 +1,109 @@
+package analysis_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"psbox/internal/analysis"
+)
+
+// writeTree lays a file map out under root.
+func writeTree(t *testing.T, root string, files map[string]string) {
+	t.Helper()
+	for name, src := range files {
+		p := filepath.Join(root, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestLoaderCacheInvalidatesExactly proves the cache's content-hash
+// contract from both sides: an unchanged tree re-typechecks nothing, a
+// changed file re-typechecks exactly the changed package plus its
+// importers — identified both by type-check count and by cached-object
+// identity — and an untouched sibling keeps its cached package. mtime
+// plays no part, so edits landing within one clock tick (psbox-lint -fix
+// rewriting a file mid-process) still invalidate.
+func TestLoaderCacheInvalidatesExactly(t *testing.T) {
+	root := t.TempDir()
+	writeTree(t, root, map[string]string{
+		"go.mod":         "module cachehash\n\ngo 1.22\n",
+		"base/base.go":   "package base\n\nfunc V() int { return 1 }\n",
+		"top/top.go":     "package top\n\nimport \"cachehash/base\"\n\nfunc T() int { return base.V() }\n",
+		"other/other.go": "package other\n\nfunc O() int { return 0 }\n",
+	})
+
+	load := func() map[string]*analysis.Package {
+		t.Helper()
+		loader, err := analysis.NewLoader(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkgs, err := loader.LoadAll()
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make(map[string]*analysis.Package, len(pkgs))
+		for _, p := range pkgs {
+			out[p.Path] = p
+		}
+		return out
+	}
+
+	first := load()
+	if len(first) != 3 {
+		t.Fatalf("loaded %d packages, want 3", len(first))
+	}
+	baseline := analysis.TypeCheckCount()
+
+	// Unchanged tree: revalidation is pure hashing, zero type-checks.
+	second := load()
+	if got := analysis.TypeCheckCount(); got != baseline {
+		t.Errorf("unchanged reload re-typechecked: %d -> %d", baseline, got)
+	}
+	for path, p := range first {
+		if second[path] != p {
+			t.Errorf("unchanged reload replaced cached package %s", path)
+		}
+	}
+
+	// Leaf change: exactly the changed package re-typechecks.
+	writeTree(t, root, map[string]string{
+		"other/other.go": "package other\n\nfunc O() int { return 2 }\n",
+	})
+	third := load()
+	if got := analysis.TypeCheckCount(); got != baseline+1 {
+		t.Errorf("leaf change re-typechecked %d packages, want exactly 1", got-baseline)
+	}
+	if third["cachehash/other"] == first["cachehash/other"] {
+		t.Error("changed package was not re-typechecked")
+	}
+	if third["cachehash/base"] != first["cachehash/base"] || third["cachehash/top"] != first["cachehash/top"] {
+		t.Error("untouched packages lost their cached objects")
+	}
+	baseline = analysis.TypeCheckCount()
+
+	// Dependency change: the package and its importer re-typecheck; the
+	// sibling stays cached.
+	writeTree(t, root, map[string]string{
+		"base/base.go": "package base\n\nfunc V() int { return 7 }\n",
+	})
+	fourth := load()
+	if got := analysis.TypeCheckCount(); got != baseline+2 {
+		t.Errorf("dependency change re-typechecked %d packages, want exactly 2 (base and top)", got-baseline)
+	}
+	if fourth["cachehash/base"] == third["cachehash/base"] {
+		t.Error("changed dependency was not re-typechecked")
+	}
+	if fourth["cachehash/top"] == third["cachehash/top"] {
+		t.Error("importer of changed dependency kept stale types")
+	}
+	if fourth["cachehash/other"] != third["cachehash/other"] {
+		t.Error("sibling of changed dependency was needlessly re-typechecked")
+	}
+}

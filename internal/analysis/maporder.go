@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
@@ -219,9 +220,160 @@ func checkAssign(pass *Pass, as *ast.AssignStmt, rng *ast.RangeStmt, fn ast.Node
 		if basic.Info()&types.IsString != 0 {
 			kind = "string"
 		}
-		pass.Reportf(as.Pos(),
-			"%s accumulation into %s inside range over map depends on iteration order; iterate sorted keys", kind, exprText(lhs))
+		pass.Report(as.Pos(),
+			fmt.Sprintf("%s accumulation into %s inside range over map depends on iteration order; iterate sorted keys", kind, exprText(lhs)),
+			sortedKeysFix(pass, rng, fn)...)
 	}
+}
+
+// sortedKeysFix rewrites a range-over-map loop into the
+// collect-keys/sort/iterate idiom, splicing the original body unchanged:
+//
+//	keys := make([]string, 0, len(m))
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Strings(keys)
+//	for _, k := range keys {
+//		v := m[k]
+//		...original body...
+//	}
+//
+// Offered only for the simple forms where the rewrite is provably safe: a
+// `:=` range over a plain map identifier with string keys, named key
+// variable, identifier (or omitted) value variable, a free `keys` name in
+// the enclosing function, and an import block that can absorb "sort".
+func sortedKeysFix(pass *Pass, rng *ast.RangeStmt, fn ast.Node) []SuggestedFix {
+	if rng.Tok != token.DEFINE {
+		return nil
+	}
+	mapIdent, ok := rng.X.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	tv, ok := pass.Info.Types[rng.X]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	mt, ok := tv.Type.Underlying().(*types.Map)
+	if !ok {
+		return nil
+	}
+	if kb, ok := mt.Key().Underlying().(*types.Basic); !ok || kb.Kind() != types.String {
+		return nil
+	}
+	key, ok := rng.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return nil
+	}
+	valName := ""
+	if rng.Value != nil {
+		v, ok := rng.Value.(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if v.Name != "_" {
+			valName = v.Name
+		}
+	}
+	if fn == nil || identUsed(fn, "keys") {
+		return nil
+	}
+	file := fileAt(pass, rng.Pos())
+	if file == nil {
+		return nil
+	}
+	importEdit, ok := ensureImport(pass, file, "sort")
+	if !ok {
+		return nil
+	}
+	_, ind, ok := pass.lineStart(rng.Pos())
+	if !ok {
+		return nil
+	}
+	src := pass.sourceFile(pass.Fset.Position(rng.Pos()).Filename)
+	lb := pass.Fset.Position(rng.Body.Lbrace).Offset
+	rb := pass.Fset.Position(rng.Body.Rbrace).Offset
+	if src == nil || lb+1 >= rb || rb > len(src) {
+		return nil
+	}
+	body := string(src[lb+1 : rb])
+	m := mapIdent.Name
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "keys := make([]string, 0, len(%s))\n", m)
+	fmt.Fprintf(&sb, "%sfor %s := range %s {\n", ind, key.Name, m)
+	fmt.Fprintf(&sb, "%s\tkeys = append(keys, %s)\n", ind, key.Name)
+	fmt.Fprintf(&sb, "%s}\n", ind)
+	fmt.Fprintf(&sb, "%ssort.Strings(keys)\n", ind)
+	fmt.Fprintf(&sb, "%sfor _, %s := range keys {", ind, key.Name)
+	if valName != "" {
+		fmt.Fprintf(&sb, "\n%s\t%s := %s[%s]", ind, valName, m, key.Name)
+	}
+	sb.WriteString(body)
+	sb.WriteString("}")
+	edits := []TextEdit{pass.edit(rng.Pos(), rng.End(), sb.String())}
+	if importEdit != nil {
+		edits = append(edits, *importEdit)
+	}
+	return []SuggestedFix{{Message: "iterate the map in sorted key order", Edits: edits}}
+}
+
+// identUsed reports whether any identifier named name appears in the node.
+func identUsed(n ast.Node, name string) bool {
+	found := false
+	ast.Inspect(n, func(x ast.Node) bool {
+		if id, ok := x.(*ast.Ident); ok && id.Name == name {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// fileAt returns the pass file containing pos.
+func fileAt(pass *Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.Pos() <= pos && pos <= f.End() {
+			return f
+		}
+	}
+	return nil
+}
+
+// ensureImport returns the edit inserting path into the file's import
+// block in sorted position — nil when the import already exists — or
+// ok=false when the file has no parenthesized block to extend (the
+// single-import form is not rewritten).
+func ensureImport(pass *Pass, f *ast.File, path string) (*TextEdit, bool) {
+	quoted := `"` + path + `"`
+	for _, imp := range f.Imports {
+		if imp.Path.Value == quoted {
+			return nil, true
+		}
+	}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.IMPORT {
+			continue
+		}
+		if !gd.Lparen.IsValid() {
+			continue
+		}
+		insertAt := gd.Rparen
+		for _, spec := range gd.Specs {
+			if spec.(*ast.ImportSpec).Path.Value > quoted {
+				insertAt = spec.Pos()
+				break
+			}
+		}
+		start, _, ok := pass.lineStart(insertAt)
+		if !ok {
+			return nil, false
+		}
+		pos := pass.Fset.Position(insertAt)
+		return &TextEdit{File: pos.Filename, Start: start, End: start, New: "\t" + quoted + "\n"}, true
+	}
+	return nil, false
 }
 
 func checkCall(pass *Pass, call *ast.CallExpr) {

@@ -84,7 +84,7 @@ func mofAccumulator(t types.Type) (string, bool) {
 	return "", false
 }
 
-func checkMapRangeFlow(pass *Pass, g *callgraph.Graph, flow map[*types.Func]dataflow.Labels, rng *ast.RangeStmt) {
+func checkMapRangeFlow(pass *Pass, g *callgraph.Graph, flow map[*types.Func]dataflow.Summary, rng *ast.RangeStmt) {
 	info := pass.Info
 
 	// Candidate accumulators: float/complex/string variables declared
@@ -152,30 +152,34 @@ func checkMapRangeFlow(pass *Pass, g *callgraph.Graph, flow map[*types.Func]data
 	}
 
 	hooks := dataflow.Hooks{
-		Call: func(call *ast.CallExpr, arg func(int) dataflow.Labels) (dataflow.Labels, bool) {
+		Call: func(call *ast.CallExpr, args *dataflow.CallArgs) (dataflow.Value, bool) {
 			if mofOrderFree(info, call) {
 				// min/max reductions are commutative and exact: the
 				// result no longer depends on visit order.
 				var l dataflow.Labels
-				for i := range call.Args {
-					l = l.Union(arg(i))
+				np := args.NumParams()
+				for i := 0; i < np; i++ {
+					l = l.Union(args.Labels(i))
 				}
 				l.Kinds = 0
-				return l, true
+				out := dataflow.Value{}
+				if !l.Empty() {
+					out[""] = l
+				}
+				return out, true
 			}
 			callee := callgraph.StaticCallee(info, call)
 			if callee == nil || g.Node(callee) == nil {
-				return dataflow.Labels{}, false
+				return nil, false
 			}
-			return mapThroughSummary(flow[callee], arg), true
+			return flow[callee].Apply(args), true
 		},
 	}
 	// The engine runs over the loop body only: the read-modify-write
 	// cycle being hunted lives entirely inside the loop, and scoping out
-	// the rest of the function keeps a post-loop write like `x.field =
-	// sum` from taint-cycling the accumulator's identity through the
-	// container being ranged over (field-insensitivity would otherwise
-	// label the range elements with it).
+	// the rest of the function keeps the surrounding code's writes from
+	// feeding the accumulator's identity back into the container being
+	// ranged over.
 	a := dataflow.Run(info, rng.Body, seed, hooks)
 
 	reported := make(map[types.Object]bool)

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
 )
 
@@ -42,8 +43,12 @@ func runNoWallClock(pass *Pass) {
 			if !ok || !wallClockFuncs[name] {
 				return true
 			}
-			pass.Reportf(n.Pos(),
-				"time.%s reads the host wall clock; use the sim engine's virtual clock (Engine.Now/After/At)", name)
+			// The only machine-safe remediation is an explicit waiver:
+			// routing through the virtual clock needs an Engine in scope,
+			// which no rewrite can conjure.
+			pass.Report(n.Pos(),
+				fmt.Sprintf("time.%s reads the host wall clock; use the sim engine's virtual clock (Engine.Now/After/At)", name),
+				pass.directiveStubFix(n.Pos())...)
 			return true
 		})
 	}

@@ -1,0 +1,323 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"reflect"
+	"sort"
+)
+
+// SnapshotDrift upgrades the checkpoint contract from "has snapshot
+// methods that mention the field somewhere in the file" (snapshotstate)
+// to "the methods are complete": for every type with signature-detected
+// Snapshot/Restore machinery — methods taking a
+// *psbox/internal/snapshot.Encoder or *Decoder — each stateful field must
+// be referenced by the encoding methods themselves, and by the decoding
+// methods. A field that snapshotstate accepts because a helper in the
+// same file touches it, but that the Snapshot method never encodes, is
+// exactly the drift that breaks the replay-twin contract when a
+// crash-and-resume run restores from a checkpoint missing that state.
+//
+// Coverage is per direction. Encoder coverage is the union of field
+// references across every Encoder-taking method of the type (delegating
+// helpers that also take the Encoder count). Decoder coverage is the
+// union across Decoder-taking methods, and a decoding method that
+// references an encoding method of the same type — the replay-twin
+// pattern, RestoreSnapshot(dec) = snapshot.Verify(dec, c.Snapshot) —
+// imports the encoder side's coverage, because Verify re-runs Snapshot
+// against the decoded payload.
+//
+// Stateful fields exclude what the checkpoint legitimately skips:
+// func-typed fields (wiring, rebuilt by scenario reconstruction), fields
+// whose element type carries its own snapshot machinery (back-pointers
+// and sub-components covered by delegation), fields tagged
+// `psbox:"config"`, and fields under a reasoned
+// //psbox:allow-snapshotstate directive (one waiver covers both
+// analyzers: a field excused from the checkpoint contract has no
+// completeness obligation either).
+var SnapshotDrift = &Analyzer{
+	Name: "snapshotdrift",
+	Doc: `flag stateful fields of snapshotted structs that the
+Encoder-taking methods never encode or the Decoder-taking methods never
+restore; per-method coverage, with replay-twin Restore methods inheriting
+the Snapshot side's coverage.`,
+	Run: runSnapshotDrift,
+}
+
+// snapMethod is one Encoder- or Decoder-taking method of a type.
+type snapMethod struct {
+	decl *ast.FuncDecl
+	enc  bool // takes *snapshot.Encoder
+	dec  bool // takes *snapshot.Decoder
+}
+
+// snapRecv resolves a method declaration to its named receiver type when
+// the method participates in snapshot machinery.
+func snapRecv(info *types.Info, fd *ast.FuncDecl) (*types.Named, *types.Signature) {
+	if fd.Recv == nil {
+		return nil, nil
+	}
+	obj, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return nil, nil
+	}
+	sig, ok := obj.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil, nil
+	}
+	recv := sig.Recv().Type()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return nil, nil
+	}
+	if _, ok := named.Underlying().(*types.Struct); !ok {
+		return nil, nil
+	}
+	return named, sig
+}
+
+// sigSnapDirections reports which snapshot halves a signature binds.
+func sigSnapDirections(sig *types.Signature) (enc, dec bool) {
+	for i := 0; i < sig.Params().Len(); i++ {
+		p, ok := sig.Params().At(i).Type().(*types.Pointer)
+		if !ok {
+			continue
+		}
+		named, ok := p.Elem().(*types.Named)
+		if !ok {
+			continue
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil || obj.Pkg().Path() != "psbox/internal/snapshot" {
+			continue
+		}
+		switch obj.Name() {
+		case "Encoder":
+			enc = true
+		case "Decoder":
+			dec = true
+		}
+	}
+	return enc, dec
+}
+
+// configTagged reports whether a struct field is tagged `psbox:"config"`
+// — configuration replayed from the scenario, not checkpointed state.
+func configTagged(tag string) bool {
+	return reflect.StructTag(tag).Get("psbox") == "config"
+}
+
+// encCall renders the Encoder method call that writes one basic-typed
+// value, with the narrowing-free conversion the wire format expects, or
+// "" when the type has no single-call encoding.
+func encCall(t types.Type, val string) string {
+	b, ok := t.Underlying().(*types.Basic)
+	if !ok {
+		return ""
+	}
+	switch {
+	case b.Kind() == types.Uint64:
+		return "U64(" + val + ")"
+	case b.Info()&types.IsUnsigned != 0:
+		return "U64(uint64(" + val + "))"
+	case b.Kind() == types.Int64:
+		return "I64(" + val + ")"
+	case b.Info()&types.IsInteger != 0:
+		return "I64(int64(" + val + "))"
+	case b.Kind() == types.Float64:
+		return "F64(" + val + ")"
+	case b.Info()&types.IsFloat != 0:
+		return "F64(float64(" + val + "))"
+	case b.Kind() == types.Bool:
+		return "Bool(" + val + ")"
+	case b.Kind() == types.String:
+		return "Str(" + val + ")"
+	}
+	return ""
+}
+
+// encodeLineFix builds the edit appending `enc.X(recv.field)` as the last
+// line of an Encoder-taking method body. Requires named receiver and
+// encoder parameters, a basic-typed field, and the closing brace on its
+// own line.
+func (p *Pass) encodeLineFix(m *ast.FuncDecl, field *types.Var) []SuggestedFix {
+	if m.Recv == nil || len(m.Recv.List) == 0 || len(m.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	recv := m.Recv.List[0].Names[0].Name
+	if recv == "_" {
+		return nil
+	}
+	encName := ""
+	for _, pf := range m.Type.Params.List {
+		for _, nm := range pf.Names {
+			def := p.Info.Defs[nm]
+			if def == nil {
+				continue
+			}
+			ptr, ok := def.Type().(*types.Pointer)
+			if !ok {
+				continue
+			}
+			named, ok := ptr.Elem().(*types.Named)
+			if ok && named.Obj().Name() == "Encoder" && named.Obj().Pkg() != nil &&
+				named.Obj().Pkg().Path() == "psbox/internal/snapshot" {
+				encName = nm.Name
+			}
+		}
+	}
+	if encName == "" || encName == "_" {
+		return nil
+	}
+	call := encCall(field.Type(), recv+"."+field.Name())
+	if call == "" {
+		return nil
+	}
+	start, ind, ok := p.lineStart(m.Body.Rbrace)
+	if !ok {
+		return nil
+	}
+	if bracePos := p.Fset.Position(m.Body.Rbrace); bracePos.Column-1 != len(ind) {
+		return nil // single-line body: the brace shares its line with code
+	}
+	line := fmt.Sprintf("%s\t%s.%s\n", ind, encName, call)
+	filename := p.Fset.Position(m.Body.Rbrace).Filename
+	return []SuggestedFix{{
+		Message: fmt.Sprintf("encode %s in %s", field.Name(), m.Name.Name),
+		Edits:   []TextEdit{{File: filename, Start: start, End: start, New: line}},
+	}}
+}
+
+func runSnapshotDrift(pass *Pass) {
+	// Collect every snapshot method per named struct type in this package.
+	methods := make(map[*types.Named][]snapMethod)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			named, sig := snapRecv(pass.Info, fd)
+			if named == nil {
+				continue
+			}
+			enc, dec := sigSnapDirections(sig)
+			if !enc && !dec {
+				continue
+			}
+			methods[named] = append(methods[named], snapMethod{decl: fd, enc: enc, dec: dec})
+		}
+	}
+	if len(methods) == 0 {
+		return
+	}
+
+	for named, ms := range methods {
+		st := named.Underlying().(*types.Struct)
+
+		// Per-direction field coverage, plus the set of same-type methods
+		// each decoding method references (for replay-twin inheritance).
+		encCover := make(map[types.Object]bool)
+		decCover := make(map[types.Object]bool)
+		encMethods := make(map[types.Object]bool)
+		for _, m := range ms {
+			if m.enc {
+				if obj := pass.Info.Defs[m.decl.Name]; obj != nil {
+					encMethods[obj] = true
+				}
+			}
+		}
+		decDelegates := false
+		for _, m := range ms {
+			ast.Inspect(m.decl.Body, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				use := pass.Info.Uses[id]
+				if v, ok := use.(*types.Var); ok && v.IsField() {
+					if m.enc {
+						encCover[v] = true
+					}
+					if m.dec {
+						decCover[v] = true
+					}
+				}
+				if m.dec && use != nil && encMethods[use] {
+					// The decoding method re-runs an encoding method of
+					// the same type (replay-twin Verify): everything the
+					// encoder side covers is read back here.
+					decDelegates = true
+				}
+				return true
+			})
+		}
+		if decDelegates {
+			for v := range encCover {
+				decCover[v] = true
+			}
+		}
+
+		hasEnc, hasDec := false, false
+		for _, m := range ms {
+			hasEnc = hasEnc || m.enc
+			hasDec = hasDec || m.dec
+		}
+
+		// The first Encoder-taking method in declaration order is where a
+		// suggested fix appends a missing encode line.
+		var firstEnc *ast.FuncDecl
+		for _, m := range ms {
+			if m.enc && (firstEnc == nil || m.decl.Pos() < firstEnc.Pos()) {
+				firstEnc = m.decl
+			}
+		}
+
+		// Deterministic field order; one finding names the field and the
+		// missing half.
+		type miss struct {
+			field   *types.Var
+			half    string
+			encMiss bool
+		}
+		var misses []miss
+		for i := 0; i < st.NumFields(); i++ {
+			field := st.Field(i)
+			if field.Name() == "_" || exemptField(field.Type()) || configTagged(st.Tag(i)) {
+				continue
+			}
+			if pass.allowedFor(SnapshotState.Name, field.Pos()) {
+				continue
+			}
+			if hasEnc && !encCover[field] {
+				misses = append(misses, miss{field, "encoded by its Encoder-taking methods", true})
+				continue
+			}
+			if hasDec && !decCover[field] {
+				misses = append(misses, miss{field, "read back by its Decoder-taking methods", false})
+			}
+		}
+		sort.Slice(misses, func(i, j int) bool { return misses[i].field.Pos() < misses[j].field.Pos() })
+		for _, m := range misses {
+			// An encoder-side miss of a basic-typed field has a mechanical
+			// remedy: append the encode call to the first Snapshot method
+			// (replay-twin Restore then re-reads it for free). Everything
+			// else falls back to a reviewable waiver stub.
+			var fixes []SuggestedFix
+			if m.encMiss && firstEnc != nil {
+				fixes = pass.encodeLineFix(firstEnc, m.field)
+			}
+			if fixes == nil {
+				fixes = pass.directiveStubFix(m.field.Pos())
+			}
+			pass.Report(m.field.Pos(),
+				fmt.Sprintf("field %s of snapshotted struct %s is not %s; checkpoint state has drifted from the struct",
+					m.field.Name(), named.Obj().Name(), m.half),
+				fixes...)
+		}
+	}
+}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"psbox/internal/analysis"
+	"psbox/internal/analysis/analysistest"
+)
+
+func TestSnapshotDrift(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.SnapshotDrift, "snapshotdrift")
+}

@@ -1,0 +1,15 @@
+// b.go exercises the sorted-keys suggested fix in a file that does not
+// yet import "sort": the fix must add the import to the block.
+package a
+
+import (
+	"strings"
+)
+
+func join(m map[string]string) string {
+	var out string
+	for k, v := range m {
+		out += strings.ToUpper(k) + v // want `string accumulation into out inside range over map`
+	}
+	return out
+}

@@ -7,10 +7,12 @@ package snapshot
 // Encoder appends canonical big-endian fields to a checkpoint section.
 type Encoder struct{ buf []byte }
 
-func (e *Encoder) U64(v uint64) {}
-func (e *Encoder) I64(v int64)  {}
-func (e *Encoder) Str(s string) {}
-func (e *Encoder) Len(n int)    {}
+func (e *Encoder) U64(v uint64)  {}
+func (e *Encoder) I64(v int64)   {}
+func (e *Encoder) F64(v float64) {}
+func (e *Encoder) Bool(v bool)   {}
+func (e *Encoder) Str(s string)  {}
+func (e *Encoder) Len(n int)     {}
 
 // Decoder reads a checkpoint section back.
 type Decoder struct {

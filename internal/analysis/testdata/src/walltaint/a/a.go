@@ -64,3 +64,46 @@ func HostLocal() int64 {
 func CleanFmt(v int64) {
 	obs.Annotate("v", fmt.Sprintf("%d", v))
 }
+
+// The taint survives a heap round-trip: the cross-package setter parks it
+// in a struct field, the getter retrieves it. A variable-granularity
+// engine whose summaries carried only return labels missed this leak
+// entirely — SetStamp returns nothing.
+func HeapRoundTrip() {
+	var c b.Cache
+	c.SetStamp(time.Now().UnixNano())
+	obs.Emit("t", c.Stamp()) // want `wall-clock time flows into obs.Emit`
+}
+
+// Writing taint into one field does not implicate its sibling: reading
+// meta.count after tainting meta.stamp is clean. The old
+// field-insensitive engine labeled all of m on the first write and
+// flagged this — pinned here as a fixed false positive.
+type meta struct {
+	stamp int64
+	count int64
+}
+
+func SiblingField() {
+	var m meta
+	m.stamp = time.Now().UnixNano()
+	m.count++
+	obs.Emit("n", m.count)
+}
+
+// And the tainted field itself still reports, so the sibling's silence
+// above is precision, not blindness.
+func TaintedField() {
+	var m meta
+	m.stamp = time.Now().UnixNano()
+	obs.Emit("t", m.stamp) // want `wall-clock time flows into obs.Emit`
+}
+
+// A closure smuggles the taint into a captured variable. Previously
+// missed: function literal bodies were opaque to the engine.
+func ViaClosure() {
+	var t int64
+	grab := func() { t = time.Now().UnixNano() }
+	grab()
+	obs.Emit("t", t) // want `wall-clock time flows into obs.Emit`
+}

@@ -24,3 +24,27 @@ func Stamp() int64 {
 func Drop(name string, v int64) int64 {
 	return v + int64(len(name))
 }
+
+// Cache is a heap way-station: a setter parks a value in one field, a
+// getter retrieves it later. The setter's store effect and the getter's
+// read are per-field facts in the cross-package summaries.
+type Cache struct {
+	stamp int64
+	count int64
+}
+
+// SetStamp stores v into the stamp field — a heap store effect through
+// the pointer receiver.
+func (c *Cache) SetStamp(v int64) {
+	c.stamp = v
+}
+
+// Stamp reads the stamp field back.
+func (c *Cache) Stamp() int64 {
+	return c.stamp
+}
+
+// Bump touches only the count field.
+func (c *Cache) Bump() {
+	c.count++
+}

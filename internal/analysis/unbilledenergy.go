@@ -88,7 +88,7 @@ func ubSummaries(prog *Program) map[*types.Func]ubSum {
 		g := prog.CallGraph()
 		return dataflow.Fixpoint(g, func(n *callgraph.Node, get func(*types.Func) ubSum) ubSum {
 			return ubAnalyze(n.Pkg.Info, g, n.Decl, get).sum
-		})
+		}, func(a, b ubSum) bool { return a == b })
 	})
 	return v.(map[*types.Func]ubSum)
 }

@@ -21,13 +21,16 @@ import (
 // environment (os.Getenv and friends), process ids (os.Getpid/Getppid),
 // and pointer-formatted strings (a fmt.Sprint* with a %p verb — addresses
 // differ per run under ASLR). Taint propagates through locals, arithmetic,
-// conversions, composite literals, unknown calls (laundering through
-// fmt.Sprintf stays tainted), and — via bottom-up call-graph summaries —
-// through helper functions in other packages. Sinks are the parameters of
-// every function in a deterministic-state package, so passing a tainted
-// value into one directly, or into any helper that forwards it there, is
-// reported at the call site. Flows through captured closures are out of
-// scope (DESIGN.md §"Whole-program checks").
+// conversions, composite literals, struct fields (field-sensitively: taint
+// in x.a does not implicate x.b), captured closure variables, unknown
+// calls (laundering through fmt.Sprintf stays tainted), and — via
+// bottom-up call-graph summaries with per-path return and heap-store
+// facts — through helper functions in other packages, including setters
+// that park the taint in a struct field and getters that retrieve it
+// later. Sinks are the parameters of every function in a
+// deterministic-state package, so passing a tainted value into one
+// directly, or into any helper that forwards it there, is reported at the
+// call site.
 var WallTaint = &Analyzer{
 	Name: "walltaint",
 	Doc: `flag host-dependent values (wall-clock time, environment, pids,
@@ -114,12 +117,18 @@ func wallTaintSource(info *types.Info, call *ast.CallExpr) dataflow.Labels {
 	return dataflow.Labels{}
 }
 
-// wallTaintSum is one function's bottom-up summary: which source kinds and
-// parameter positions reach its return values, and which parameter
-// positions reach a deterministic-state sink inside it (transitively).
+// wallTaintSum is one function's bottom-up summary: which source kinds
+// and parameter positions reach its return values (per access path) or
+// get stored through its pointer-like parameters (the setter half of a
+// heap round-trip), and which parameter positions reach a
+// deterministic-state sink inside it (transitively).
 type wallTaintSum struct {
-	ret  dataflow.Labels
+	flow dataflow.Summary
 	sink uint64
+}
+
+func (s wallTaintSum) equal(o wallTaintSum) bool {
+	return s.sink == o.sink && s.flow.Equal(o.flow)
 }
 
 func wallTaintSummaries(prog *Program) map[*types.Func]wallTaintSum {
@@ -128,7 +137,7 @@ func wallTaintSummaries(prog *Program) map[*types.Func]wallTaintSum {
 		return dataflow.Fixpoint(g, func(n *callgraph.Node, get func(*types.Func) wallTaintSum) wallTaintSum {
 			info := n.Pkg.Info
 			a := wallTaintAnalyze(g, info, n.Decl, get)
-			sum := wallTaintSum{ret: a.Return()}
+			sum := wallTaintSum{flow: summarize(a, info, n.Decl)}
 			if isWallTaintSinkPkg(n.Pkg.Path) {
 				// Every parameter of a deterministic-state function is
 				// itself a sink.
@@ -147,7 +156,7 @@ func wallTaintSummaries(prog *Program) map[*types.Func]wallTaintSum {
 				}
 			})
 			return sum
-		})
+		}, wallTaintSum.equal)
 	})
 	return v.(map[*types.Func]wallTaintSum)
 }
@@ -174,14 +183,17 @@ func wallTaintSinkMask(g *callgraph.Graph, info *types.Info, call *ast.CallExpr,
 func wallTaintAnalyze(g *callgraph.Graph, info *types.Info, fd *ast.FuncDecl, get func(*types.Func) wallTaintSum) *dataflow.Analysis {
 	hooks := dataflow.Hooks{
 		Source: func(call *ast.CallExpr) dataflow.Labels { return wallTaintSource(info, call) },
-		Call: func(call *ast.CallExpr, arg func(int) dataflow.Labels) (dataflow.Labels, bool) {
+		Call: func(call *ast.CallExpr, args *dataflow.CallArgs) (dataflow.Value, bool) {
 			callee := callgraph.StaticCallee(info, call)
 			if callee == nil || g.Node(callee) == nil {
 				// Unknown callee (stdlib, func value): conservative
 				// default, so laundering keeps the taint.
-				return dataflow.Labels{}, false
+				return nil, false
 			}
-			return mapThroughSummary(get(callee).ret, arg), true
+			// Apply replays the callee's heap stores onto the argument
+			// cells (a setter parks taint in the caller's struct field)
+			// and maps its per-path return facts to argument labels.
+			return get(callee).flow.Apply(args), true
 		},
 	}
 	return dataflow.Run(info, fd.Body, seedFunc(info, fd), hooks)
