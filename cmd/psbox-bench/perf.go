@@ -1,8 +1,10 @@
 // The -perf mode: microbenchmarks over the simulator's hottest paths —
-// the engine's event heap, the meter's sample retrieval, and a whole-repo
-// psbox-lint pass — rendered as events/sec, ns/event, and allocs/event.
-// The committed BENCH_1.json (engine/meter) and BENCH_2.json (adds the
-// lint pass) are the baselines these numbers regress against; rerun with
+// the engine's event heap, the meter's sample retrieval, a whole-repo
+// psbox-lint pass, and the sandbox manager's session lifecycle — rendered
+// as events/sec, ns/event, and allocs/event. The committed BENCH_1.json
+// (engine/meter), BENCH_2.json (adds the lint pass), and BENCH_3.json
+// (adds sandbox churn) are the baselines these numbers regress against;
+// rerun with
 //
 //	go run ./cmd/psbox-bench -perf -json
 //
@@ -22,6 +24,7 @@ import (
 
 	"psbox"
 	"psbox/internal/analysis"
+	"psbox/internal/sandbox"
 	"psbox/internal/sim"
 )
 
@@ -52,6 +55,7 @@ func runPerf(asJSON bool, out io.Writer) {
 		{"engine/heap-mixed-horizon", benchEngineHeapMixed},
 		{"meter/sampling", benchMeterSampling},
 		{"lint/whole-repo", benchLintWholeRepo},
+		{"sandbox/churn", benchSandboxChurn},
 	}
 	enc := json.NewEncoder(out)
 	if asJSON {
@@ -191,6 +195,50 @@ func benchLintWholeRepo(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(analysis.TypeCheckCount()-before)/float64(b.N), "typechecks/op")
+}
+
+// benchSandboxChurn measures the session manager's lifecycle machinery:
+// one op = one complete session lifecycle — admission (headroom check,
+// app + sandbox registration, program spawn), a crash kill, and the
+// circuit breaker's quarantine (BreakerN=1, so the first kill is
+// terminal). A huge monitor window keeps the budget ladder out of the
+// measurement. The manager keeps terminal sessions for its report, so the
+// system is rotated every 256 ops to hold the session list — and with it
+// the per-op cost — constant; the rotation rides inside the timer and
+// amortizes to noise. One op = one lifecycle.
+func benchSandboxChurn(b *testing.B) {
+	b.ReportAllocs()
+	const batch = 256
+	var mgr *sandbox.Manager
+	newBatch := func() {
+		sys := psbox.NewAM57(1)
+		mgr = sys.Sandboxes()
+		cfg := sandbox.DefaultConfig(1e6)
+		cfg.Window = 1 << 40
+		cfg.BreakerN = 1
+		mgr.SetConfig(cfg)
+	}
+	newBatch()
+	start := func(app *psbox.App) {
+		app.Spawn("idle", 0, psbox.Loop(psbox.Sleep{D: psbox.Second}))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i%batch == 0 && i > 0 {
+			newBatch()
+		}
+		name := fmt.Sprintf("s%d", i%batch)
+		s, err := mgr.Launch(sandbox.Spec{Name: name, BudgetW: 1, Start: start})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !mgr.InjectCrash(name) {
+			b.Fatal("no live session to crash")
+		}
+		if s.State() != sandbox.StateQuarantined {
+			b.Fatalf("state %v after breaker-1 kill", s.State())
+		}
+	}
 }
 
 // benchMeterSampling measures DAQ sample retrieval over a realistic rail

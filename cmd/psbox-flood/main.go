@@ -1,0 +1,417 @@
+// Command psbox-flood is the sandbox-manager load generator: from one
+// seed it derives a schedule of session arrivals — finite steadies that
+// retire, bursty pulses, budget hogs, crash-loopers, and accelerator
+// leakers — launches them against a fixed power capacity, and lets the
+// manager's enforcement ladder (admit → run → throttle → kill → restart →
+// retire/quarantine) churn through them to the horizon. The end-of-run
+// report (admission plan, per-session verdicts, enforcement tallies,
+// energy reclaimed) is byte-stable for a (seed, ms) pair.
+//
+// With -soak it additionally runs the crash-and-resume protocol of
+// cmd/psbox-soak: kill the run at 25/50/75% of the horizon, restore from
+// the last periodic checkpoint (rebuild + deterministic replay +
+// byte-verification), run each resumed copy to the horizon, and
+// byte-compare its report against the uninterrupted golden's. The CI
+// flood-soak job diffs the -soak transcript against the goldens under
+// testdata/.
+//
+// Usage:
+//
+//	psbox-flood [-seed N] [-ms D] [-soak]
+//
+// Exit status (matching psbox-soak so the fleet supervisor can reuse its
+// triage):
+//
+//	0  report produced; with -soak, every resumed report matched
+//	1  divergence: a resumed report deviated from the golden run
+//	2  restore failure: a checkpoint was missing or failed verification
+//	4  usage error
+package main
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"psbox"
+	"psbox/internal/obs"
+	"psbox/internal/sandbox"
+	"psbox/internal/sim"
+	"psbox/internal/snapshot"
+)
+
+const (
+	exitOK         = 0
+	exitDivergence = 1
+	exitRestore    = 2
+	exitUsage      = 4
+)
+
+// capacityW is the flood's admittable power: low enough that the derived
+// arrival schedule overcommits it and admission control has rejections to
+// make.
+const capacityW = 6.0
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("psbox-flood", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	seed := fs.Uint64("seed", 42, "simulation seed")
+	ms := fs.Int64("ms", 2000, "simulated duration in milliseconds")
+	soakMode := fs.Bool("soak", false, "run the crash-and-resume protocol and report restore equivalence")
+	if err := fs.Parse(args); err != nil {
+		return exitUsage
+	}
+	if *ms <= 0 {
+		fmt.Fprintln(stderr, "psbox-flood: -ms must be positive")
+		return exitUsage
+	}
+	if *soakMode {
+		out, code := soak(*seed, *ms)
+		fmt.Fprint(stdout, out)
+		return code
+	}
+	horizon := sim.Duration(*ms) * psbox.Millisecond
+	f := build(*seed, horizon, nil)
+	f.sys.Run(horizon)
+	fmt.Fprintf(stdout, "psbox-flood seed=%d ms=%d capacity=%.1f W\n\n", *seed, *ms, capacityW)
+	fmt.Fprint(stdout, report(f))
+	return exitOK
+}
+
+// prng is a splitmix64 stream: the flood's only randomness, wholly
+// derived from the seed so the arrival plan is a pure function of it.
+type prng struct{ s uint64 }
+
+func (p *prng) next() uint64 {
+	p.s += 0x9e3779b97f4a7c15
+	z := p.s
+	z ^= z >> 30
+	z *= 0xbf58476d1ce4e5b9
+	z ^= z >> 27
+	z *= 0x94d049bb133111eb
+	z ^= z >> 31
+	return z
+}
+
+func (p *prng) intn(n int) int { return int(p.next() % uint64(n)) }
+
+// arrival is one planned session launch.
+type arrival struct {
+	at     psbox.Time
+	kind   string
+	name   string
+	budget float64
+}
+
+// flood is one constructed scenario: the system, its session manager, and
+// the arrival plan the seed derived.
+type flood struct {
+	sys  *psbox.System
+	mgr  *sandbox.Manager
+	plan []arrival
+}
+
+// specFor builds the Spec for an arrival. Kinds:
+//
+//	steady    finite well-behaved worker; retires on its own
+//	pulse     infinite bursty worker; stays under budget
+//	hog       spins flat out under a tiny budget; climbs the whole ladder
+//	crashloop preserve_data worker crashed repeatedly by the fault layer
+//	          until the circuit breaker quarantines it
+//	leaker    floods the GPU queue without awaiting; killed on the
+//	          backlog bound, then breaker-quarantined for recidivism
+func specFor(a arrival, reps int) sandbox.Spec {
+	spec := sandbox.Spec{Name: a.name, BudgetW: a.budget}
+	switch a.kind {
+	case "steady":
+		var seq []psbox.Action
+		for i := 0; i < reps; i++ {
+			seq = append(seq, psbox.Compute{Cycles: 3e5}, psbox.Sleep{D: 6 * psbox.Millisecond})
+		}
+		spec.Start = func(app *psbox.App) {
+			app.Spawn("work", 0, psbox.Sequence(seq...))
+		}
+	case "pulse":
+		spec.Start = func(app *psbox.App) {
+			app.Spawn("burst", 0, psbox.Loop(
+				psbox.Compute{Cycles: 2e6},
+				psbox.Sleep{D: 30 * psbox.Millisecond},
+			))
+		}
+	case "hog":
+		spec.Start = func(app *psbox.App) {
+			app.Spawn("spin", 0, psbox.Loop(psbox.Compute{Cycles: 5e5}))
+		}
+	case "crashloop":
+		spec.PreserveData = true
+		spec.Start = func(app *psbox.App) {
+			app.Spawn("work", 0, psbox.ProgramFunc(func(env *psbox.Env) psbox.Action {
+				env.Count("iters", 1)
+				return psbox.Sleep{D: 5 * psbox.Millisecond}
+			}))
+		}
+	case "leaker":
+		spec.MaxBacklog = 8
+		spec.Start = func(app *psbox.App) {
+			app.Spawn("leak", 0, psbox.Loop(
+				psbox.SubmitAccel{Dev: "gpu", Kind: "leak", Work: 5e5, DynW: 0.5},
+				psbox.Sleep{D: psbox.Millisecond},
+			))
+		}
+	default:
+		panic("psbox-flood: unknown kind " + a.kind)
+	}
+	return spec
+}
+
+// build constructs the flood scenario: the session manager over an AM57
+// system, the seed-derived arrival plan (launches scheduled at fixed
+// absolute times), fault-layer crash campaigns against the crash-loopers,
+// and checkpoint events every horizon/10. As in psbox-soak, the
+// checkpoint instants ride the trace in every run — golden, crashed,
+// resumed — so traces stay byte-identical across the crash protocol.
+func build(seed uint64, horizon sim.Duration, onCkpt func(*psbox.System, psbox.Time)) *flood {
+	sys := psbox.NewAM57(seed)
+	sys.EnableTracing()
+	mgr := sys.Sandboxes()
+	cfg := sandbox.DefaultConfig(capacityW)
+	mgr.SetConfig(cfg)
+
+	// The arrival plan. One resident of every kind anchors the load at
+	// t=0 — enforcement demonstrably fires on each misbehavior class
+	// regardless of how the random arrivals land. The rest arrive spread
+	// over the first half of the horizon, so each has the tail end to be
+	// enforced against; their budgets overcommit the capacity and
+	// admission control arbitrates as residents retire or get
+	// quarantined.
+	rnd := &prng{s: seed}
+	kinds := []struct {
+		kind   string
+		budget float64
+	}{
+		{"steady", 1.0}, {"steady", 1.0}, {"pulse", 0.8},
+		{"hog", 0.3}, {"crashloop", 0.8}, {"leaker", 0.8},
+	}
+	n := int(8 + int64(horizon)/int64(200*psbox.Millisecond))
+	plan := []arrival{
+		{at: 0, kind: "steady", name: "steady-0", budget: 1.0},
+		{at: 0, kind: "pulse", name: "pulse-0", budget: 0.8},
+		{at: 0, kind: "hog", name: "hog-0", budget: 0.3},
+		{at: 0, kind: "crashloop", name: "crashloop-0", budget: 0.8},
+		{at: 0, kind: "leaker", name: "leaker-0", budget: 0.8},
+	}
+	span := int64(float64(horizon) * 0.5)
+	for i := 0; i < n; i++ {
+		k := kinds[rnd.intn(len(kinds))]
+		at := psbox.Time(int64(i+1)*span/int64(n+1) + int64(rnd.intn(7))*int64(psbox.Millisecond))
+		plan = append(plan, arrival{at: at, kind: k.kind,
+			name: fmt.Sprintf("%s-%d", k.kind, i+1), budget: k.budget})
+	}
+
+	for _, a := range plan {
+		a := a
+		reps := 25 + rnd.intn(30) // finite steadies live ~150-330 ms
+		spec := specFor(a, reps)
+		launch := func(psbox.Time) { _, _ = mgr.Launch(spec) }
+		if a.at == 0 {
+			launch(0)
+		} else {
+			sys.Eng.At(a.at, launch)
+		}
+		if a.kind == "crashloop" {
+			// Four crashes starting shortly after arrival, 70 ms apart:
+			// the first three land inside the 500 ms breaker window and
+			// quarantine the session; the fourth finds it dead.
+			for j := 0; j < 4; j++ {
+				sys.Faults.CrashSessionAt(a.at.Add(sim.Duration(50+70*j)*psbox.Millisecond), a.name)
+			}
+		}
+	}
+
+	sys.SetAuditEvery(horizon / 20)
+
+	every := horizon / 10
+	for t := psbox.Time(int64(every)); t <= psbox.Time(int64(horizon)); t = t.Add(every) {
+		tt := t
+		sys.Eng.At(tt, func(psbox.Time) {
+			sys.Trace.Instant(obs.CatCkpt, "checkpoint", 0, int64(tt), "", "")
+			if onCkpt != nil {
+				onCkpt(sys, tt)
+			}
+		})
+	}
+	return &flood{sys: sys, mgr: mgr, plan: plan}
+}
+
+// report renders the end-of-run state: the arrival plan, each session's
+// verdict and tallies, the manager's aggregate enforcement counts, the
+// fault log, and trace digests.
+func report(f *flood) string {
+	var b strings.Builder
+	fmt.Fprintln(&b, "-- plan --")
+	for _, a := range f.plan {
+		fmt.Fprintf(&b, "t=%4d ms  %-12s budget=%.1f W\n",
+			int64(a.at)/int64(psbox.Millisecond), a.name, a.budget)
+	}
+	fmt.Fprintln(&b, "-- sessions --")
+	for _, s := range f.mgr.Sessions() {
+		fmt.Fprintf(&b, "%-12s %-11s throttles=%d kills=%d restarts=%d",
+			s.Name(), s.State(), s.Throttles(), s.Kills(), s.Restarts())
+		if iters, ok := s.Preserved()["iters"]; ok {
+			fmt.Fprintf(&b, " preserved-iters=%.0f", iters)
+		}
+		fmt.Fprintln(&b)
+	}
+	st := f.mgr.Stats()
+	fmt.Fprintln(&b, "-- enforcement --")
+	fmt.Fprintf(&b, "admitted=%d rejected=%d throttled=%d killed=%d restarted=%d quarantined=%d retired=%d\n",
+		st.Admitted, st.Rejected, st.Throttles, st.Kills, st.Restarts, st.Quarantined, st.Retired)
+	fmt.Fprintf(&b, "energy reclaimed=%.9f J headroom=%.2f W\n", st.ReclaimedJ, f.mgr.Headroom())
+	fmt.Fprintln(&b, "-- fault log --")
+	b.WriteString(f.sys.Faults.FormatLog())
+	fmt.Fprintln(&b, "-- energy --")
+	fmt.Fprintf(&b, "battery=%.9f J audits=%d\n",
+		f.sys.Meter.Energy("battery", 0, f.sys.Now()), f.sys.Audits())
+	fmt.Fprintln(&b, "-- trace --")
+	fmt.Fprintf(&b, "events=%d retained=%d dropped=%d\n",
+		f.sys.Trace.Total(), f.sys.Trace.Len(), f.sys.Trace.Dropped())
+	d := f.sys.Trace.Dump()
+	for _, format := range []string{"perfetto", "csv"} {
+		enc, err := obs.EncoderFor(format)
+		if err != nil {
+			panic(err)
+		}
+		h := sha256.New()
+		if err := enc.Encode(h, d); err != nil {
+			panic(err)
+		}
+		fmt.Fprintf(&b, "%-8s sha256=%x\n", format, h.Sum(nil)[:8])
+	}
+	return b.String()
+}
+
+// soak runs the flood under the crash-and-resume protocol and renders a
+// deterministic transcript: the golden report, then for each crash point
+// the checkpoint round-trip, the restore verdict, and the byte-comparison
+// of the resumed report against the golden.
+func soak(seed uint64, ms int64) (string, int) {
+	horizon := sim.Duration(ms) * psbox.Millisecond
+	var restoreFail, diverged bool
+	var b strings.Builder
+	fmt.Fprintf(&b, "psbox-flood seed=%d ms=%d capacity=%.1f W soak: checkpoints=every %d ms\n\n",
+		seed, ms, capacityW, ms/10)
+
+	golden := build(seed, horizon, nil)
+	golden.sys.Run(horizon)
+	goldenReport := report(golden)
+	fmt.Fprintln(&b, "== golden ==")
+	b.WriteString(goldenReport)
+
+	tmp, err := os.MkdirTemp("", "psbox-flood-")
+	if err != nil {
+		fmt.Fprintf(&b, "FAIL: checkpoint scratch dir: %v\n", err)
+		return b.String(), exitRestore
+	}
+	defer os.RemoveAll(tmp)
+
+	for _, frac := range []float64{0.25, 0.50, 0.75} {
+		crashAt := sim.Duration(float64(horizon) * frac)
+		fmt.Fprintf(&b, "\n== crash at %d%% ==\n", int(frac*100))
+
+		// The crashed run: killed mid-churn; only the last checkpoint
+		// survives, round-tripped through a file to exercise the
+		// CRC-validated persistence path.
+		var lastBytes []byte
+		var lastAt psbox.Time
+		crashed := build(seed, horizon, func(s *psbox.System, at psbox.Time) {
+			lastBytes, lastAt = s.Snapshot(), at
+		})
+		crashed.sys.Run(crashAt)
+		if lastBytes == nil {
+			fmt.Fprintln(&b, "FAIL: no checkpoint before the crash point")
+			restoreFail = true
+			continue
+		}
+		path := filepath.Join(tmp, fmt.Sprintf("ckpt-%d.psbx", int(frac*100)))
+		if err := snapshot.WriteFile(path, lastBytes); err != nil {
+			fmt.Fprintln(&b, "FAIL: write checkpoint:", err)
+			restoreFail = true
+			continue
+		}
+		restoredBytes, err := snapshot.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(&b, "FAIL: read checkpoint:", err)
+			restoreFail = true
+			continue
+		}
+		fmt.Fprintf(&b, "checkpoint at %d ms (%d bytes, crc ok)\n",
+			int64(lastAt)/int64(psbox.Millisecond), len(restoredBytes))
+
+		// The resumed run: rebuild, replay, byte-verify at the
+		// checkpoint instant, run to the horizon.
+		var restoreErr error
+		restored := false
+		resumed := build(seed, horizon, func(s *psbox.System, at psbox.Time) {
+			if at == lastAt && !restored {
+				restoreErr = s.Restore(restoredBytes)
+				restored = true
+			}
+		})
+		resumed.sys.Run(horizon)
+		switch {
+		case !restored:
+			fmt.Fprintln(&b, "FAIL: resume never reached the checkpoint instant")
+			restoreFail = true
+		case restoreErr != nil:
+			fmt.Fprintf(&b, "FAIL: restore verification: %v\n", restoreErr)
+			restoreFail = true
+		default:
+			fmt.Fprintln(&b, "restore verified")
+		}
+		if got := report(resumed); got != goldenReport {
+			fmt.Fprintln(&b, "FAIL: resumed report diverges from golden:")
+			b.WriteString(diffLines(goldenReport, got))
+			diverged = true
+		} else {
+			fmt.Fprintln(&b, "resumed report identical to golden")
+		}
+	}
+
+	code := exitOK
+	verdict := "ok"
+	switch {
+	case restoreFail:
+		code, verdict = exitRestore, "FAIL"
+	case diverged:
+		code, verdict = exitDivergence, "FAIL"
+	}
+	fmt.Fprintf(&b, "\nverdict: %s\n", verdict)
+	return b.String(), code
+}
+
+// diffLines renders a compact first-divergence view of two reports.
+func diffLines(want, got string) string {
+	w, g := strings.Split(want, "\n"), strings.Split(got, "\n")
+	var b strings.Builder
+	for i := 0; i < len(w) || i < len(g); i++ {
+		var lw, lg string
+		if i < len(w) {
+			lw = w[i]
+		}
+		if i < len(g) {
+			lg = g[i]
+		}
+		if lw != lg {
+			fmt.Fprintf(&b, "  line %d:\n  - %s\n  + %s\n", i+1, lw, lg)
+		}
+	}
+	return b.String()
+}

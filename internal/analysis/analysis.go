@@ -316,6 +316,7 @@ var obsInstrumented = []string{
 	"psbox/internal/meter",
 	"psbox/internal/faults",
 	"psbox/internal/core",
+	"psbox/internal/sandbox",
 }
 
 // InScope reports whether an analyzer applies to a package, per the

@@ -19,6 +19,7 @@ func TestObsDeterminismScope(t *testing.T) {
 		"psbox/internal/meter",
 		"psbox/internal/faults",
 		"psbox/internal/core",
+		"psbox/internal/sandbox",
 	}
 	for _, p := range in {
 		if !analysis.InScope(analysis.ObsDeterminism, p) {

@@ -46,8 +46,11 @@ type RenderServer struct {
 
 	// droppedOverflow counts requests discarded at Submit time because the
 	// queue was full (drop-oldest: the discarded request is the queue head,
-	// the stalest work, deterministically).
-	droppedOverflow uint64
+	// the stalest work, deterministically). droppedOverflowBy breaks the
+	// same count down by the discarded request's client, so a flood from
+	// one client that evicts another's stale frames is attributable.
+	droppedOverflow   uint64
+	droppedOverflowBy map[int]uint64
 }
 
 // NewRenderServer registers the daemon app and spawns its server loop on
@@ -55,10 +58,11 @@ type RenderServer struct {
 // delegating submissions to the requesting client's identity.
 func NewRenderServer(k *kernel.Kernel, dev string, core int, aware bool) *RenderServer {
 	s := &RenderServer{
-		dev:      dev,
-		aware:    aware,
-		maxQueue: DefaultQueueBound,
-		accepted: make(map[int]uint64),
+		dev:               dev,
+		aware:             aware,
+		maxQueue:          DefaultQueueBound,
+		accepted:          make(map[int]uint64),
+		droppedOverflowBy: make(map[int]uint64),
 	}
 	s.app = k.NewApp("renderd")
 	s.app.Spawn("server", core, kernel.ProgramFunc(s.step))
@@ -92,6 +96,7 @@ func (s *RenderServer) Submit(req Request) {
 		panic(fmt.Sprintf("daemon: empty request from client %d", req.Client))
 	}
 	for len(s.queue) >= s.maxQueue {
+		s.droppedOverflowBy[s.queue[0].Client]++
 		s.queue = s.queue[1:]
 		s.droppedOverflow++
 	}
@@ -112,6 +117,10 @@ func (s *RenderServer) Dropped() uint64 { return s.dropped }
 // DroppedOverflow reports how many requests were discarded at submit time
 // because the bounded queue was full.
 func (s *RenderServer) DroppedOverflow() uint64 { return s.droppedOverflow }
+
+// DroppedOverflowFor reports how many of the overflow-discarded requests
+// belonged to the given client.
+func (s *RenderServer) DroppedOverflowFor(client int) uint64 { return s.droppedOverflowBy[client] }
 
 // step is the daemon's server loop: poll the request queue, marshal, and
 // submit to the device — under the client's identity when aware, under the

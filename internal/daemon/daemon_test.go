@@ -1,6 +1,7 @@
 package daemon_test
 
 import (
+	"bytes"
 	"math"
 	"testing"
 
@@ -154,5 +155,81 @@ func TestDaemonDropsRequestsFromDeadClients(t *testing.T) {
 		if served != 1 {
 			t.Fatalf("aware=%v: live client's request not served: %d", aware, served)
 		}
+	}
+}
+
+// TestOverflowDropsAttributedPerClient: when a flood from one client
+// evicts the queue's stale heads, the per-client overflow counters record
+// whose work was discarded, and churning dead clients through the queue
+// keeps the breakdown deterministic (it always equals the eviction order
+// of the bounded queue, never map iteration).
+func TestOverflowDropsAttributedPerClient(t *testing.T) {
+	sys := psbox.NewAM57(8)
+	srv := daemon.NewRenderServer(sys.Kernel, "gpu", 0, true)
+	srv.SetQueueBound(4)
+
+	// Two churn generations of short-lived clients whose requests go
+	// stale, then a flood that evicts them.
+	ghostA := sys.Kernel.NewApp("ghostA")
+	ghostA.Spawn("noop", 1, psbox.Sequence())
+	ghostB := sys.Kernel.NewApp("ghostB")
+	ghostB.Spawn("noop", 1, psbox.Sequence())
+	flood := sys.Kernel.NewApp("flood")
+	flood.Spawn("park", 1, psbox.Loop(psbox.Sleep{D: 50 * sim.Millisecond}))
+
+	for i := 0; i < 3; i++ {
+		srv.Submit(daemon.Request{Client: ghostA.ID, Kind: "stale", Work: 1000, DynW: 0.5})
+	}
+	srv.Submit(daemon.Request{Client: ghostB.ID, Kind: "stale", Work: 1000, DynW: 0.5})
+	// Queue is now full [A A A B]; six fresh requests evict all four
+	// stale heads (3×A, 1×B) and then two of their own.
+	for i := 0; i < 6; i++ {
+		srv.Submit(daemon.Request{Client: flood.ID, Kind: "fresh", Work: 1000, DynW: 0.5})
+	}
+
+	if got := srv.DroppedOverflow(); got != 6 {
+		t.Fatalf("overflow = %d, want 6", got)
+	}
+	if got := srv.DroppedOverflowFor(ghostA.ID); got != 3 {
+		t.Fatalf("ghostA overflow = %d, want 3", got)
+	}
+	if got := srv.DroppedOverflowFor(ghostB.ID); got != 1 {
+		t.Fatalf("ghostB overflow = %d, want 1", got)
+	}
+	if got := srv.DroppedOverflowFor(flood.ID); got != 2 {
+		t.Fatalf("flood overflow = %d, want 2", got)
+	}
+	if got := srv.DroppedOverflowFor(999); got != 0 {
+		t.Fatalf("unknown client overflow = %d, want 0", got)
+	}
+
+	// The dead-client churn stays deterministic end to end: twin systems
+	// running the daemon under the same churn produce byte-identical
+	// checkpoints of it (the per-client breakdown is encoded sorted).
+	sys.RegisterSnapshotter("daemon", srv)
+	sys.Run(100 * psbox.Millisecond)
+	twin := func() []byte {
+		s2 := psbox.NewAM57(8)
+		sv2 := daemon.NewRenderServer(s2.Kernel, "gpu", 0, true)
+		sv2.SetQueueBound(4)
+		gA := s2.Kernel.NewApp("ghostA")
+		gA.Spawn("noop", 1, psbox.Sequence())
+		gB := s2.Kernel.NewApp("ghostB")
+		gB.Spawn("noop", 1, psbox.Sequence())
+		fl := s2.Kernel.NewApp("flood")
+		fl.Spawn("park", 1, psbox.Loop(psbox.Sleep{D: 50 * sim.Millisecond}))
+		for i := 0; i < 3; i++ {
+			sv2.Submit(daemon.Request{Client: gA.ID, Kind: "stale", Work: 1000, DynW: 0.5})
+		}
+		sv2.Submit(daemon.Request{Client: gB.ID, Kind: "stale", Work: 1000, DynW: 0.5})
+		for i := 0; i < 6; i++ {
+			sv2.Submit(daemon.Request{Client: fl.ID, Kind: "fresh", Work: 1000, DynW: 0.5})
+		}
+		s2.RegisterSnapshotter("daemon", sv2)
+		s2.Run(100 * psbox.Millisecond)
+		return s2.Snapshot()
+	}
+	if a, b := sys.Snapshot(), twin(); !bytes.Equal(a, b) {
+		t.Fatalf("twin daemon checkpoints differ: %d vs %d bytes", len(a), len(b))
 	}
 }

@@ -33,6 +33,16 @@ func (s *RenderServer) Snapshot(enc *snapshot.Encoder) {
 	}
 	enc.U64(s.dropped)
 	enc.U64(s.droppedOverflow)
+	victims := make([]int, 0, len(s.droppedOverflowBy))
+	for c := range s.droppedOverflowBy {
+		victims = append(victims, c)
+	}
+	sort.Ints(victims)
+	enc.Len(len(victims))
+	for _, c := range victims {
+		enc.I64(int64(c))
+		enc.U64(s.droppedOverflowBy[c])
+	}
 }
 
 // Restore verifies the live daemon against a checkpoint section.

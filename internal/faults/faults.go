@@ -39,6 +39,11 @@ const (
 
 	// MeterDropout loses a window of one DAQ channel's samples.
 	MeterDropout Kind = "meter-dropout"
+
+	// SandboxCrash kills a supervised sandbox session by name: its tasks
+	// die abruptly and the sandbox supervisor's restart/quarantine
+	// machinery takes over.
+	SandboxCrash Kind = "sandbox-crash"
 )
 
 // Event is one injected fault, recorded at the instant it fired.
@@ -69,6 +74,7 @@ type Injector struct {
 	cpus       map[string]*cpu.CPU
 	cpuNames   []string
 	m          *meter.Meter
+	sandbox    CrashTarget
 
 	log []Event
 
@@ -115,6 +121,15 @@ func (in *Injector) RegisterCPU(name string, c *cpu.CPU) {
 
 // RegisterMeter makes the DAQ a sample-dropout target.
 func (in *Injector) RegisterMeter(m *meter.Meter) { in.m = m }
+
+// CrashTarget is the sandbox manager's crash-injection surface: kill the
+// named live session, reporting whether one existed.
+type CrashTarget interface {
+	InjectCrash(name string) bool
+}
+
+// RegisterSandbox makes a sandbox manager a session-crash target.
+func (in *Injector) RegisterSandbox(t CrashTarget) { in.sandbox = t }
 
 func (in *Injector) record(kind Kind, target, detail string) {
 	in.log = append(in.log, Event{At: in.eng.Now(), Kind: kind, Target: target, Detail: detail})
@@ -189,6 +204,22 @@ func (in *Injector) DropMeterAt(at sim.Time, rail string, d sim.Duration) {
 	in.eng.At(at, func(now sim.Time) {
 		in.m.InjectDropout(rail, now, now.Add(d))
 		in.record(MeterDropout, rail, fmt.Sprintf("samples lost for %v", d))
+	})
+}
+
+// CrashSessionAt schedules a SandboxCrash on the named session. Sessions
+// come and go at runtime, so (unlike hardware targets) the name is
+// resolved at firing time; a miss is recorded, not a panic.
+func (in *Injector) CrashSessionAt(at sim.Time, name string) {
+	if in.sandbox == nil {
+		panic("faults: no sandbox manager registered")
+	}
+	in.eng.At(at, func(sim.Time) {
+		if in.sandbox.InjectCrash(name) {
+			in.record(SandboxCrash, name, "session killed")
+		} else {
+			in.record(SandboxCrash, name, "no live session")
+		}
 	})
 }
 

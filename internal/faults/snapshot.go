@@ -18,6 +18,7 @@ func (in *Injector) Snapshot(enc *snapshot.Encoder) {
 	for _, n := range in.cpuNames {
 		enc.Str(n)
 	}
+	enc.Bool(in.sandbox != nil)
 	enc.Len(len(in.log))
 	for _, e := range in.log {
 		enc.I64(int64(e.At))

@@ -87,6 +87,20 @@ func (a *App) Kernel() *Kernel { return a.k }
 // Counter reads a throughput counter.
 func (a *App) Counter(name string) float64 { return a.counters[name] }
 
+// SetCounter overwrites a throughput counter. The sandbox supervisor uses
+// it to seed a restarted incarnation with the preserve_data state its
+// predecessor had accumulated, so the app resumes rather than replays.
+func (a *App) SetCounter(name string, v float64) { a.counters[name] = v }
+
+// Counters returns the app's throughput counters as a fresh map.
+func (a *App) Counters() map[string]float64 {
+	out := make(map[string]float64, len(a.counters))
+	for k, v := range a.counters {
+		out[k] = v
+	}
+	return out
+}
+
 // Tasks lists the app's tasks.
 func (a *App) Tasks() []*Task { return a.tasks }
 

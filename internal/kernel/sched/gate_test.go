@@ -1,0 +1,209 @@
+package sched
+
+import (
+	"testing"
+
+	"psbox/internal/sim"
+)
+
+// TestGateParksRunningHog: closing a gate takes the app's running task off
+// the CPU and the competitor inherits the core; opening it resumes sharing.
+func TestGateParksRunningHog(t *testing.T) {
+	h := newHarness(t, 1)
+	a := h.hog(1, "gated", 0, 0)
+	b := h.hog(2, "free", 0, 0)
+	h.eng.RunFor(100 * sim.Millisecond)
+
+	h.s.SetAppGate(1, false)
+	if a.State() != StateRunnable {
+		t.Fatalf("gated hog state = %v, want runnable (parked)", a.State())
+	}
+	if !h.s.Gated(1) {
+		t.Fatal("Gated(1) = false after close")
+	}
+	beforeA, beforeB := a.CPUTime(), b.CPUTime()
+	h.eng.RunFor(100 * sim.Millisecond)
+	if a.CPUTime() != beforeA {
+		t.Fatalf("gated hog ran %v while parked", a.CPUTime()-beforeA)
+	}
+	if got := b.CPUTime() - beforeB; got < 99*sim.Millisecond {
+		t.Fatalf("free hog got only %v of the gated window", got)
+	}
+
+	h.s.SetAppGate(1, true)
+	beforeA = a.CPUTime()
+	h.eng.RunFor(200 * sim.Millisecond)
+	if got := a.CPUTime() - beforeA; got < 80*sim.Millisecond || got > 120*sim.Millisecond {
+		t.Fatalf("reopened hog share = %v of 200ms, want ≈half", got)
+	}
+}
+
+// TestGateParksWakes: a periodic task waking behind a closed gate parks
+// instead of running, and all parked wakes deliver on open.
+func TestGateParksWakes(t *testing.T) {
+	h := newHarness(t, 1)
+	p := h.periodic(1, "p", 0, 1*sim.Millisecond, 4*sim.Millisecond)
+	h.eng.RunFor(20 * sim.Millisecond)
+
+	h.s.SetAppGate(1, false)
+	h.eng.RunFor(50 * sim.Millisecond)
+	// The task either blocked mid-sleep (then woke parked) or was parked
+	// while runnable; either way it must not have run.
+	if p.State() == StateRunning {
+		t.Fatal("gated periodic task is running")
+	}
+	before := p.CPUTime()
+	h.eng.RunFor(50 * sim.Millisecond)
+	if p.CPUTime() != before {
+		t.Fatal("gated periodic task accumulated CPU time")
+	}
+
+	h.s.SetAppGate(1, true)
+	h.eng.RunFor(50 * sim.Millisecond)
+	if p.CPUTime() == before {
+		t.Fatal("periodic task never resumed after gate opened")
+	}
+}
+
+// TestGateDutyCycle: a 25% duty cycle (5ms open / 15ms closed) confines a
+// hog to roughly a quarter of the core while a competitor absorbs the rest.
+func TestGateDutyCycle(t *testing.T) {
+	h := newHarness(t, 1)
+	a := h.hog(1, "throttled", 0, 0)
+	b := h.hog(2, "free", 0, 0)
+	const period = 20 * sim.Millisecond
+	const open = 5 * sim.Millisecond
+	var cycle func(sim.Time)
+	cycle = func(sim.Time) {
+		h.s.SetAppGate(1, false)
+		h.eng.After(period-open, func(sim.Time) {
+			h.s.SetAppGate(1, true)
+			h.eng.After(open, cycle)
+		})
+	}
+	h.eng.After(open, cycle)
+	h.eng.RunFor(2 * sim.Second)
+	sa, sb := shareOf(a, 2*sim.Second), shareOf(b, 2*sim.Second)
+	// The throttled hog gets at most half of each open slice (it shares
+	// with b) ⇒ ≈12.5%; b gets the rest.
+	if sa > 0.16 {
+		t.Fatalf("throttled share = %v, want ≤ duty-bounded ≈0.125", sa)
+	}
+	if sb < 0.80 {
+		t.Fatalf("free share = %v, want ≥0.80", sb)
+	}
+}
+
+// TestGateBlockAndExitWhileParked: blocking or exiting a parked task must
+// remove it from the parked list, not leave a phantom delivery behind.
+func TestGateBlockAndExitWhileParked(t *testing.T) {
+	h := newHarness(t, 1)
+	a := h.s.NewTask(1, "a", 0, 0)
+	b := h.s.NewTask(1, "b", 0, 0)
+	h.s.Wake(a)
+	h.s.Wake(b)
+	h.s.SetAppGate(1, false)
+	if !h.s.isParked(a) || !h.s.isParked(b) {
+		t.Fatal("both tasks should be parked")
+	}
+	h.s.Block(a)
+	if a.State() != StateBlocked || h.s.isParked(a) {
+		t.Fatalf("blocked parked task: state=%v parked=%v", a.State(), h.s.isParked(a))
+	}
+	h.s.Exit(b)
+	if b.State() != StateDead || h.s.isParked(b) {
+		t.Fatalf("exited parked task: state=%v parked=%v", b.State(), h.s.isParked(b))
+	}
+	h.s.SetAppGate(1, true) // must not deliver anything
+	h.eng.RunFor(10 * sim.Millisecond)
+	if a.CPUTime() != 0 || b.CPUTime() != 0 {
+		t.Fatal("phantom delivery of blocked/exited task")
+	}
+	// The blocked task wakes normally now that the gate is open.
+	h.s.Wake(a)
+	h.eng.RunFor(10 * sim.Millisecond)
+	if a.CPUTime() == 0 {
+		t.Fatal("woken task did not run after gate reopened")
+	}
+}
+
+// TestGateClosesBalloonWindow: gating a boxed app ends its coscheduling
+// window (nothing runnable inside) and the competitor reclaims the cores.
+func TestGateClosesBalloonWindow(t *testing.T) {
+	h := newHarness(t, 2)
+	a0 := h.hog(1, "boxed0", 0, 0)
+	h.hog(1, "boxed1", 1, 0)
+	free := h.hog(2, "free", 0, 0)
+	g := h.s.ActivateGroup(1)
+	h.eng.RunFor(100 * sim.Millisecond)
+	if g.Windows() == 0 {
+		t.Fatal("balloon never opened")
+	}
+
+	h.s.SetAppGate(1, false)
+	if g.Resident() {
+		t.Fatal("window still resident after gating the app")
+	}
+	beforeFree, beforeA := free.CPUTime(), a0.CPUTime()
+	h.eng.RunFor(100 * sim.Millisecond)
+	if a0.CPUTime() != beforeA {
+		t.Fatal("gated boxed task ran")
+	}
+	if free.CPUTime()-beforeFree < 99*sim.Millisecond {
+		t.Fatal("competitor did not reclaim the core")
+	}
+
+	h.s.SetAppGate(1, true)
+	windows := g.Windows()
+	h.eng.RunFor(100 * sim.Millisecond)
+	if g.Windows() <= windows {
+		t.Fatal("balloon windows did not resume after gate opened")
+	}
+}
+
+// TestGateActivateDeactivateWhileParked: box membership changes while the
+// app is gated must neither panic nor double-deliver parked tasks.
+func TestGateActivateDeactivateWhileParked(t *testing.T) {
+	h := newHarness(t, 2)
+	a := h.hog(1, "a", 0, 0)
+	h.hog(2, "free", 0, 0)
+	h.eng.RunFor(20 * sim.Millisecond)
+
+	h.s.SetAppGate(1, false)
+	h.s.ActivateGroup(1) // parked task joins the group but stays parked
+	if !h.s.isParked(a) {
+		t.Fatal("task left parked list on ActivateGroup")
+	}
+	h.eng.RunFor(20 * sim.Millisecond)
+	h.s.DeactivateGroup(1) // and leaves it without being enqueued
+	if !h.s.isParked(a) {
+		t.Fatal("task left parked list on DeactivateGroup")
+	}
+	before := a.CPUTime()
+	h.eng.RunFor(20 * sim.Millisecond)
+	if a.CPUTime() != before {
+		t.Fatal("parked task ran during box churn")
+	}
+	h.s.SetAppGate(1, true)
+	h.eng.RunFor(40 * sim.Millisecond)
+	if a.CPUTime() == before {
+		t.Fatal("task never resumed after churn + gate open")
+	}
+}
+
+// TestGateIdempotent: double close and double open are no-ops.
+func TestGateIdempotent(t *testing.T) {
+	h := newHarness(t, 1)
+	a := h.hog(1, "a", 0, 0)
+	h.s.SetAppGate(1, false)
+	h.s.SetAppGate(1, false)
+	if n := len(h.s.parked); n != 1 {
+		t.Fatalf("parked list has %d entries after double close", n)
+	}
+	h.s.SetAppGate(1, true)
+	h.s.SetAppGate(1, true)
+	h.eng.RunFor(10 * sim.Millisecond)
+	if a.CPUTime() == 0 {
+		t.Fatal("task did not run after double open")
+	}
+}

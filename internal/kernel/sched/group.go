@@ -106,6 +106,9 @@ func (s *Scheduler) ActivateGroup(appID int) *Group {
 			t.state = StateRunnable
 			ge.queue = append(ge.queue, t)
 		case StateRunnable:
+			if s.isParked(t) {
+				continue // stays parked; delivered into the group on gate open
+			}
 			if !s.dequeue(t.Core, t) {
 				panic(fmt.Sprintf("sched: runnable task %s missing from rq", t.Name))
 			}
@@ -154,7 +157,7 @@ func (s *Scheduler) DeactivateGroup(appID int) {
 		if t.vr < ge.vr {
 			t.vr = ge.vr
 		}
-		if t.state == StateRunnable {
+		if t.state == StateRunnable && !s.isParked(t) {
 			s.enqueue(t.Core, t)
 		}
 	}

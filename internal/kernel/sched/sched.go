@@ -163,6 +163,15 @@ type Scheduler struct {
 	resident *Group // the group holding the open coscheduling window
 	nextID   int
 
+	// Throttle gates (the psbox budget-enforcement hook): while an app's
+	// gate is closed its tasks are parked — runnable in the kernel's eyes
+	// but withheld from every runqueue — so the sandbox manager can
+	// duty-cycle an over-budget app off the CPU without touching its
+	// program state. parked keeps park order, which is the delivery order
+	// when the gate reopens.
+	gated  map[int]bool
+	parked []*Task
+
 	// Metrics.
 	ctxSwitches  uint64
 	shootdowns   uint64
@@ -198,6 +207,7 @@ func New(eng *sim.Engine, cfg Config, cbs Callbacks) *Scheduler {
 		cbs:         cbs,
 		groups:      make(map[int]*Group),
 		wakePending: make(map[*Task]sim.Time),
+		gated:       make(map[int]bool),
 	}
 	for i := 0; i < cfg.Cores; i++ {
 		s.cores = append(s.cores, &coreState{id: i, lastBill: eng.Now()})
@@ -398,12 +408,139 @@ func (s *Scheduler) Wake(t *Task) {
 	if min := s.minVrun(t.Core); t.vr < min-sim.Duration(s.cfg.WakeupBonus) {
 		t.vr = min - sim.Duration(s.cfg.WakeupBonus)
 	}
+	if s.gated[t.AppID] {
+		// A wake behind a closed gate parks: the task becomes runnable but
+		// is delivered to its runqueue only when the gate reopens.
+		s.parked = append(s.parked, t)
+		return
+	}
 	if t.ge != nil {
 		s.groupTaskWake(t)
 		return
 	}
 	s.enqueue(t.Core, t)
 	s.maybePreempt(t.Core)
+}
+
+// isParked reports whether t is currently withheld by a closed gate.
+func (s *Scheduler) isParked(t *Task) bool {
+	for _, p := range s.parked {
+		if p == t {
+			return true
+		}
+	}
+	return false
+}
+
+// unpark removes t from the parked list; reports whether it was parked.
+func (s *Scheduler) unpark(t *Task) bool {
+	for i, p := range s.parked {
+		if p == t {
+			s.parked = append(s.parked[:i], s.parked[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Gated reports whether an app's throttle gate is closed.
+func (s *Scheduler) Gated(appID int) bool { return s.gated[appID] }
+
+// SetAppGate opens or closes an app's throttle gate. Closing parks every
+// runnable or running task of the app (running ones are context-switched
+// out first, preserving their burst progress) and closes the app's
+// coscheduling window if it held one; new wakes park until the gate
+// reopens. Opening delivers the parked tasks back to their runqueues in
+// park order. Parked time counts as involuntary waiting in the app's
+// demand accounting — exactly like losing the CPU to competition — so the
+// virtual governor's utilization signal stays honest under throttling.
+// Both directions are idempotent.
+func (s *Scheduler) SetAppGate(appID int, open bool) {
+	if open {
+		if !s.gated[appID] {
+			return
+		}
+		delete(s.gated, appID)
+		kept := s.parked[:0]
+		var deliver []*Task
+		for _, t := range s.parked {
+			if t.AppID == appID {
+				deliver = append(deliver, t)
+			} else {
+				kept = append(kept, t)
+			}
+		}
+		s.parked = kept
+		// Fair re-entry, exactly as in ActivateGroup: vruntime froze while
+		// parked, so without the clamp a reopened app would "catch up" its
+		// entire parked time at the competitors' expense — turning the
+		// throttle into a deferral instead of a confinement.
+		if g, ok := s.groups[appID]; ok && g.active {
+			for _, ge := range g.entities {
+				if min := s.minVrun(ge.core); ge.vr < min {
+					ge.vr = min
+				}
+			}
+		}
+		for _, t := range deliver {
+			if min := s.minVrun(t.Core); t.vr < min {
+				t.vr = min
+			}
+			if t.ge != nil {
+				s.groupTaskWake(t)
+				continue
+			}
+			s.enqueue(t.Core, t)
+			s.maybePreempt(t.Core)
+		}
+		return
+	}
+	if s.gated[appID] {
+		return
+	}
+	s.gated[appID] = true
+	for _, t := range s.tasks {
+		if t.AppID != appID {
+			continue
+		}
+		switch t.state {
+		case StateRunning:
+			s.bill(t.Core)
+			s.stopCurrent(t.Core) // leaves the task runnable, not requeued
+			s.parked = append(s.parked, t)
+		case StateRunnable:
+			if t.ge != nil {
+				ge := t.ge
+				for i, q := range ge.queue {
+					if q == t {
+						ge.queue = append(ge.queue[:i], ge.queue[i+1:]...)
+						break
+					}
+				}
+			} else {
+				s.dequeue(t.Core, t)
+			}
+			s.parked = append(s.parked, t)
+		}
+	}
+	if g, ok := s.groups[appID]; ok && g.active {
+		if g.resident && !g.gang && !s.groupHasRunnable(g) {
+			// Demand windows close when the app has nothing runnable; a
+			// gang's reservation holds its slot regardless, forcing idle.
+			s.endCosched(g)
+		} else if !g.resident {
+			for _, ge := range g.entities {
+				if len(ge.queue) == 0 {
+					s.dequeue(ge.core, ge)
+				}
+			}
+		}
+	}
+	for c := 0; c < s.cfg.Cores; c++ {
+		if s.cores[c].cur == nil {
+			s.reschedule(c)
+		}
+	}
 }
 
 // Block transitions the running or runnable task t to blocked.
@@ -415,6 +552,12 @@ func (s *Scheduler) Block(t *Task) {
 		panic(fmt.Sprintf("sched: blocking dead task %s", t.Name))
 	}
 	delete(s.wakePending, t)
+	if s.unpark(t) {
+		// A parked task sits in no runqueue and no entity queue; blocking it
+		// is pure bookkeeping.
+		t.state = StateBlocked
+		return
+	}
 	if t.ge != nil {
 		s.groupTaskBlock(t)
 		return

@@ -133,6 +133,19 @@ func (s *Scheduler) Snapshot(enc *snapshot.Encoder) {
 	} else {
 		enc.I64(int64(s.resident.AppID))
 	}
+	gated := make([]int, 0, len(s.gated))
+	for id := range s.gated {
+		gated = append(gated, id)
+	}
+	sort.Ints(gated)
+	enc.Len(len(gated))
+	for _, id := range gated {
+		enc.I64(int64(id))
+	}
+	enc.Len(len(s.parked))
+	for _, t := range s.parked {
+		enc.I64(int64(t.ID)) // park order is delivery order; encode as-is
+	}
 }
 
 // Restore verifies the live scheduler against a checkpoint section.

@@ -53,6 +53,9 @@ const (
 	CatFault = "fault"      // injected faults, mirrored from the fault log
 	CatBox   = "box"        // power sandbox lifecycle and residency
 	CatCkpt  = "checkpoint" // checkpoint instants from the soak harness
+	// CatSession: sandbox-manager session lifecycle — admission, budget
+	// violations, throttle windows, kills, restarts, quarantine.
+	CatSession = "session"
 )
 
 // Event is one trace record. All strings are constants or names that

@@ -19,6 +19,10 @@ import (
 
 // AppSpec is one workload instance in a scenario.
 type AppSpec struct {
+	// Name optionally overrides the instance's app name (instances of a
+	// Count > 1 spec get a -N suffix). Non-empty names must be unique
+	// across the scenario.
+	Name string `json:"name,omitempty"`
 	// Workload names a Fig. 5 benchmark from the catalog.
 	Workload string `json:"workload"`
 	// Count instantiates this many identical instances (default 1).
@@ -55,32 +59,59 @@ func Parse(r io.Reader) (*Spec, error) {
 	return &s, nil
 }
 
+// ValidationError pinpoints a rejected scenario field. Field is the JSON
+// path of the offender (e.g. "apps[3].workload"); Index is the offending
+// app's position in the apps array, or -1 for document-level fields —
+// tools can highlight the exact entry instead of making the user scan the
+// document.
+type ValidationError struct {
+	Field string
+	Index int
+	Msg   string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("scenario: %s: %s", e.Field, e.Msg)
+}
+
 func (s *Spec) validate() error {
 	switch s.Platform {
 	case "am57", "beaglebone", "mobile":
 	default:
-		return fmt.Errorf("scenario: unknown platform %q (am57, beaglebone, mobile)", s.Platform)
+		return &ValidationError{Field: "platform", Index: -1,
+			Msg: fmt.Sprintf("unknown platform %q (am57, beaglebone, mobile)", s.Platform)}
 	}
 	if s.DurationMs <= 0 {
-		return fmt.Errorf("scenario: duration_ms must be positive")
+		return &ValidationError{Field: "duration_ms", Index: -1, Msg: "must be positive"}
 	}
 	if len(s.Apps) == 0 {
-		return fmt.Errorf("scenario: need at least one app")
+		return &ValidationError{Field: "apps", Index: -1, Msg: "need at least one app"}
 	}
 	catalog := workload.Catalog()
+	seen := map[string]int{}
 	for i, a := range s.Apps {
+		if a.Name != "" {
+			if j, dup := seen[a.Name]; dup {
+				return &ValidationError{Field: fmt.Sprintf("apps[%d].name", i), Index: i,
+					Msg: fmt.Sprintf("duplicate app name %q (first declared at apps[%d])", a.Name, j)}
+			}
+			seen[a.Name] = i
+		}
 		if _, ok := catalog[a.Workload]; !ok {
-			return fmt.Errorf("scenario: app %d: unknown workload %q (see fig5 for the catalog)", i, a.Workload)
+			return &ValidationError{Field: fmt.Sprintf("apps[%d].workload", i), Index: i,
+				Msg: fmt.Sprintf("unknown workload %q (see fig5 for the catalog)", a.Workload)}
 		}
 		if a.Count < 0 {
-			return fmt.Errorf("scenario: app %d: negative count", i)
+			return &ValidationError{Field: fmt.Sprintf("apps[%d].count", i), Index: i,
+				Msg: "negative count"}
 		}
 		for _, h := range a.Box {
 			switch core.HW(h) {
 			case core.HWCPU, core.HWGPU, core.HWDSP, core.HWWiFi,
 				core.HWDisplay, core.HWGPS, core.HWDRAM:
 			default:
-				return fmt.Errorf("scenario: app %d: unknown scope %q", i, h)
+				return &ValidationError{Field: fmt.Sprintf("apps[%d].box", i), Index: i,
+					Msg: fmt.Sprintf("unknown scope %q", h)}
 			}
 		}
 	}
@@ -148,7 +179,14 @@ func RunWithSystem(s *Spec, setup func(*psbox.System)) (*Report, *psbox.System, 
 			count = 1
 		}
 		for i := 0; i < count; i++ {
-			app := workload.Install(sys.Kernel, catalog[a.Workload](sys.Kernel.CPU().Cores(), a.Saturate))
+			ws := catalog[a.Workload](sys.Kernel.CPU().Cores(), a.Saturate)
+			if a.Name != "" {
+				ws.Name = a.Name
+				if count > 1 {
+					ws.Name = fmt.Sprintf("%s-%d", a.Name, i)
+				}
+			}
+			app := workload.Install(sys.Kernel, ws)
 			it := inst{app: app, spec: a}
 			if len(a.Box) > 0 {
 				scopes := make([]core.HW, 0, len(a.Box))

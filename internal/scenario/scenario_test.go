@@ -2,6 +2,7 @@ package scenario
 
 import (
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 )
@@ -137,5 +138,66 @@ func TestRenderAndJSON(t *testing.T) {
 	}
 	if _, err := json.Marshal(rep); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTypedValidationErrors: rejections carry the offending field's JSON
+// path and its position in the apps array, so tools can point at the
+// exact entry.
+func TestTypedValidationErrors(t *testing.T) {
+	cases := []struct {
+		doc   string
+		field string
+		index int
+	}{
+		{`{"platform":"pc","duration_ms":1,"apps":[{"workload":"magic"}]}`,
+			"platform", -1},
+		{`{"platform":"am57","duration_ms":1,"apps":[{"workload":"magic"},{"workload":"doom"}]}`,
+			"apps[1].workload", 1},
+		{`{"platform":"am57","duration_ms":1,"apps":[
+			{"name":"a","workload":"magic"},{"workload":"magic"},{"name":"a","workload":"magic"}]}`,
+			"apps[2].name", 2},
+		{`{"platform":"am57","duration_ms":1,"apps":[{"workload":"magic","box":["npu"]}]}`,
+			"apps[0].box", 0},
+	}
+	for _, tc := range cases {
+		_, err := Parse(strings.NewReader(tc.doc))
+		var ve *ValidationError
+		if !errors.As(err, &ve) {
+			t.Errorf("%s: error %v, want *ValidationError", tc.field, err)
+			continue
+		}
+		if ve.Field != tc.field || ve.Index != tc.index {
+			t.Errorf("got field %q index %d, want %q %d (%v)", ve.Field, ve.Index, tc.field, tc.index, ve)
+		}
+		if ve.Error() == "" || !strings.HasPrefix(ve.Error(), "scenario: ") {
+			t.Errorf("unhelpful message %q", ve.Error())
+		}
+	}
+}
+
+// TestNamedInstances: a custom name carries into the report; Count > 1
+// fans out with -N suffixes.
+func TestNamedInstances(t *testing.T) {
+	s := parse(t, `{
+		"platform": "am57", "seed": 3, "duration_ms": 50,
+		"apps": [
+			{"name": "tracker", "workload": "bodytrack"},
+			{"name": "worker", "workload": "magic", "count": 2}
+		]
+	}`)
+	rep, err := Run(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, a := range rep.Apps {
+		// The kernel suffixes every app with its #ID; the declared name is
+		// the part before it.
+		names = append(names, strings.SplitN(a.Name, "#", 2)[0])
+	}
+	want := []string{"tracker", "worker-0", "worker-1"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("names = %v, want %v", names, want)
 	}
 }

@@ -23,6 +23,7 @@
 package psbox
 
 import (
+	"sort"
 	"strings"
 
 	"psbox/internal/account"
@@ -41,6 +42,7 @@ import (
 	"psbox/internal/kernel/sched"
 	"psbox/internal/meter"
 	"psbox/internal/obs"
+	"psbox/internal/sandbox"
 	"psbox/internal/sim"
 )
 
@@ -217,6 +219,11 @@ type System struct {
 	auditStop  func()
 	audits     uint64
 	extraSnaps []extraSnap
+
+	// sandboxes is the lazily-built session manager (Sandboxes); nil until
+	// first requested, so scenarios that never use it keep their exact
+	// event sequences and checkpoint bytes.
+	sandboxes *sandbox.Manager
 }
 
 // NewSystem assembles a platform from a config.
@@ -430,6 +437,33 @@ func (s *System) Blame(rail string, from, to Time) []obs.Blame {
 	}
 	intervals := obs.IntervalsFromEvents(s.Trace.Events(), rail)
 	return obs.Attribute(samples, s.Meter.Period(), intervals, gaps)
+}
+
+// Sandboxes returns the system's runtime session manager, building it on
+// first use: every metered-usage rail feeds a usage-share blame
+// accountant, and the manager enforces per-session power budgets over
+// their summed attribution. The manager starts with DefaultConfig(10 W);
+// tune via SetConfig before the first Launch. Also registers the manager
+// as the fault layer's sandbox-crash target and as the "sandbox"
+// checkpoint section.
+func (s *System) Sandboxes() *sandbox.Manager {
+	if s.sandboxes == nil {
+		names := make([]string, 0, len(s.Recorders))
+		for name := range s.Recorders {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		accts := make([]*account.Accountant, 0, len(names))
+		for _, name := range names {
+			accts = append(accts, s.Accountant(name, account.PolicyUsageShare))
+		}
+		s.sandboxes = sandbox.NewManager(s.Eng, s.Kernel, s.Sandbox, accts, s.Trace,
+			sandbox.DefaultConfig(10))
+		if s.Faults != nil {
+			s.Faults.RegisterSandbox(s.sandboxes)
+		}
+	}
+	return s.sandboxes
 }
 
 // Accountant builds the baseline comparator over one rail — the "existing

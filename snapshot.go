@@ -65,6 +65,12 @@ func (s *System) registry() *snapshot.Registry {
 		}
 	}
 	reg.AddFuncs("account", snapRecorders, snapshot.VerifyFunc(snapRecorders))
+	if s.sandboxes != nil {
+		// The session manager's section exists only in scenarios that use
+		// it, so the checkpoint wire format of pre-existing scenarios is
+		// unchanged.
+		reg.Add("sandbox", s.sandboxes)
+	}
 	for _, ex := range s.extraSnaps {
 		reg.Add(ex.label, ex.s)
 	}
