@@ -356,6 +356,105 @@ func TestDisabledTracingZeroDrift(t *testing.T) {
 	}
 }
 
+// TestDisabledProfilingZeroDrift proves the energy profiler is free when
+// off: the same traced scenario with and without profiling (including
+// mid-run FoldProfile calls) yields byte-identical simulation outcomes,
+// and a never-enabled profiler accumulates nothing even when FoldProfile
+// is called.
+func TestDisabledProfilingZeroDrift(t *testing.T) {
+	digest := func(profiled bool) string {
+		sys := psbox.NewAM57(7)
+		if profiled {
+			sys.EnableProfiling()
+		} else {
+			sys.EnableTracing()
+		}
+		var app *psbox.App
+		for j := 0; j < 3; j++ {
+			app = workload.Install(sys.Kernel, workload.Calib3D(2, true))
+		}
+		sys.Sandbox.MustCreate(app, psbox.HWCPU).Enter()
+		sys.Run(100 * psbox.Millisecond)
+		sys.FoldProfile() // no-op when profiling is off
+		sys.Run(100 * psbox.Millisecond)
+		sys.FoldProfile()
+		var b strings.Builder
+		b.WriteString(sys.Faults.FormatLog())
+		for _, rail := range sys.Meter.Rails() {
+			fmt.Fprintf(&b, "%s=%.12f\n", rail, sys.Meter.Energy(rail, 0, sys.Now()))
+		}
+		for _, a := range sys.Kernel.Apps() {
+			fmt.Fprintf(&b, "%s=%d\n", a.Name, int64(a.CPUTime()))
+		}
+		for _, bx := range sys.Sandbox.Boxes() {
+			fmt.Fprintf(&b, "box=%.12f\n", bx.Read())
+		}
+		fmt.Fprintf(&b, "trace=%d\n", sys.Trace.Total())
+		return b.String()
+	}
+	on, off := digest(true), digest(false)
+	if on != off {
+		t.Fatalf("profiling perturbed the simulation:\nwith profiling:\n%s\nwithout:\n%s", on, off)
+	}
+	sys := tracedWorkload(7, true, 100*psbox.Millisecond)
+	sys.FoldProfile() // profiler never enabled: folds must not accumulate
+	if sys.Profile.Windows() != 0 || len(sys.Profile.Entries()) != 0 {
+		t.Fatalf("disabled profiler folded %d windows", sys.Profile.Windows())
+	}
+	if sys.Profile.Armed() {
+		t.Fatal("disabled profiler reports armed; checkpoint format would change")
+	}
+}
+
+// TestProfileFoldAccumulates sanity-checks the wired-up fold: a profiled
+// run yields a non-empty tree whose total tracks the non-battery rail
+// energy, the watermark advances, and repeated folds don't double-count.
+func TestProfileFoldAccumulates(t *testing.T) {
+	sys := psbox.NewAM57(7)
+	sys.EnableProfiling()
+	var app *psbox.App
+	for j := 0; j < 3; j++ {
+		app = workload.Install(sys.Kernel, workload.Calib3D(2, true))
+	}
+	sys.Sandbox.MustCreate(app, psbox.HWCPU).Enter()
+	sys.Run(200 * psbox.Millisecond)
+	sys.FoldProfile()
+	entries := sys.Profile.Entries()
+	if len(entries) == 0 {
+		t.Fatal("profiled run produced an empty tree")
+	}
+	var total float64
+	for _, e := range entries {
+		total += e.J
+	}
+	if total <= 0 {
+		t.Fatalf("profile total = %v J", total)
+	}
+	if sys.Profile.Through() != sys.Now() {
+		t.Fatalf("watermark %v, want %v", sys.Profile.Through(), sys.Now())
+	}
+	before := sys.Profile.Windows()
+	sys.FoldProfile() // nothing new to fold
+	if sys.Profile.Windows() != before {
+		t.Fatalf("refold double-counted: %d -> %d windows", before, sys.Profile.Windows())
+	}
+	// The armed profiler joins the checkpoint, and a replay twin verifies.
+	snap := sys.Snapshot()
+	twin := psbox.NewAM57(7)
+	twin.EnableProfiling()
+	var tapp *psbox.App
+	for j := 0; j < 3; j++ {
+		tapp = workload.Install(twin.Kernel, workload.Calib3D(2, true))
+	}
+	twin.Sandbox.MustCreate(tapp, psbox.HWCPU).Enter()
+	twin.Run(200 * psbox.Millisecond)
+	twin.FoldProfile()
+	twin.FoldProfile()
+	if err := twin.Restore(snap); err != nil {
+		t.Fatalf("profiled twin restore: %v", err)
+	}
+}
+
 // BenchmarkVirtualMeterRead measures psbox_read over a long residency
 // history.
 func BenchmarkVirtualMeterRead(b *testing.B) {

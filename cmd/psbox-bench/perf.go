@@ -1,10 +1,11 @@
 // The -perf mode: microbenchmarks over the simulator's hottest paths —
 // the engine's event heap, the meter's sample retrieval, a whole-repo
-// psbox-lint pass, and the sandbox manager's session lifecycle — rendered
-// as events/sec, ns/event, and allocs/event. The committed BENCH_1.json
-// (engine/meter), BENCH_2.json (adds the lint pass), and BENCH_3.json
-// (adds sandbox churn) are the baselines these numbers regress against;
-// rerun with
+// psbox-lint pass, the sandbox manager's session lifecycle, and the
+// observability joins (blame attribution and the energy profiler's fold)
+// — rendered as events/sec, ns/event, and allocs/event. The committed
+// BENCH_1.json (engine/meter), BENCH_2.json (adds the lint pass),
+// BENCH_3.json (adds sandbox churn), and BENCH_4.json (adds the obs
+// joins) are the baselines these numbers regress against; rerun with
 //
 //	go run ./cmd/psbox-bench -perf -json
 //
@@ -24,6 +25,9 @@ import (
 
 	"psbox"
 	"psbox/internal/analysis"
+	"psbox/internal/hw/power"
+	"psbox/internal/obs"
+	"psbox/internal/obs/profile"
 	"psbox/internal/sandbox"
 	"psbox/internal/sim"
 )
@@ -56,6 +60,8 @@ func runPerf(asJSON bool, out io.Writer) {
 		{"meter/sampling", benchMeterSampling},
 		{"lint/whole-repo", benchLintWholeRepo},
 		{"sandbox/churn", benchSandboxChurn},
+		{"obs/blame-join", benchObsBlameJoin},
+		{"obs/profile-fold", benchObsProfileFold},
 	}
 	enc := json.NewEncoder(out)
 	if asJSON {
@@ -238,6 +244,71 @@ func benchSandboxChurn(b *testing.B) {
 		if s.State() != sandbox.StateQuarantined {
 			b.Fatalf("state %v after breaker-1 kill", s.State())
 		}
+	}
+}
+
+// benchTracedRail drives the traced mobile render scenario for 250 ms of
+// sim time and extracts the cpu rail's attribution inputs: DAQ samples,
+// activity spans, dropout gaps, and owner names — the shared setup for
+// the observability-join benchmarks.
+func benchTracedRail(b *testing.B) (sys *psbox.System, samples []power.Sample, period sim.Duration, gaps []obs.Gap) {
+	sys = psbox.NewMobile(1)
+	sys.EnableTracing()
+	app := sys.Kernel.NewApp("bench")
+	app.Spawn("render", 0, psbox.Loop(
+		psbox.Compute{Cycles: 2e6},
+		psbox.SubmitAccel{Dev: "gpu", Kind: "frame", Work: 3e4, DynW: 0.9},
+		psbox.AwaitAccel{Dev: "gpu", MaxBacklog: 2},
+		psbox.Sleep{D: 4 * psbox.Millisecond},
+	))
+	sys.Faults.DropMeterAt(sim.Time(100*sim.Millisecond), "cpu", 2*sim.Millisecond)
+	sys.Run(250 * psbox.Millisecond)
+	samples = sys.Meter.Samples("cpu", 0, sys.Now())
+	if len(samples) == 0 {
+		b.Fatal("traced scenario produced no cpu samples")
+	}
+	for _, w := range sys.Meter.Dropouts("cpu", 0, sys.Now()) {
+		gaps = append(gaps, obs.Gap{From: w.From, To: w.To})
+	}
+	return sys, samples, sys.Meter.Period(), gaps
+}
+
+// benchObsBlameJoin measures the attribution joiner: one op = one DAQ
+// sample window joined against the full span timeline (occupancy split,
+// union coverage, dropout check), rotating over the traced run's
+// precomputed samples.
+func benchObsBlameJoin(b *testing.B) {
+	sys, samples, period, gaps := benchTracedRail(b)
+	intervals := obs.IntervalsFromEvents(sys.Trace.Events(), "cpu")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(samples)
+		_ = obs.Attribute(samples[j:j+1], period, intervals, gaps)
+	}
+}
+
+// benchObsProfileFold measures the energy profiler's fold: one op = one
+// sample window folded into the weighted app → component → rail tree
+// (span selection, per-component occupancy, idle remainder), rotating
+// over the same precomputed samples as obs/blame-join so the two rows
+// compare like for like.
+func benchObsProfileFold(b *testing.B) {
+	sys, samples, period, gaps := benchTracedRail(b)
+	events := sys.Trace.Events()
+	p := profile.New()
+	p.Enable()
+	ownerName := func(id int) string {
+		if id == 0 {
+			return "kernel"
+		}
+		return "bench"
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		j := i % len(samples)
+		p.FoldRail("cpu", samples[j:j+1], period, events, gaps, ownerName)
 	}
 }
 

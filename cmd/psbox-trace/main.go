@@ -75,6 +75,17 @@ func tracedRun(seed uint64, horizon psbox.Duration) *psbox.System {
 	return sys
 }
 
+// ringSummary reports the trace ring's accounting on w (stderr in the
+// CLI, so the deterministic stdout views stay byte-stable): how many
+// events were emitted, how many the ring retained, and the exact count
+// the ring dropped once full. A non-zero dropped count means the
+// timeline's oldest events were truncated — rerun with a longer ring or
+// a shorter horizon if the missing prefix matters.
+func ringSummary(w io.Writer, b *obs.Bus) {
+	fmt.Fprintf(w, "psbox-trace: %d events emitted, %d retained, %d dropped (ring overflow)\n",
+		b.Total(), b.Len(), b.Dropped())
+}
+
 // emitTraced renders the requested views of one traced run onto w.
 func emitTraced(w io.Writer, sys *psbox.System, format string, metrics bool, blameRail string, blameFrom, blameLen psbox.Duration) error {
 	if format != "" {
@@ -140,6 +151,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "psbox-trace:", err)
 			os.Exit(1)
 		}
+		ringSummary(os.Stderr, sys.Trace)
 		return
 	}
 

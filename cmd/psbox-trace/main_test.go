@@ -2,11 +2,14 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
 
 	psbox "psbox"
+	"psbox/internal/obs"
+	"psbox/internal/sim"
 )
 
 // goldenPath resolves a file under the module-root testdata directory.
@@ -59,6 +62,36 @@ func TestTracedGoldens(t *testing.T) {
 					path, len(got), len(want))
 			}
 		})
+	}
+}
+
+// TestRingSummaryExactCounts: the stderr summary must surface the ring's
+// exact accounting, including a non-zero dropped count once the ring
+// overflows — truncation is visible, never silent.
+func TestRingSummaryExactCounts(t *testing.T) {
+	sys := tracedRun(7, 500*psbox.Millisecond)
+	var buf bytes.Buffer
+	ringSummary(&buf, sys.Trace)
+	want := fmt.Sprintf("psbox-trace: %d events emitted, %d retained, %d dropped (ring overflow)\n",
+		sys.Trace.Total(), sys.Trace.Len(), sys.Trace.Dropped())
+	if buf.String() != want {
+		t.Fatalf("summary = %q, want %q", buf.String(), want)
+	}
+	if sys.Trace.Total() == 0 {
+		t.Fatal("traced run emitted no events")
+	}
+
+	// A deliberately tiny ring drops: emitted − retained must be reported
+	// exactly.
+	b := obs.NewBus(sim.NewEngine(), 4)
+	b.Enable()
+	for i := 0; i < 10; i++ {
+		b.Instant(obs.CatSim, "tick", 0, int64(i), "", "")
+	}
+	buf.Reset()
+	ringSummary(&buf, b)
+	if got, want := buf.String(), "psbox-trace: 10 events emitted, 4 retained, 6 dropped (ring overflow)\n"; got != want {
+		t.Fatalf("overflow summary = %q, want %q", got, want)
 	}
 }
 

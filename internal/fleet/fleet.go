@@ -128,6 +128,13 @@ type Config struct {
 	// Chaos, when non-nil, injects the plan's deterministic shard kills,
 	// hangs, and checkpoint corruption.
 	Chaos *Plan
+
+	// Progress, when non-nil, is called after each shard reaches its
+	// terminal outcome with the counts so far. Calls are serialized but
+	// arrive in completion order — host-timing territory — so Progress is
+	// for wall-clock reporting (progress bars, ETAs) only and must never
+	// feed anything back into the run.
+	Progress func(done, quarantined, total int)
 }
 
 func (cfg Config) withDefaults() Config {
@@ -236,6 +243,8 @@ func Run(cfg Config) (*Result, error) {
 	res := &Result{Cfg: cfg, Shards: make([]ShardOutcome, cfg.Shards)}
 	jobs := make(chan int)
 	var wg sync.WaitGroup
+	var progressMu sync.Mutex
+	done, quarantined := 0, 0
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -243,6 +252,15 @@ func Run(cfg Config) (*Result, error) {
 			for shard := range jobs {
 				// Each worker writes only its own shard's slot.
 				res.Shards[shard] = runShard(cfg, shard)
+				if cfg.Progress != nil {
+					progressMu.Lock()
+					done++
+					if res.Shards[shard].Quarantined {
+						quarantined++
+					}
+					cfg.Progress(done, quarantined, cfg.Shards)
+					progressMu.Unlock()
+				}
 			}
 		}()
 	}

@@ -5,6 +5,8 @@ import (
 
 	"psbox"
 	"psbox/internal/faults"
+	"psbox/internal/obs"
+	"psbox/internal/obs/profile"
 	"psbox/internal/sandbox"
 	"psbox/internal/sim"
 )
@@ -18,7 +20,7 @@ import (
 // attempt of a shard rebuilds the identical event sequence.
 func DefaultScenario(shard int, seed uint64, horizon sim.Duration) *psbox.System {
 	sys := psbox.NewMobile(seed)
-	sys.EnableTracing()
+	sys.EnableProfiling()
 	sys.EnableAccelWatchdogs(psbox.DefaultWatchdogConfig())
 
 	vision := sys.Kernel.NewApp("vision")
@@ -70,7 +72,7 @@ func DefaultScenario(shard int, seed uint64, horizon sim.Duration) *psbox.System
 // checkpoint, rebuilds the identical event sequence.
 func ChurnScenario(shard int, seed uint64, horizon sim.Duration) *psbox.System {
 	sys := psbox.NewMobile(seed)
-	sys.EnableTracing()
+	sys.EnableProfiling()
 	mgr := sys.Sandboxes()
 	cfg := sandbox.DefaultConfig(6)
 	cfg.Window = horizon / 20
@@ -165,6 +167,17 @@ type ShardReport struct {
 	Faults      int        // injected faults that fired
 	Audits      uint64     // periodic invariant audits
 	TraceEvents uint64     // total events emitted on the obs bus
+
+	// Metrics is the shard's metrics-registry dump (counters, gauges,
+	// sim-time histograms); the fleet rollup merges these bucket-wise.
+	Metrics *obs.MetricsDump
+
+	// Profile is the shard's folded energy tree in canonical order, with
+	// its window accounting; empty when the scenario never enabled
+	// profiling.
+	Profile         []profile.Entry
+	ProfileWindows  uint64
+	ProfileDegraded uint64
 }
 
 // Summarize renders a finished system into its shard report: sandbox
@@ -176,7 +189,14 @@ func Summarize(sys *psbox.System, from, to sim.Time) *ShardReport {
 		Faults:      len(sys.Faults.Log()),
 		Audits:      sys.Audits(),
 		TraceEvents: sys.Trace.Total(),
+		Metrics:     sys.Trace.DumpMetrics(),
 	}
+	// Fold whatever the profiler hasn't seen yet, then capture the tree.
+	// FoldProfile is a no-op for scenarios that never enabled profiling.
+	sys.FoldProfile()
+	rep.Profile = sys.Profile.Entries()
+	rep.ProfileWindows = sys.Profile.Windows()
+	rep.ProfileDegraded = sys.Profile.Degraded()
 	for _, bx := range sys.Sandbox.Boxes() {
 		direct, est, gaps := bx.ReadDetail()
 		rep.Boxes = append(rep.Boxes, BoxRead{

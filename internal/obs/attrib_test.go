@@ -211,6 +211,99 @@ func TestIntervalsFromEventsFiltersRailAndType(t *testing.T) {
 	}
 }
 
+// Zero-duration intervals — a task that was switched in and immediately
+// out at the same instant, or a span whose clipped extent collapses onto
+// the window edge — contribute no occupancy, never produce NaN shares,
+// and leave the window to whoever actually ran.
+func TestAttributeZeroDurationIntervals(t *testing.T) {
+	lo := sim.Time(100 * sim.Microsecond)
+	samples := []power.Sample{{T: lo, W: 1.0}}
+	intervals := []Interval{
+		{Start: lo.Add(2 * sim.Microsecond), End: lo.Add(2 * sim.Microsecond), Owner: 1}, // zero width
+		{Start: lo.Add(-5 * sim.Microsecond), End: lo, Owner: 2},                         // clips to zero at the window edge
+		{Start: lo, End: lo.Add(period), Owner: 3},                                       // real occupant
+	}
+	blames := Attribute(samples, period, intervals, nil)
+	checkUnity(t, blames)
+	bl := blames[0]
+	if got := share(bl, 1); got != 0 {
+		t.Errorf("zero-duration interval got share %f", got)
+	}
+	if got := share(bl, 2); got != 0 {
+		t.Errorf("edge-clipped interval got share %f", got)
+	}
+	if got := share(bl, 3); math.Abs(got-1.0) > 1e-12 {
+		t.Errorf("occupant share = %f, want 1.0", got)
+	}
+
+	// Only zero-duration intervals: the whole window is idle, and the
+	// fraction arithmetic must not divide by the zero total occupancy.
+	blames = Attribute(samples, period, intervals[:2], nil)
+	checkUnity(t, blames)
+	if got := share(blames[0], 0); math.Abs(got-1.0) > 1e-12 {
+		t.Fatalf("idle share = %f, want 1.0 with only zero-width intervals", got)
+	}
+}
+
+// Dropout-gap boundaries are half-open on both sides: a window that ends
+// exactly where the gap starts, or starts exactly where the gap ends, is
+// clean; one nanosecond of true overlap flags it.
+func TestAttributeSampleOnGapBoundary(t *testing.T) {
+	lo := sim.Time(200 * sim.Microsecond)
+	hi := lo.Add(period)
+	samples := []power.Sample{{T: lo, W: 1.0}}
+	intervals := []Interval{{Start: lo, End: hi, Owner: 1}}
+
+	for _, tc := range []struct {
+		name     string
+		gap      Gap
+		degraded bool
+	}{
+		{"gap starts exactly at window end", Gap{From: hi, To: hi.Add(period)}, false},
+		{"gap ends exactly at window start", Gap{From: lo.Add(-period), To: lo}, false},
+		{"gap overlaps the last nanosecond", Gap{From: hi.Add(-1), To: hi.Add(period)}, true},
+		{"gap overlaps the first nanosecond", Gap{From: lo.Add(-period), To: lo.Add(1)}, true},
+		{"gap swallows the window", Gap{From: lo.Add(-period), To: hi.Add(period)}, true},
+	} {
+		blames := Attribute(samples, period, intervals, []Gap{tc.gap})
+		checkUnity(t, blames)
+		if blames[0].Degraded != tc.degraded {
+			t.Errorf("%s: degraded = %v, want %v", tc.name, blames[0].Degraded, tc.degraded)
+		}
+	}
+}
+
+// A rail with no activity spans at all — a device that never powered a
+// task during the run — attributes every sample wholly to idle, across
+// the whole timeline, degraded flags intact.
+func TestAttributeEmptyIntervalsRail(t *testing.T) {
+	var samples []power.Sample
+	for i := 0; i < 5; i++ {
+		samples = append(samples, power.Sample{T: sim.Time(i) * sim.Time(period), W: 0.25})
+	}
+	gap := Gap{From: sim.Time(2 * period), To: sim.Time(3 * period)}
+	// IntervalsFromEvents on a rail with no matching spans yields nil.
+	ivs := IntervalsFromEvents([]Event{
+		{Type: TypeSpan, T: 0, End: 10, Cat: CatSched, Kind: "run", Owner: 1, Rail: "cpu"},
+	}, "gps")
+	if ivs != nil {
+		t.Fatalf("expected no gps intervals, got %+v", ivs)
+	}
+	blames := Attribute(samples, period, ivs, []Gap{gap})
+	if len(blames) != 5 {
+		t.Fatalf("got %d blames, want 5", len(blames))
+	}
+	checkUnity(t, blames)
+	for i, bl := range blames {
+		if got := share(bl, 0); math.Abs(got-1.0) > 1e-12 {
+			t.Errorf("sample %d: idle share = %f, want 1.0", i, got)
+		}
+		if want := i == 2; bl.Degraded != want {
+			t.Errorf("sample %d: degraded = %v, want %v", i, bl.Degraded, want)
+		}
+	}
+}
+
 func TestWriteBlameStableText(t *testing.T) {
 	blames := []Blame{
 		{T: 1000, W: 2.5, Shares: []Share{{Owner: 0, Frac: 0.25}, {Owner: 1, Frac: 0.75}}},

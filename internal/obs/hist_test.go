@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"testing"
+
+	"psbox/internal/sim"
+)
+
+func TestHistQuantileEmpty(t *testing.T) {
+	var h *Hist
+	if got := h.Quantile(0.5); got != 0 {
+		t.Fatalf("nil hist quantile = %v, want 0", got)
+	}
+	h = &Hist{}
+	if got := h.P50(); got != 0 {
+		t.Fatalf("empty hist p50 = %v, want 0", got)
+	}
+}
+
+// One observation: every quantile lands in its bucket, interpolated from
+// the bucket's lower bound.
+func TestHistQuantileSingleObservation(t *testing.T) {
+	h := &Hist{}
+	h.Observe(5 * sim.Millisecond) // le10ms bucket: (1ms, 10ms]
+	for _, q := range []float64{0, 0.5, 1} {
+		got := h.Quantile(q)
+		if got <= sim.Millisecond || got > 10*sim.Millisecond {
+			t.Errorf("q=%v: %v outside the observation's bucket (1ms, 10ms]", q, got)
+		}
+	}
+}
+
+// A uniform spread over known buckets: the quantiles must walk the
+// cumulative counts in order and interpolate within the right bucket.
+func TestHistQuantileSpread(t *testing.T) {
+	h := &Hist{}
+	// 90 observations in le10us, 9 in le10ms, 1 in le1s.
+	for i := 0; i < 90; i++ {
+		h.Observe(5 * sim.Microsecond)
+	}
+	for i := 0; i < 9; i++ {
+		h.Observe(5 * sim.Millisecond)
+	}
+	h.Observe(500 * sim.Millisecond)
+
+	if got := h.P50(); got > 10*sim.Microsecond {
+		t.Errorf("p50 = %v, want within the le10us bucket", got)
+	}
+	p95 := h.P95()
+	if p95 <= sim.Millisecond || p95 > 10*sim.Millisecond {
+		t.Errorf("p95 = %v, want within (1ms, 10ms]", p95)
+	}
+	// Rank 99 of 100 is still the last le10ms observation; the estimate
+	// may sit on the bucket's closed upper bound.
+	p99 := h.P99()
+	if p99 <= sim.Millisecond || p99 > 10*sim.Millisecond {
+		t.Errorf("p99 = %v, want within (1ms, 10ms]", p99)
+	}
+	// The max (q=1) reaches the le1s bucket.
+	if got := h.Quantile(1); got <= 10*sim.Millisecond || got > sim.Second {
+		t.Errorf("q=1 = %v, want within (10ms, 1s]", got)
+	}
+	// Quantiles are monotone in q.
+	last := sim.Duration(0)
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1} {
+		v := h.Quantile(q)
+		if v < last {
+			t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, last)
+		}
+		last = v
+	}
+}
+
+// Observations beyond the last finite bound clamp to it: bucketed
+// quantiles never invent values above what the histogram can resolve.
+func TestHistQuantileInfBucketClamps(t *testing.T) {
+	h := &Hist{}
+	for i := 0; i < 4; i++ {
+		h.Observe(10 * sim.Second) // +Inf bucket
+	}
+	if got := h.P99(); got != sim.Second {
+		t.Fatalf("p99 in +Inf bucket = %v, want clamp to 1s", got)
+	}
+}
+
+// Out-of-range q values clamp instead of misbehaving.
+func TestHistQuantileClampsQ(t *testing.T) {
+	h := &Hist{}
+	h.Observe(5 * sim.Microsecond)
+	if a, b := h.Quantile(-1), h.Quantile(0); a != b {
+		t.Errorf("q=-1 (%v) != q=0 (%v)", a, b)
+	}
+	if a, b := h.Quantile(2), h.Quantile(1); a != b {
+		t.Errorf("q=2 (%v) != q=1 (%v)", a, b)
+	}
+}
+
+// Merging shard histograms bucket-wise equals observing everything into
+// one histogram — the property the fleet rollup's distributions rely on.
+func TestHistMergeEqualsCombinedObservation(t *testing.T) {
+	a, b, all := &Hist{}, &Hist{}, &Hist{}
+	durs := []sim.Duration{
+		3 * sim.Microsecond, 40 * sim.Microsecond, 700 * sim.Microsecond,
+		2 * sim.Millisecond, 80 * sim.Millisecond, 900 * sim.Millisecond, 3 * sim.Second,
+	}
+	for i, d := range durs {
+		if i%2 == 0 {
+			a.Observe(d)
+		} else {
+			b.Observe(d)
+		}
+		all.Observe(d)
+	}
+	merged := &Hist{}
+	merged.Merge(a)
+	merged.Merge(b)
+	merged.Merge(nil) // no-op
+	if *merged != *all {
+		t.Fatalf("merged %+v != combined %+v", merged, all)
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if merged.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("quantile %v differs after merge", q)
+		}
+	}
+}

@@ -54,6 +54,79 @@ func (h *Hist) observe(d sim.Duration) {
 	h.Sum += d
 }
 
+// Observe records one duration directly into the histogram. It is the
+// bus-free entry point: the fleet rollup feeds per-device quantities
+// through it without needing a live bus.
+func (h *Hist) Observe(d sim.Duration) { h.observe(d) }
+
+// Merge adds o's observations bucket-wise. Fixed bucket bounds make this
+// exact: merging shard histograms then asking for a quantile equals
+// observing every shard's values into one histogram.
+func (h *Hist) Merge(o *Hist) {
+	if o == nil {
+		return
+	}
+	for i := range h.Buckets {
+		h.Buckets[i] += o.Buckets[i]
+	}
+	h.Count += o.Count
+	h.Sum += o.Sum
+}
+
+// Quantile returns the value at fraction q of the distribution (q in
+// [0, 1]), linearly interpolated inside the containing bucket. Bucketed
+// quantiles are estimates with bucket-width resolution — the JetsonLEAP
+// bounded-error discipline: cheap, deterministic, and honest about
+// granularity. Observations in the +Inf bucket clamp to the last finite
+// bound. Returns 0 for an empty histogram.
+func (h *Hist) Quantile(q float64) sim.Duration {
+	if h == nil || h.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum float64
+	for i := 0; i < numBuckets; i++ {
+		n := float64(h.Buckets[i])
+		if n == 0 {
+			continue
+		}
+		if cum+n >= rank {
+			var lower sim.Duration
+			if i > 0 {
+				lower = histBounds[i-1]
+			}
+			upper := histBounds[len(histBounds)-1]
+			if i < len(histBounds) {
+				upper = histBounds[i]
+			}
+			if lower > upper {
+				lower = upper
+			}
+			return lower + sim.Duration(float64(upper-lower)*(rank-cum)/n)
+		}
+		cum += n
+	}
+	return histBounds[len(histBounds)-1]
+}
+
+// P50 is the median estimate.
+func (h *Hist) P50() sim.Duration { return h.Quantile(0.50) }
+
+// P95 is the 95th-percentile estimate.
+func (h *Hist) P95() sim.Duration { return h.Quantile(0.95) }
+
+// P99 is the 99th-percentile estimate.
+func (h *Hist) P99() sim.Duration { return h.Quantile(0.99) }
+
 // Count adds n to a counter.
 func (b *Bus) Count(name string, owner int, rail string, n int64) {
 	if b == nil || !b.enabled {
@@ -126,13 +199,100 @@ func sortKeys[V any](m map[Key]V) []Key {
 	return keys
 }
 
+// MetricsDump is a portable, self-contained copy of a bus's metric state:
+// the currency of the fleet rollup. A shard's dump travels in its report,
+// dumps merge deterministically (Merge), and a dump renders exactly the
+// bytes the live bus would have written (Write). Histograms are copied by
+// value, so a dump is immune to later bus activity.
+type MetricsDump struct {
+	Counters map[Key]int64
+	Gauges   map[Key]float64
+	Hists    map[Key]*Hist
+	Owners   map[int]string
+	Events   uint64 // events ever emitted on the source bus(es)
+	Dropped  uint64 // events the source ring(s) discarded
+}
+
+// NewMetricsDump returns an empty dump ready to merge into.
+func NewMetricsDump() *MetricsDump {
+	return &MetricsDump{
+		Counters: make(map[Key]int64),
+		Gauges:   make(map[Key]float64),
+		Hists:    make(map[Key]*Hist),
+		Owners:   make(map[int]string),
+	}
+}
+
+// DumpMetrics copies the bus's metric registry into a portable dump.
+func (b *Bus) DumpMetrics() *MetricsDump {
+	d := NewMetricsDump()
+	if b == nil {
+		return d
+	}
+	for k, v := range b.counters {
+		d.Counters[k] = v
+	}
+	for k, v := range b.gauges {
+		d.Gauges[k] = v
+	}
+	for k, h := range b.hists {
+		cp := *h
+		d.Hists[k] = &cp
+	}
+	for id, name := range b.owners {
+		d.Owners[id] = name
+	}
+	d.Events = b.seq
+	d.Dropped = b.dropped
+	return d
+}
+
+// Merge folds o into d: counters, histograms, and emission accounting
+// add; gauges add too, making a merged gauge the fleet-wide total of a
+// per-device level (document per metric if a mean is wanted — divide by
+// the device count at render time). Owner names are first-writer-wins;
+// shards built from one scenario register identical tables, so the choice
+// never shows. Merging is commutative except for float gauge addition —
+// callers merge in ascending shard-ID order to fix the summation order.
+func (d *MetricsDump) Merge(o *MetricsDump) {
+	if o == nil {
+		return
+	}
+	for _, k := range sortKeys(o.Counters) {
+		d.Counters[k] += o.Counters[k]
+	}
+	for _, k := range sortKeys(o.Gauges) {
+		d.Gauges[k] += o.Gauges[k]
+	}
+	for _, k := range sortKeys(o.Hists) {
+		h := d.Hists[k]
+		if h == nil {
+			h = &Hist{}
+			d.Hists[k] = h
+		}
+		h.Merge(o.Hists[k])
+	}
+	ids := make([]int, 0, len(o.Owners))
+	for id := range o.Owners {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		if _, ok := d.Owners[id]; !ok {
+			d.Owners[id] = o.Owners[id]
+		}
+	}
+	d.Events += o.Events
+	d.Dropped += o.Dropped
+}
+
 // keyCols renders the owner and rail columns; "-" marks the system-wide
 // defaults so columns stay aligned and grep-able.
-func (b *Bus) keyCols(k Key) (string, string) {
+func (d *MetricsDump) keyCols(k Key) (string, string) {
 	owner := "-"
 	if k.Owner != 0 {
 		owner = fmt.Sprintf("%d", k.Owner)
-		if name := b.owners[k.Owner]; name != "" {
+		if name := d.Owners[k.Owner]; name != "" {
 			owner = fmt.Sprintf("%d:%s", k.Owner, name)
 		}
 	}
@@ -143,35 +303,32 @@ func (b *Bus) keyCols(k Key) (string, string) {
 	return owner, rail
 }
 
-// WriteMetrics emits the canonical metrics report: one sorted line per
-// series, counters then gauges then histograms, closed by the trace
-// accounting footer. Same state, same bytes — the CI observability job
-// diffs this against a committed golden.
-func (b *Bus) WriteMetrics(w io.Writer) error {
-	if b == nil {
-		_, err := fmt.Fprintln(w, "# psbox metrics (no bus)")
-		return err
-	}
+// Write emits the canonical metrics report: one sorted line per series,
+// counters then gauges then histograms, closed by the trace accounting
+// footer. Same state, same bytes — the CI observability job diffs this
+// against a committed golden, and the fleet rollup reuses the exact
+// format for merged registries.
+func (d *MetricsDump) Write(w io.Writer) error {
 	if _, err := fmt.Fprintln(w, "# psbox metrics"); err != nil {
 		return err
 	}
-	for _, k := range sortKeys(b.counters) {
-		owner, rail := b.keyCols(k)
+	for _, k := range sortKeys(d.Counters) {
+		owner, rail := d.keyCols(k)
 		if _, err := fmt.Fprintf(w, "counter %-34s owner=%-14s rail=%-8s %d\n",
-			k.Name, owner, rail, b.counters[k]); err != nil {
+			k.Name, owner, rail, d.Counters[k]); err != nil {
 			return err
 		}
 	}
-	for _, k := range sortKeys(b.gauges) {
-		owner, rail := b.keyCols(k)
+	for _, k := range sortKeys(d.Gauges) {
+		owner, rail := d.keyCols(k)
 		if _, err := fmt.Fprintf(w, "gauge   %-34s owner=%-14s rail=%-8s %.6g\n",
-			k.Name, owner, rail, b.gauges[k]); err != nil {
+			k.Name, owner, rail, d.Gauges[k]); err != nil {
 			return err
 		}
 	}
-	for _, k := range sortKeys(b.hists) {
-		owner, rail := b.keyCols(k)
-		h := b.hists[k]
+	for _, k := range sortKeys(d.Hists) {
+		owner, rail := d.keyCols(k)
+		h := d.Hists[k]
 		if _, err := fmt.Fprintf(w, "hist    %-34s owner=%-14s rail=%-8s count=%d sum=%v",
 			k.Name, owner, rail, h.Count, h.Sum); err != nil {
 			return err
@@ -186,18 +343,28 @@ func (b *Bus) WriteMetrics(w io.Writer) error {
 		}
 	}
 	if _, err := fmt.Fprintf(w, "counter %-34s owner=%-14s rail=%-8s %d\n",
-		"obs.events_total", "-", "-", b.seq); err != nil {
+		"obs.events_total", "-", "-", d.Events); err != nil {
 		return err
 	}
 	if _, err := fmt.Fprintf(w, "counter %-34s owner=%-14s rail=%-8s %d\n",
-		"obs.dropped_events", "-", "-", b.dropped); err != nil {
+		"obs.dropped_events", "-", "-", d.Dropped); err != nil {
 		return err
 	}
-	if b.dropped > 0 {
+	if d.Dropped > 0 {
 		if _, err := fmt.Fprintf(w, "WARNING: trace ring dropped %d events (oldest first); raise the bus capacity to keep them\n",
-			b.dropped); err != nil {
+			d.Dropped); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// WriteMetrics renders the bus's metric state in the canonical report
+// format (see MetricsDump.Write).
+func (b *Bus) WriteMetrics(w io.Writer) error {
+	if b == nil {
+		_, err := fmt.Fprintln(w, "# psbox metrics (no bus)")
+		return err
+	}
+	return b.DumpMetrics().Write(w)
 }

@@ -23,6 +23,7 @@
 package psbox
 
 import (
+	"fmt"
 	"sort"
 	"strings"
 
@@ -42,6 +43,7 @@ import (
 	"psbox/internal/kernel/sched"
 	"psbox/internal/meter"
 	"psbox/internal/obs"
+	"psbox/internal/obs/profile"
 	"psbox/internal/sandbox"
 	"psbox/internal/sim"
 )
@@ -214,6 +216,12 @@ type System struct {
 	// default.
 	Trace *obs.Bus
 
+	// Profile is the sim-time energy profiler: FoldProfile folds meter
+	// samples against trace spans into a weighted app → component → rail
+	// tree (see internal/obs/profile). Disabled (and free) by default;
+	// arm with EnableProfiling.
+	Profile *profile.Profiler
+
 	// Periodic invariant auditing (SetAuditEvery) and scenario-registered
 	// checkpoint sections (RegisterSnapshotter).
 	auditStop  func()
@@ -333,6 +341,7 @@ func NewSystem(cfg PlatformConfig) *System {
 		Invariants: core.NewChecker(sandbox, "battery"),
 		Recorders:  recorders,
 		Trace:      bus,
+		Profile:    profile.New(),
 	}
 }
 
@@ -422,6 +431,50 @@ func (s *System) Now() Time { return s.Eng.Now() }
 // updates) on s.Trace. Tracing costs nothing while off — emission sites
 // are nil-safe no-ops.
 func (s *System) EnableTracing() { s.Trace.Enable() }
+
+// EnableProfiling arms the energy profiler (and the trace bus it reads
+// from): FoldProfile calls from this point on accumulate the weighted
+// energy tree. Profiling costs nothing while off.
+func (s *System) EnableProfiling() {
+	s.Trace.Enable()
+	s.Profile.Enable()
+}
+
+// FoldProfile folds every metered rail's unprocessed sample windows —
+// from the profiler's watermark up to now — against the trace's activity
+// spans, then advances the watermark. Call it whenever the profile should
+// catch up (typically once at the end of a scenario, or per quantum in
+// long runs); repeated calls never double-count. The battery rail is the
+// sum of the others and is skipped, mirroring the blame report.
+func (s *System) FoldProfile() {
+	if !s.Profile.Enabled() {
+		return
+	}
+	now := s.Now()
+	from := s.Profile.Through()
+	events := s.Trace.Events()
+	ownerName := func(id int) string {
+		if id == 0 {
+			return "kernel"
+		}
+		if name := s.Trace.OwnerName(id); name != "" {
+			return name
+		}
+		return fmt.Sprintf("app%d", id)
+	}
+	for _, rail := range s.Meter.Rails() {
+		if rail == "battery" {
+			continue
+		}
+		samples := s.Meter.Samples(rail, from, now)
+		var gaps []obs.Gap
+		for _, w := range s.Meter.Dropouts(rail, from, now) {
+			gaps = append(gaps, obs.Gap{From: w.From, To: w.To})
+		}
+		s.Profile.FoldRail(rail, samples, s.Meter.Period(), events, gaps, ownerName)
+	}
+	s.Profile.Advance(now)
+}
 
 // Blame joins one rail's DAQ samples with the trace's activity spans into
 // the per-sample attribution timeline of the canonical report: for every

@@ -52,6 +52,12 @@ func (s *System) registry() *snapshot.Registry {
 		reg.Add("faults", s.Faults)
 	}
 	reg.Add("obs", s.Trace)
+	if s.Profile.Armed() {
+		// The profiler's section exists only once a scenario has enabled
+		// profiling, so the checkpoint wire format of pre-existing
+		// scenarios is unchanged.
+		reg.Add("obs/profile", s.Profile)
+	}
 	snapRecorders := func(enc *snapshot.Encoder) {
 		names := make([]string, 0, len(s.Recorders))
 		for name := range s.Recorders {
