@@ -4,8 +4,9 @@
 // observability joins (blame attribution and the energy profiler's fold)
 // — rendered as events/sec, ns/event, and allocs/event. The committed
 // BENCH_1.json (engine/meter), BENCH_2.json (adds the lint pass),
-// BENCH_3.json (adds sandbox churn), and BENCH_4.json (adds the obs
-// joins) are the baselines these numbers regress against; rerun with
+// BENCH_3.json (adds sandbox churn), BENCH_4.json (adds the obs joins),
+// and BENCH_5.json (adds the concurrency-contract lint subset) are the
+// baselines these numbers regress against; rerun with
 //
 //	go run ./cmd/psbox-bench -perf -json
 //
@@ -59,6 +60,7 @@ func runPerf(asJSON bool, out io.Writer) {
 		{"engine/heap-mixed-horizon", benchEngineHeapMixed},
 		{"meter/sampling", benchMeterSampling},
 		{"lint/whole-repo", benchLintWholeRepo},
+		{"lint/concurrency", benchLintConcurrency},
 		{"sandbox/churn", benchSandboxChurn},
 		{"obs/blame-join", benchObsBlameJoin},
 		{"obs/profile-fold", benchObsProfileFold},
@@ -155,21 +157,7 @@ func benchEngineHeapMixed(b *testing.B) {
 // correctness showing (any non-zero value means a package re-typechecked
 // with unchanged sources). One op = one whole-repo lint run.
 func benchLintWholeRepo(b *testing.B) {
-	cwd, err := os.Getwd()
-	if err != nil {
-		b.Fatal(err)
-	}
-	root := cwd
-	for {
-		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
-			break
-		}
-		parent := filepath.Dir(root)
-		if parent == root {
-			b.Fatalf("no go.mod found above %s", cwd)
-		}
-		root = parent
-	}
+	root := benchModuleRoot(b)
 	lintPass := func() {
 		loader, err := analysis.NewLoader(root)
 		if err != nil {
@@ -201,6 +189,59 @@ func benchLintWholeRepo(b *testing.B) {
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(analysis.TypeCheckCount()-before)/float64(b.N), "typechecks/op")
+}
+
+// benchModuleRoot walks up from the working directory to the enclosing
+// go.mod — the tree the lint benchmarks run over.
+func benchModuleRoot(b *testing.B) string {
+	cwd, err := os.Getwd()
+	if err != nil {
+		b.Fatal(err)
+	}
+	root := cwd
+	for {
+		if _, err := os.Stat(filepath.Join(root, "go.mod")); err == nil {
+			return root
+		}
+		parent := filepath.Dir(root)
+		if parent == root {
+			b.Fatalf("no go.mod found above %s", cwd)
+		}
+		root = parent
+	}
+}
+
+// benchLintConcurrency measures the concurrency-contract subset — the
+// goroutineconfine spawn/capture model plus locksetatomic's lockset
+// inference — the way CI's `-run goroutineconfine,locksetatomic` job runs
+// it: the whole module loaded (revalidated against the loader's
+// content-hash cache, warmed outside the timer), only the two analyzers
+// executed. One op = one subset pass over every package.
+func benchLintConcurrency(b *testing.B) {
+	root := benchModuleRoot(b)
+	suite := []*analysis.Analyzer{analysis.GoroutineConfine, analysis.LockSetAtomic}
+	lintPass := func() {
+		loader, err := analysis.NewLoader(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pkgs, err := loader.LoadAll()
+		if err != nil {
+			b.Fatal(err)
+		}
+		prog := analysis.NewProgram(pkgs)
+		for _, pkg := range pkgs {
+			if n := len(analysis.RunAnalyzersProgram(prog, pkg, suite)); n != 0 {
+				b.Fatalf("concurrency lint found %d finding(s) in %s; the benchmark tree must be clean", n, pkg.Path)
+			}
+		}
+	}
+	lintPass()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lintPass()
+	}
 }
 
 // benchSandboxChurn measures the session manager's lifecycle machinery:

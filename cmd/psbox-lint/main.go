@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	go run ./cmd/psbox-lint [-json] [-fix] [-diff] [-staleallows=false] [packages]
+//	go run ./cmd/psbox-lint [-json] [-fix] [-diff] [-run <analyzer,...>] [-staleallows=false] [packages]
 //
 // Package patterns (./..., ./internal/..., ./cmd/psbox-lint) select which
 // packages' findings are reported. The whole module containing the working
@@ -27,10 +27,20 @@
 // is no fix to apply — which makes it a CI gate: non-empty output means a
 // mechanically fixable finding was merged).
 //
+// -run restricts the suite to a comma-separated subset of analyzer names
+// (suite order is preserved regardless of the order given), so CI and
+// local loops can run just one pass — e.g. the concurrency contracts:
+//
+//	go run ./cmd/psbox-lint -run goroutineconfine,locksetatomic ./internal/... ./cmd/...
+//
+// An unknown name is an error (exit 2) listing the known analyzers.
+//
 // The staleallows audit runs by default: after the full suite, any
 // //psbox:allow-* directive that suppressed no finding is itself reported
 // (its fix deletes the dead directive). -staleallows=false disables the
-// audit for runs whose narrowed report would make it noisy.
+// audit for runs whose narrowed report would make it noisy; a -run subset
+// disables it too, since staleness is only meaningful against the full
+// suite's findings.
 //
 // Scopes:
 //
@@ -45,6 +55,9 @@
 //	walltaint      — psbox/internal/... (whole-program taint)
 //	unbilledenergy — psbox/internal/... (whole-program pairing)
 //	maporderflow   — every package (whole-program dataflow)
+//	goroutineconfine — every package (whole-program spawn/capture model)
+//	locksetatomic  — every package that uses host concurrency (goroutines
+//	                 or the sync packages); pure sim packages are exempt
 package main
 
 import (
@@ -71,12 +84,23 @@ func run(args []string, stdout, stderr io.Writer) int {
 	applyFix := fs.Bool("fix", false, "apply suggested fixes to the source files in place")
 	diffOut := fs.Bool("diff", false, "print only the unified diff the suggested fixes would apply")
 	stale := fs.Bool("staleallows", true, "audit //psbox:allow-* directives that no longer suppress anything")
+	runSel := fs.String("run", "", "comma-separated analyzer subset to run (default: the full suite)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
+	}
+
+	suite := analysis.All()
+	if *runSel != "" {
+		selected, err := selectAnalyzers(suite, *runSel)
+		if err != nil {
+			fmt.Fprintln(stderr, "psbox-lint:", err)
+			return 2
+		}
+		suite = selected
 	}
 
 	cwd, err := os.Getwd()
@@ -112,19 +136,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if !match(pkg.Dir) {
 			continue
 		}
-		var suite []*analysis.Analyzer
-		for _, a := range analysis.All() {
+		var pkgSuite []*analysis.Analyzer
+		for _, a := range suite {
 			if !analysis.InScope(a, pkg.Path) {
 				continue
 			}
-			suite = append(suite, a)
+			pkgSuite = append(pkgSuite, a)
 		}
-		if *stale {
-			// Staleness is judged against the findings of this same run,
-			// so the audit must be last in the suite.
-			suite = append(suite, analysis.StaleAllows)
+		if *stale && *runSel == "" {
+			// Staleness is judged against the findings of this same run, so
+			// the audit must be last in the suite — and only a full-suite
+			// run can judge it: under a -run subset every other analyzer's
+			// directives would look dead.
+			pkgSuite = append(pkgSuite, analysis.StaleAllows)
 		}
-		report = append(report, analysis.RunAnalyzersProgram(prog, pkg, suite)...)
+		report = append(report, analysis.RunAnalyzersProgram(prog, pkg, pkgSuite)...)
 	}
 
 	if *diffOut || *applyFix {
@@ -142,6 +168,41 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// selectAnalyzers resolves a comma-separated -run value against the full
+// suite, preserving suite order regardless of the order given.
+func selectAnalyzers(all []*analysis.Analyzer, sel string) ([]*analysis.Analyzer, error) {
+	want := make(map[string]bool)
+	for _, name := range strings.Split(sel, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		want[name] = true
+	}
+	var subset []*analysis.Analyzer
+	for _, a := range all {
+		if want[a.Name] {
+			subset = append(subset, a)
+			delete(want, a.Name)
+		}
+	}
+	if len(want) > 0 {
+		var unknown, known []string
+		for name := range want {
+			unknown = append(unknown, name)
+		}
+		sort.Strings(unknown)
+		for _, a := range all {
+			known = append(known, a.Name)
+		}
+		return nil, fmt.Errorf("unknown analyzer %q (known: %s)", unknown[0], strings.Join(known, ", "))
+	}
+	if len(subset) == 0 {
+		return nil, fmt.Errorf("-run selected no analyzers")
+	}
+	return subset, nil
 }
 
 // emitFixes applies (or previews) every suggested fix of the report. Files

@@ -102,6 +102,68 @@ func TestPatternsNarrowTheReport(t *testing.T) {
 	}
 }
 
+func TestRunSubsetTextGolden(t *testing.T) {
+	lintFixture(t)
+	var out bytes.Buffer
+	if code := run([]string{"-run", "nowallclock", "./..."}, &out, new(bytes.Buffer)); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if out.String() != wantTextLine {
+		t.Errorf("stdout = %q, want %q", out.String(), wantTextLine)
+	}
+	// A subset that excludes the violating analyzer reports nothing.
+	out.Reset()
+	if code := run([]string{"-run", "nomathrand,goroutineconfine", "./..."}, &out, new(bytes.Buffer)); code != 0 {
+		t.Fatalf("exit code = %d, want 0; out: %s", code, out.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("stdout = %q, want empty", out.String())
+	}
+}
+
+func TestRunSubsetJSONGolden(t *testing.T) {
+	lintFixture(t)
+	var out bytes.Buffer
+	if code := run([]string{"-json", "-run", "nowallclock", "./..."}, &out, new(bytes.Buffer)); code != 1 {
+		t.Fatalf("exit code = %d, want 1", code)
+	}
+	if out.String() != wantJSONLine {
+		t.Errorf("stdout = %q, want %q", out.String(), wantJSONLine)
+	}
+}
+
+func TestRunUnknownAnalyzerRejected(t *testing.T) {
+	lintFixture(t)
+	var errs bytes.Buffer
+	if code := run([]string{"-run", "nosuch", "./..."}, new(bytes.Buffer), &errs); code != 2 {
+		t.Fatalf("exit code = %d, want 2; stderr: %s", code, errs.String())
+	}
+	if !bytes.Contains(errs.Bytes(), []byte(`unknown analyzer "nosuch" (known: nowallclock,`)) {
+		t.Errorf("stderr = %q, want unknown-analyzer error listing the suite", errs.String())
+	}
+}
+
+func TestRunSubsetSkipsStaleAudit(t *testing.T) {
+	lintFixture(t)
+	waiver := filepath.Join("internal", "ok", "waiver.go")
+	src := `package ok
+
+func Mul(a, b int) int {
+	//psbox:allow-maporder no map loop here anymore
+	return a * b
+}
+`
+	if err := os.WriteFile(waiver, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Under a -run subset every other analyzer's directives would look
+	// dead, so the audit must not run even though it defaults on.
+	var out bytes.Buffer
+	if code := run([]string{"-run", "maporder", "./internal/ok"}, &out, new(bytes.Buffer)); code != 0 || out.Len() != 0 {
+		t.Errorf("subset run: exit=%d stdout=%q, want clean with no stale audit", code, out.String())
+	}
+}
+
 func TestFlagAfterPatternRejected(t *testing.T) {
 	lintFixture(t)
 	var errs bytes.Buffer

@@ -4,7 +4,7 @@
 // The framework mirrors the shape of golang.org/x/tools/go/analysis —
 // an Analyzer holds a name, a doc string, and a Run function over a
 // type-checked package — but is built only on the standard library so the
-// module stays dependency-free. Ten analyzers enforce the simulator's
+// module stays dependency-free. Thirteen analyzers enforce the simulator's
 // determinism, checkpoint, billing, and observability contracts (see
 // DESIGN.md §"Determinism contract", §"Checkpoint/restore" and
 // §"Observability"):
@@ -22,8 +22,14 @@
 //	                 internal/account on every path (whole-program)
 //	maporderflow   — maporder's float-accumulation rule through locals
 //	                 and helper calls (whole-program)
+//	goroutineconfine — confined values (System, snapshot codecs, obs bus,
+//	                 scenario RNG) reachable from at most one goroutine;
+//	                 channel send transfers ownership (whole-program)
+//	locksetatomic  — in host-concurrency packages, inferred mutex/field
+//	                 guards are held on every access; no WaitGroup.Add in
+//	                 the spawned goroutine; no mixed atomic/plain access
 //
-// The last three are interprocedural: they consult a whole-program view —
+// The interprocedural analyzers consult a whole-program view —
 // the cross-package call graph and bottom-up function summaries — carried
 // by a Program and shared across analyzers through its fact cache.
 //
@@ -297,11 +303,11 @@ func (p *Pass) Filename(n ast.Node) string {
 }
 
 // All is the complete suite in stable order. walltaint, unbilledenergy,
-// and maporderflow are interprocedural; when run through RunAnalyzers'
-// single-package wrapper they see a one-package program and degrade to
-// intraprocedural checking.
+// maporderflow, and goroutineconfine are interprocedural; when run through
+// RunAnalyzers' single-package wrapper they see a one-package program and
+// degrade to intraprocedural checking.
 func All() []*Analyzer {
-	return []*Analyzer{NoWallClock, NoMathRand, NoConcurrency, MapOrder, EnergyAccum, SnapshotState, SnapshotDrift, ObsDeterminism, WallTaint, UnbilledEnergy, MapOrderFlow}
+	return []*Analyzer{NoWallClock, NoMathRand, NoConcurrency, MapOrder, EnergyAccum, SnapshotState, SnapshotDrift, ObsDeterminism, WallTaint, UnbilledEnergy, MapOrderFlow, GoroutineConfine, LockSetAtomic}
 }
 
 // obsInstrumented are the package subtrees that emit on the observability

@@ -8,7 +8,11 @@
 //     on a concrete receiver resolve to exactly one node;
 //   - method-set resolution: a call through an interface fans out to the
 //     corresponding method of every named type in the analyzed program
-//     whose method set implements that interface.
+//     whose method set implements that interface;
+//   - bound-method values: a method value on a concrete receiver (s.run
+//     used as a value, handed to a spawn helper or stored for later) adds
+//     an edge to the bound method, since referencing it is the only way it
+//     can later be invoked through the otherwise-unresolved func value.
 //
 // Calls through function values (fields, parameters, closures) and via
 // reflection are not resolved; analyses treat such call sites
@@ -103,21 +107,33 @@ func Build(pkgs []*Package) *Graph {
 				n.Out = append(n.Out, callee)
 			}
 		}
+		// Selector expressions that are a call's Fun are dispatch, handled
+		// below; any other MethodVal selector is a bound-method value.
+		callFuns := make(map[ast.Expr]bool)
 		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
-			call, ok := x.(*ast.CallExpr)
-			if !ok {
-				return true
+			if call, ok := x.(*ast.CallExpr); ok {
+				callFuns[ast.Unparen(call.Fun)] = true
 			}
-			if fn := StaticCallee(n.Pkg.Info, call); fn != nil {
-				add(g.nodes[fn])
-				return true
-			}
-			if iface, name := interfaceCall(n.Pkg.Info, call); iface != nil {
-				for _, t := range concrete {
-					impl := implementer(t, iface, name)
-					if impl != nil {
-						add(g.nodes[impl])
+			return true
+		})
+		ast.Inspect(n.Decl.Body, func(x ast.Node) bool {
+			switch x := x.(type) {
+			case *ast.CallExpr:
+				if fn := StaticCallee(n.Pkg.Info, x); fn != nil {
+					add(g.nodes[fn])
+					return true
+				}
+				if iface, name := interfaceCall(n.Pkg.Info, x); iface != nil {
+					for _, t := range concrete {
+						impl := implementer(t, iface, name)
+						if impl != nil {
+							add(g.nodes[impl])
+						}
 					}
+				}
+			case *ast.SelectorExpr:
+				if !callFuns[x] {
+					add(g.nodes[BoundMethod(n.Pkg.Info, x)])
 				}
 			}
 			return true
@@ -151,6 +167,26 @@ func StaticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
 		}
 	}
 	return nil
+}
+
+// BoundMethod resolves a method-value expression — a selector like s.run
+// used as a value rather than called — to the concrete declared method it
+// binds, or nil for non-selectors, field selections, and interface
+// receivers (whose binding is dynamic).
+func BoundMethod(info *types.Info, e ast.Expr) *types.Func {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	s, ok := info.Selections[sel]
+	if !ok || s.Kind() != types.MethodVal || types.IsInterface(s.Recv()) {
+		return nil
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok {
+		return nil
+	}
+	return fn.Origin()
 }
 
 // interfaceCall reports the interface type and method name of a dynamic

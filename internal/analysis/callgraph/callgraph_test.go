@@ -137,6 +137,38 @@ func Use(t *T)     { t.Do() }
 	}
 }
 
+func TestBoundMethodValueEdge(t *testing.T) {
+	// A method value handed to a spawn helper (spawn(s.run), go s.run())
+	// never appears as a call's Fun, but referencing it is the only way it
+	// can later run — the graph records the edge to the bound method.
+	pkgs := check(t, []string{"m"}, map[string]string{
+		"m": `package m
+type S struct{}
+func (s *S) run()     {}
+func (s *S) helper()  {}
+func spawn(f func())  { go f() }
+func Use(s *S)        { spawn(s.run) }
+func Call(s *S)       { s.helper() }
+`,
+	})
+	g := Build(pkgs)
+	use := find(t, g, "m", "Use")
+	run := find(t, g, "m", "S.run")
+	call := find(t, g, "m", "Call")
+	helper := find(t, g, "m", "S.helper")
+	if !calls(use, run) {
+		t.Error("missing bound-method edge Use → S.run for the method value spawn(s.run)")
+	}
+	if !calls(use, find(t, g, "m", "spawn")) {
+		t.Error("missing static edge Use → spawn")
+	}
+	// A plain method call must stay a single dispatch edge, not double up
+	// through the bound-method path.
+	if n := len(call.Out); n != 1 || !calls(call, helper) {
+		t.Errorf("Call should have exactly the dispatch edge to S.helper, got %d edges", n)
+	}
+}
+
 func TestInterfaceFanOut(t *testing.T) {
 	pkgs := check(t, []string{"i", "impl", "use"}, map[string]string{
 		"i": `package i

@@ -302,6 +302,62 @@ func TestSelectClauses(t *testing.T) {
 	}
 }
 
+func TestSelectWithDefault(t *testing.T) {
+	// Every arm — both comm clauses and the default — calls b, so b is
+	// reached on every path.
+	g := New(parse(t, `func f(c chan int) {
+		select {
+		case <-c:
+			b()
+		default:
+			b()
+		}
+	}`))
+	if !mustReach(g, g.Entry, "b") {
+		t.Error("both the comm clause and the default call b")
+	}
+	// An empty default arm makes the select non-blocking: the comm
+	// clause's call is optional.
+	g = New(parse(t, `func f(c chan int) {
+		select {
+		case <-c:
+			b()
+		default:
+		}
+		d()
+	}`))
+	if mustReach(g, g.Entry, "b") {
+		t.Error("the empty default arm skips b")
+	}
+	if !mustReach(g, g.Entry, "d") {
+		t.Error("all select arms fall through to d")
+	}
+}
+
+func TestGoInsideDefer(t *testing.T) {
+	// A goroutine spawned from a deferred function literal: the literal's
+	// body is opaque to this function's flow, but the defer itself is
+	// collected — the shape the spawn-site discovery walks into.
+	g := New(parse(t, `func f() {
+		defer func() {
+			go b()
+		}()
+		d()
+	}`))
+	if mustReach(g, g.Entry, "b") {
+		t.Error("calls inside the deferred literal's goroutine are not this function's flow")
+	}
+	if !mustReach(g, g.Entry, "d") {
+		t.Error("the defer statement falls through to d")
+	}
+	if len(g.Defers) != 1 {
+		t.Fatalf("want 1 collected defer, got %d", len(g.Defers))
+	}
+	if _, ok := g.Defers[0].Fun.(*ast.FuncLit); !ok {
+		t.Errorf("deferred call should be the function literal, got %T", g.Defers[0].Fun)
+	}
+}
+
 func TestGotoForward(t *testing.T) {
 	g := New(parse(t, `func f(x bool) {
 		if x { goto done }

@@ -1,0 +1,13 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"psbox/internal/analysis"
+	"psbox/internal/analysis/analysistest"
+)
+
+func TestGoroutineConfine(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.GoroutineConfine,
+		"goroutineconfine/...", "psbox")
+}

@@ -1,0 +1,528 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+
+	"psbox/internal/analysis/cfg"
+)
+
+// LockSetAtomic polices the packages that escaped noconcurrency — the
+// ones that legitimately use host concurrency — with three checks:
+//
+//  1. Guard inference: a struct field whose accesses mostly happen while a
+//     mutex field of the same struct is held is inferred to be guarded by
+//     that mutex (strict majority over at least two accesses); each access
+//     that does not hold the inferred guard is reported. Accesses on an
+//     unpublished receiver — a local freshly built from a composite
+//     literal in the same function — are exempt, the usual constructor
+//     pattern.
+//  2. sync.WaitGroup.Add inside a spawned goroutine races the spawner's
+//     Wait and is reported; Add belongs before the go statement.
+//  3. Mixed access: a cell touched through sync/atomic functions anywhere
+//     in the package must never be read or written plainly — atomic and
+//     plain access to the same cell is exactly the data race the atomics
+//     were bought to prevent. Typed atomics (atomic.Int64 and friends)
+//     cannot be accessed plainly and need no check.
+//
+// The lockset analysis is a forward must-analysis over the statement CFG:
+// Lock/RLock adds the mutex cell, Unlock/RUnlock removes it, joins
+// intersect, and a Lock behind a short-circuit condition does not count.
+// Deferred unlocks run at function exit and do not release within the
+// body. Each function literal is analyzed as its own unit, since its body
+// runs under its caller's — often another goroutine's — lockset, not the
+// spawner's.
+var LockSetAtomic = &Analyzer{
+	Name: "locksetatomic",
+	Doc: `within packages that use host concurrency, infer which mutex
+guards which struct fields (majority of accesses hold it), then report
+accesses without the guard, sync.WaitGroup.Add inside the spawned
+goroutine, and mixed atomic/plain access to the same cell.`,
+	Run: runLockSetAtomic,
+}
+
+// lsFieldKey names one struct field cell: the declaring named type plus
+// the field.
+type lsFieldKey struct {
+	tn    *types.TypeName
+	field string
+}
+
+// lsAccess is one plain read or write of a struct field.
+type lsAccess struct {
+	pos    token.Pos
+	key    lsFieldKey
+	held   map[string]bool // sibling mutex fields held at the access
+	exempt bool            // unpublished constructor-local receiver
+}
+
+func runLockSetAtomic(pass *Pass) {
+	if !hasHostConcurrency(pass.Files) {
+		return
+	}
+	masks := spawnMasks(pass.Prog)
+
+	// Pass 1: cells accessed through sync/atomic package functions, and
+	// the &cell argument expressions (excluded from the plain-access walk).
+	atomicFields := make(map[lsFieldKey]token.Pos)
+	atomicVars := make(map[types.Object]token.Pos)
+	atomicArgs := make(map[ast.Expr]bool)
+	forEachFuncDecl(pass.Files, func(fd *ast.FuncDecl) {
+		collectAtomicOps(pass, fd, atomicFields, atomicVars, atomicArgs)
+	})
+
+	// Pass 2: plain field accesses with their locksets, plus the
+	// WaitGroup.Add placement check.
+	var accesses []lsAccess
+	forEachFuncDecl(pass.Files, func(fd *ast.FuncDecl) {
+		collectAccesses(pass, fd, atomicArgs, &accesses)
+		checkWaitGroupAdd(pass, fd, masks)
+		reportPlainAtomicVarUses(pass, fd, atomicVars, atomicArgs)
+	})
+
+	// Guard inference: per field, the mutex held at the strict majority of
+	// non-exempt accesses (ties broken by name for determinism).
+	totals := make(map[lsFieldKey]int)
+	counts := make(map[lsFieldKey]map[string]int)
+	for _, a := range accesses {
+		if a.exempt {
+			continue
+		}
+		totals[a.key]++
+		for m := range a.held {
+			if counts[a.key] == nil {
+				counts[a.key] = make(map[string]int)
+			}
+			counts[a.key][m]++
+		}
+	}
+	guards := make(map[lsFieldKey]string)
+	guardN := make(map[lsFieldKey]int)
+	for key, byMutex := range counts {
+		names := make([]string, 0, len(byMutex))
+		for m := range byMutex {
+			names = append(names, m)
+		}
+		sort.Strings(names)
+		for _, m := range names {
+			if n := byMutex[m]; n > guardN[key] {
+				guards[key], guardN[key] = m, n
+			}
+		}
+		if n := guardN[key]; n < 2 || n*2 <= totals[key] {
+			delete(guards, key)
+			delete(guardN, key)
+		}
+	}
+
+	for _, a := range accesses {
+		if !a.exempt {
+			if m, ok := guards[a.key]; ok && !a.held[m] {
+				pass.Reportf(a.pos,
+					"field %s.%s is guarded by %s.%s on %d of %d accesses but is accessed here without holding it",
+					a.key.tn.Name(), a.key.field, a.key.tn.Name(), m, guardN[a.key], totals[a.key])
+			}
+		}
+		if ap, ok := atomicFields[a.key]; ok {
+			pass.Reportf(a.pos,
+				"plain access to %s.%s, which is accessed with sync/atomic at line %d; mixed atomic and plain access to the same cell is racy",
+				a.key.tn.Name(), a.key.field, pass.Fset.Position(ap).Line)
+		}
+	}
+}
+
+// hasHostConcurrency reports whether the package spawns goroutines or
+// imports the sync packages — the gate that keeps this analyzer out of the
+// single-threaded simulator tree.
+func hasHostConcurrency(files []*ast.File) bool {
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil && (p == "sync" || p == "sync/atomic") {
+				return true
+			}
+		}
+		spawns := false
+		ast.Inspect(f, func(n ast.Node) bool {
+			if _, ok := n.(*ast.GoStmt); ok {
+				spawns = true
+			}
+			return !spawns
+		})
+		if spawns {
+			return true
+		}
+	}
+	return false
+}
+
+func forEachFuncDecl(files []*ast.File, fn func(*ast.FuncDecl)) {
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				fn(fd)
+			}
+		}
+	}
+}
+
+// collectAtomicOps records every cell passed by address to a sync/atomic
+// function (atomic.AddInt64(&s.n, 1), atomic.LoadUint32(&flag), ...).
+func collectAtomicOps(pass *Pass, fd *ast.FuncDecl, fields map[lsFieldKey]token.Pos, vars map[types.Object]token.Pos, args map[ast.Expr]bool) {
+	forEachCall(fd.Body, func(call *ast.CallExpr) {
+		name, ok := qualifiedName(pass.Info, call.Fun, "sync/atomic")
+		if !ok || len(call.Args) == 0 {
+			return
+		}
+		switch {
+		case strings.HasPrefix(name, "Add"), strings.HasPrefix(name, "Load"),
+			strings.HasPrefix(name, "Store"), strings.HasPrefix(name, "Swap"),
+			strings.HasPrefix(name, "CompareAndSwap"):
+		default:
+			return
+		}
+		arg := call.Args[0]
+		args[arg] = true
+		un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+		if !ok || un.Op != token.AND {
+			return
+		}
+		switch target := ast.Unparen(un.X).(type) {
+		case *ast.SelectorExpr:
+			if key, ok := fieldKeyOf(pass, target); ok {
+				if _, seen := fields[key]; !seen {
+					fields[key] = call.Pos()
+				}
+			}
+		case *ast.Ident:
+			if o := pass.Info.Uses[target]; o != nil {
+				if _, seen := vars[o]; !seen {
+					vars[o] = call.Pos()
+				}
+			}
+		}
+	})
+}
+
+// fieldKeyOf resolves a selector to the (named type, field) cell it
+// addresses, for types declared in the analyzed package. sync-typed
+// fields (mutexes, wait groups, typed atomics) are infrastructure, not
+// guarded data, and resolve to nothing.
+func fieldKeyOf(pass *Pass, sel *ast.SelectorExpr) (lsFieldKey, bool) {
+	s, ok := pass.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return lsFieldKey{}, false
+	}
+	fieldVar, ok := s.Obj().(*types.Var)
+	if !ok || syncSideType(fieldVar.Type()) {
+		return lsFieldKey{}, false
+	}
+	tn := namedOf(s.Recv())
+	if tn == nil || tn.Pkg() != pass.Pkg {
+		return lsFieldKey{}, false
+	}
+	return lsFieldKey{tn: tn, field: fieldVar.Name()}, true
+}
+
+// namedOf unwraps pointers and aliases to a named type's name object.
+func namedOf(t types.Type) *types.TypeName {
+	for i := 0; i < 8; i++ {
+		t = types.Unalias(t)
+		p, ok := t.(*types.Pointer)
+		if !ok {
+			break
+		}
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}
+
+// syncSideType reports whether a type belongs to sync or sync/atomic —
+// synchronization infrastructure rather than guarded data.
+func syncSideType(t types.Type) bool {
+	tn := namedOf(t)
+	if tn == nil || tn.Pkg() == nil {
+		return false
+	}
+	p := tn.Pkg().Path()
+	return p == "sync" || p == "sync/atomic"
+}
+
+// collectAccesses walks fd and each function literal inside it as separate
+// lockset units (a literal's body runs under its caller's lockset, not its
+// definition site's) and records every plain struct-field access with the
+// mutex fields held at it.
+func collectAccesses(pass *Pass, fd *ast.FuncDecl, atomicArgs map[ast.Expr]bool, out *[]lsAccess) {
+	exempt := constructorLocals(pass.Info, fd)
+	units := []*ast.BlockStmt{fd.Body}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			units = append(units, lit.Body)
+		}
+		return true
+	})
+	for _, body := range units {
+		g := cfg.New(body)
+		entry := lockStates(pass.Info, g)
+		for _, b := range g.Blocks {
+			held := cloneCells(entry[b])
+			for _, n := range b.Nodes {
+				if _, ok := n.(*ast.DeferStmt); ok {
+					continue // deferred unlocks release at exit, not here
+				}
+				recordAccesses(pass, n, held, exempt, atomicArgs, out)
+				applyLockOps(pass.Info, n, held)
+			}
+		}
+	}
+}
+
+// lockStates computes the must-held lockset at each block's entry: forward
+// flow, intersection at joins, starting empty at Entry.
+func lockStates(info *types.Info, g *cfg.Graph) map[*cfg.Block]map[gorCell]bool {
+	in := make(map[*cfg.Block]map[gorCell]bool, len(g.Blocks))
+	in[g.Entry] = map[gorCell]bool{}
+	work := []*cfg.Block{g.Entry}
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		out := cloneCells(in[b])
+		for _, n := range b.Nodes {
+			if _, ok := n.(*ast.DeferStmt); ok {
+				continue
+			}
+			applyLockOps(info, n, out)
+		}
+		for _, s := range b.Succs {
+			cur, seen := in[s]
+			if !seen {
+				in[s] = cloneCells(out)
+				work = append(work, s)
+				continue
+			}
+			changed := false
+			for c := range cur {
+				if !out[c] {
+					delete(cur, c)
+					changed = true
+				}
+			}
+			if changed {
+				work = append(work, s)
+			}
+		}
+	}
+	return in
+}
+
+func cloneCells(m map[gorCell]bool) map[gorCell]bool {
+	out := make(map[gorCell]bool, len(m))
+	for c := range m {
+		out[c] = true
+	}
+	return out
+}
+
+// applyLockOps updates the held set with the node's Lock/Unlock calls. A
+// lock acquired behind a short-circuit condition is not a sure
+// acquisition; a conditional unlock still kills (must-analysis rounds
+// toward "not held").
+func applyLockOps(info *types.Info, n ast.Node, held map[gorCell]bool) {
+	cfg.CallsIn(n, func(call *ast.CallExpr, conditional bool) {
+		cell, locks, ok := mutexOp(info, call)
+		if !ok {
+			return
+		}
+		if locks {
+			if !conditional {
+				held[cell] = true
+			}
+		} else {
+			delete(held, cell)
+		}
+	})
+}
+
+// mutexOp recognizes sync.Mutex/RWMutex Lock/RLock (locks=true) and
+// Unlock/RUnlock (locks=false) calls and resolves the mutex cell.
+func mutexOp(info *types.Info, call *ast.CallExpr) (gorCell, bool, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return gorCell{}, false, false
+	}
+	var locks bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		locks = true
+	case "Unlock", "RUnlock":
+	default:
+		return gorCell{}, false, false
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return gorCell{}, false, false
+	}
+	fn, ok := s.Obj().(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return gorCell{}, false, false
+	}
+	cell, ok := gorCellOf(info, sel.X)
+	if !ok {
+		return gorCell{}, false, false
+	}
+	return cell, locks, true
+}
+
+// recordAccesses collects the node's plain struct-field accesses with the
+// sibling mutex fields held at that point. Function literals are their own
+// lockset units and atomic-call arguments their own access class; both are
+// skipped here.
+func recordAccesses(pass *Pass, n ast.Node, held map[gorCell]bool, exempt map[types.Object]bool, atomicArgs map[ast.Expr]bool, out *[]lsAccess) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if _, ok := x.(*ast.FuncLit); ok {
+			return false
+		}
+		if e, ok := x.(ast.Expr); ok && atomicArgs[e] {
+			return false
+		}
+		sel, ok := x.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		key, ok := fieldKeyOf(pass, sel)
+		if !ok {
+			return true
+		}
+		base, ok := gorCellOf(pass.Info, sel.X)
+		if !ok {
+			return true
+		}
+		guards := make(map[string]bool)
+		for hc := range held {
+			if hc.root != base.root {
+				continue
+			}
+			if rest, ok := strings.CutPrefix(hc.path, base.path+"."); ok && !strings.Contains(rest, ".") {
+				guards[rest] = true
+			}
+		}
+		*out = append(*out, lsAccess{
+			pos:    sel.Pos(),
+			key:    key,
+			held:   guards,
+			exempt: exempt[base.root],
+		})
+		return true
+	})
+}
+
+// constructorLocals collects locals assigned from a composite literal (or
+// its address) inside fd: receivers still under construction, not yet
+// published to any other goroutine.
+func constructorLocals(info *types.Info, fd *ast.FuncDecl) map[types.Object]bool {
+	set := make(map[types.Object]bool)
+	mark := func(lhs, rhs ast.Expr) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok || !compositeAlloc(rhs) {
+			return
+		}
+		if o := info.Defs[id]; o != nil {
+			set[o] = true
+		} else if o := info.Uses[id]; o != nil {
+			set[o] = true
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if i < len(n.Rhs) {
+					mark(lhs, n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					mark(name, n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return set
+}
+
+func compositeAlloc(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			_, ok := ast.Unparen(x.X).(*ast.CompositeLit)
+			return ok
+		}
+	}
+	return false
+}
+
+// checkWaitGroupAdd reports sync.WaitGroup.Add calls inside spawned
+// goroutine bodies: by the time the goroutine runs Add, the spawner may
+// already be past Wait.
+func checkWaitGroupAdd(pass *Pass, fd *ast.FuncDecl, masks map[*types.Func]uint64) {
+	for _, site := range spawnSitesIn(pass.Info, fd.Body, masks) {
+		for _, lit := range site.lits {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "Add" {
+					return true
+				}
+				s, ok := pass.Info.Selections[sel]
+				if !ok {
+					return true
+				}
+				if fn, ok := s.Obj().(*types.Func); ok && fn.Pkg() != nil && fn.Pkg().Path() == "sync" {
+					pass.Reportf(call.Pos(),
+						"sync.WaitGroup.Add inside the spawned goroutine races the spawner's Wait; call Add before the go statement")
+				}
+				return true
+			})
+		}
+	}
+}
+
+// reportPlainAtomicVarUses flags plain identifier uses of variables that
+// are elsewhere accessed through sync/atomic functions.
+func reportPlainAtomicVarUses(pass *Pass, fd *ast.FuncDecl, atomicVars map[types.Object]token.Pos, atomicArgs map[ast.Expr]bool) {
+	if len(atomicVars) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && atomicArgs[e] {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		o := pass.Info.Uses[id]
+		if o == nil {
+			return true
+		}
+		if ap, ok := atomicVars[o]; ok {
+			pass.Reportf(id.Pos(),
+				"plain access to %s, which is accessed with sync/atomic at line %d; mixed atomic and plain access to the same cell is racy",
+				id.Name, pass.Fset.Position(ap).Line)
+		}
+		return true
+	})
+}

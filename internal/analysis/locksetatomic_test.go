@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"psbox/internal/analysis"
+	"psbox/internal/analysis/analysistest"
+)
+
+func TestLockSetAtomic(t *testing.T) {
+	analysistest.Run(t, "testdata/src", analysis.LockSetAtomic, "locksetatomic/...")
+}

@@ -1,0 +1,111 @@
+// Package a exercises goroutineconfine: seed-listed (*psbox.System) and
+// marker-declared (Engine) confined values captured by goroutines or sent
+// on channels, plus the clean ownership-transfer patterns the analyzer
+// must accept.
+package a
+
+import (
+	"psbox"
+
+	"goroutineconfine/b"
+)
+
+// Engine is confined by marker rather than by the seed list.
+//
+//psbox:confined
+type Engine struct{ steps int }
+
+// Step advances the engine.
+func (e *Engine) Step() { e.steps++ }
+
+// Two goroutines capturing the same System: the second spawn is the
+// violation.
+func twoCaptures() {
+	sys := &psbox.System{}
+	go func() { sys.Run(1) }()
+	go func() { sys.Run(2) }() // want `confined psbox\.System sys is captured by two goroutines \(spawned at line \d+ and line \d+\)`
+}
+
+// One syntactic spawn site, but inside a loop over a value declared
+// outside it: every iteration's goroutine shares the System.
+func spawnInLoop(n int) {
+	sys := &psbox.System{}
+	for i := 0; i < n; i++ {
+		go func() { sys.Run(1) }() // want `goroutine spawned in a loop captures confined psbox\.System sys declared outside the loop`
+	}
+}
+
+// The spawner keeps using the System after the method-value spawn handed
+// it to the goroutine.
+func useAfterHandoff() {
+	sys := &psbox.System{}
+	go sys.Run(1)
+	sys.Run(2) // want `confined psbox\.System sys is used by the spawner after being handed to the goroutine spawned at line \d+`
+}
+
+// A channel send transfers ownership; the spawner must not touch the
+// value afterwards.
+func sendAway(ch chan *psbox.System) {
+	sys := &psbox.System{}
+	ch <- sys
+	sys.Run(1) // want `confined psbox\.System sys is used after being sent away on a channel at line \d+`
+}
+
+// Handing off twice: spawned, then sent away again.
+func spawnThenSend(ch chan *psbox.System) {
+	sys := &psbox.System{}
+	go sys.Run(1)
+	ch <- sys // want `confined psbox\.System sys is handed off at line \d+ after its ownership was already transferred at line \d+`
+}
+
+// Captured through a spawn helper instead of a go statement.
+func viaHelper() {
+	e := &Engine{}
+	b.Go(func() { e.Step() })
+	e.Step() // want `confined a\.Engine e is used by the spawner after being handed to the goroutine spawned at line \d+`
+}
+
+// The transitive helper chain still counts as spawning.
+func viaChain() {
+	e := &Engine{}
+	b.Chain(func() { e.Step() })
+	b.Chain(func() { e.Step() }) // want `confined a\.Engine e is captured by two goroutines \(spawned at line \d+ and line \d+\)`
+}
+
+// A bound method value handed to a spawn helper captures its receiver.
+func methodValue() {
+	e := &Engine{}
+	b.Go(e.Step)
+	e.steps = 0 // want `confined a\.Engine e is used by the spawner after being handed to the goroutine spawned at line \d+`
+}
+
+// A go statement inside a deferred function literal is still a spawn site.
+func spawnInDefer() {
+	sys := &psbox.System{}
+	defer func() { go sys.Run(1) }()
+	go sys.Run(2) // want `confined psbox\.System sys is captured by two goroutines \(spawned at line \d+ and line \d+\)`
+}
+
+// Clean: each iteration's goroutine builds its own System — the
+// per-attempt-construction pattern the fleet layer uses.
+func perAttempt(n int) {
+	for i := 0; i < n; i++ {
+		go func() {
+			sys := &psbox.System{}
+			sys.Run(int64(i))
+		}()
+	}
+}
+
+// Clean: uses complete before the send; the transfer is the last touch.
+func useThenSend(ch chan *psbox.System) {
+	sys := &psbox.System{}
+	sys.Run(1)
+	ch <- sys
+}
+
+// Clean: receiving from a channel takes ownership.
+func receiveOwnership(ch chan *psbox.System) {
+	sys := <-ch
+	sys.Run(1)
+}

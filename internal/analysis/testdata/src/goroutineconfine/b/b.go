@@ -1,0 +1,10 @@
+// Package b provides spawn helpers for the goroutineconfine fixtures: Go
+// spawns directly, Chain through one more hop, so the fixtures exercise
+// the transitive spawn-mask fixpoint over the call graph.
+package b
+
+// Go runs f on its own goroutine.
+func Go(f func()) { go f() }
+
+// Chain forwards to Go: a wrapper of a wrapper of a go statement.
+func Chain(f func()) { Go(f) }

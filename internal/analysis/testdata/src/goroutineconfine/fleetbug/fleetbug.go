@@ -1,0 +1,49 @@
+// Package fleetbug reproduces a real bug shape from the fleet
+// supervisor's retry loop: a System built once before the loop and
+// captured by every attempt's goroutine, so a timed-out attempt's
+// still-running goroutine and the retry's fresh goroutine share one
+// simulator — exactly the cross-goroutine capture the shard watchdog
+// narrowly avoids by rebuilding per attempt (superviseFixed).
+package fleetbug
+
+import "psbox"
+
+type result struct{ ok bool }
+
+// supervise is the buggy shape: one System outlives every retry.
+func supervise(build func() *psbox.System, attempts int) result {
+	sys := build()
+	done := make(chan result, 1)
+	for try := 0; try < attempts; try++ {
+		go func() { // want `goroutine spawned in a loop captures confined psbox\.System sys declared outside the loop`
+			sys.Run(1)
+			done <- result{ok: true}
+		}()
+		select {
+		case r := <-done:
+			return r
+		default:
+		}
+	}
+	return result{}
+}
+
+// superviseFixed builds the System inside the attempt goroutine, so a
+// hung attempt's goroutine owns its own simulator and the retry starts
+// clean.
+func superviseFixed(build func() *psbox.System, attempts int) result {
+	done := make(chan result, 1)
+	for try := 0; try < attempts; try++ {
+		go func() {
+			sys := build()
+			sys.Run(1)
+			done <- result{ok: true}
+		}()
+		select {
+		case r := <-done:
+			return r
+		default:
+		}
+	}
+	return result{}
+}

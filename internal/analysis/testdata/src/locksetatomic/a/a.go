@@ -1,0 +1,135 @@
+// Package a exercises locksetatomic: majority-inferred mutex/field
+// guards (including through deferred unlocks and RWMutexes), the
+// constructor exemption, WaitGroup.Add placement, and mixed atomic/plain
+// access to fields and package-level variables.
+package a
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// counter.n is held under mu on two of three accesses — the majority
+// infers counter.mu as its guard.
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) incr() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// A deferred unlock releases at exit, not mid-body: the access below it
+// still counts as guarded.
+func (c *counter) incrDeferred() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+func (c *counter) peek() int {
+	return c.n // want `field counter\.n is guarded by counter\.mu on 2 of 3 accesses but is accessed here without holding it`
+}
+
+// Clean: a receiver still under construction is unpublished — no guard
+// needed, and the access does not dilute the majority.
+func newCounter(start int) *counter {
+	c := &counter{}
+	c.n = start
+	return c
+}
+
+// RWMutex: RLock counts as holding the guard too.
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+func (t *table) get(k string) int {
+	t.mu.RLock()
+	v := t.m[k]
+	t.mu.RUnlock()
+	return v
+}
+
+func (t *table) put(k string, v int) {
+	t.mu.Lock()
+	t.m[k] = v
+	t.mu.Unlock()
+}
+
+func (t *table) size() int {
+	return len(t.m) // want `field table\.m is guarded by table\.mu on 2 of 3 accesses but is accessed here without holding it`
+}
+
+// A goroutine body runs under its own lockset, not the spawner's: the
+// spawner's Lock does not cover the literal's access.
+type shared struct {
+	mu  sync.Mutex
+	val int
+}
+
+func (s *shared) set(v int) {
+	s.mu.Lock()
+	s.val = v
+	s.mu.Unlock()
+}
+
+func (s *shared) setTwice(v int) {
+	s.mu.Lock()
+	s.val = v
+	s.mu.Unlock()
+	go func() {
+		s.val = v + 1 // want `field shared\.val is guarded by shared\.mu on 2 of 3 accesses but is accessed here without holding it`
+	}()
+}
+
+// Add inside the goroutine races the spawner's Wait.
+func addInside(work func()) {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want `sync\.WaitGroup\.Add inside the spawned goroutine races the spawner's Wait; call Add before the go statement`
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// Clean: Add before the spawn, Done inside.
+func addBefore(work func()) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// gauge.v is written atomically and read plainly — the race the atomics
+// were meant to prevent.
+type gauge struct {
+	v int64
+}
+
+func (g *gauge) bump() {
+	atomic.AddInt64(&g.v, 1)
+}
+
+func (g *gauge) read() int64 {
+	return g.v // want `plain access to gauge\.v, which is accessed with sync/atomic at line \d+; mixed atomic and plain access to the same cell is racy`
+}
+
+// Same rule for package-level variables.
+var hits int64
+
+func recordHit() {
+	atomic.AddInt64(&hits, 1)
+}
+
+func hitCount() int64 {
+	return hits // want `plain access to hits, which is accessed with sync/atomic at line \d+; mixed atomic and plain access to the same cell is racy`
+}

@@ -1,0 +1,12 @@
+// Package psbox is the fixture stub of the real top-level simulator
+// package: just enough surface for the goroutineconfine fixtures to
+// type-check (the analyzer's confined-type seed list matches by package
+// path and type name, so the stub must live at the real import path).
+package psbox
+
+// System is one single-threaded simulator instance; confined by contract
+// to at most one goroutine at a time.
+type System struct{ NowNS int64 }
+
+// Run advances the simulation by d nanoseconds.
+func (s *System) Run(d int64) {}

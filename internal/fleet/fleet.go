@@ -1,4 +1,3 @@
-//psbox:allow-noconcurrency fleet supervisor fans shards out over host worker goroutines; every shard's System remains single-threaded inside its own attempt goroutine
 //psbox:allow-nowallclock hung-shard watchdog deadlines and retry backoff are host-side supervision; no wall-clock value flows into simulated state or the merged report
 
 // Package fleet is the fault-tolerant fleet supervisor: it runs N
@@ -36,7 +35,9 @@ package fleet
 import (
 	"fmt"
 	"runtime"
+	//psbox:allow-noconcurrency worker-pool WaitGroup and the Progress mutex; shard Systems never cross the pool boundary (goroutineconfine proves it)
 	"sync"
+	//psbox:allow-noconcurrency watchdog heartbeat is a typed atomic written by the attempt goroutine and polled by its supervisor
 	"sync/atomic"
 	"time"
 
@@ -241,14 +242,17 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	res := &Result{Cfg: cfg, Shards: make([]ShardOutcome, cfg.Shards)}
+	//psbox:allow-noconcurrency shard IDs are dealt to the worker pool over this channel; the shard work itself stays single-threaded
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	var progressMu sync.Mutex
 	done, quarantined := 0, 0
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
+		//psbox:allow-noconcurrency one worker goroutine per pool slot; each builds its shards' Systems inside runShard, sharing nothing but the jobs channel
 		go func() {
 			defer wg.Done()
+			//psbox:allow-noconcurrency draining the job channel is how a worker claims shards; it closes when all IDs are dealt
 			for shard := range jobs {
 				// Each worker writes only its own shard's slot.
 				res.Shards[shard] = runShard(cfg, shard)
@@ -265,6 +269,7 @@ func Run(cfg Config) (*Result, error) {
 		}()
 	}
 	for shard := 0; shard < cfg.Shards; shard++ {
+		//psbox:allow-noconcurrency dealing plain shard IDs, not simulator state; ownership of anything confined never moves here
 		jobs <- shard
 	}
 	close(jobs)
@@ -288,16 +293,22 @@ type shardCtl struct {
 // progress point — a quantum boundary, deterministic for a fixed chaos
 // plan — never any wall-clock value.
 func superviseAttempt(cfg Config, st *shardState, attempt int, resume *checkpointRec) attemptResult {
+	//psbox:allow-noconcurrency the cancel channel is the watchdog's only signal into the attempt; closing it is the cooperative cancellation protocol
 	ctl := &shardCtl{cancel: make(chan struct{})}
+	//psbox:allow-noconcurrency buffered size 1 so an abandoned attempt's final send never blocks its goroutine forever
 	done := make(chan attemptResult, 1)
+	//psbox:allow-noconcurrency the attempt goroutine builds and owns its own System; only the attemptResult crosses back, via the done channel
 	go func() { done <- st.runAttempt(attempt, resume, ctl) }()
 
 	lastHB := ctl.heartbeat.Load()
 	lastProgress := time.Now()
 	for {
+		//psbox:allow-noconcurrency watchdog poll loop: wait on the attempt result or the next heartbeat check, whichever is ready first
 		select {
+		//psbox:allow-noconcurrency receiving the attempt's result transfers it (and any checkpoint) back to the supervising worker
 		case r := <-done:
 			return r
+		//psbox:allow-noconcurrency host-side poll tick; the watchdog deadline is supervision, not simulated time
 		case <-time.After(cfg.PollEvery):
 			hb := ctl.heartbeat.Load()
 			if hb >= int64(cfg.Horizon) {
@@ -306,6 +317,7 @@ func superviseAttempt(cfg Config, st *shardState, attempt int, resume *checkpoin
 				// summarize step. Cancelling now would fabricate a hang out
 				// of a slow host (e.g. under the race detector), so stop
 				// watching and wait the attempt out.
+				//psbox:allow-noconcurrency horizon reached: block for the attempt's deterministic summarize step
 				return <-done
 			}
 			if hb != lastHB {
@@ -323,12 +335,15 @@ func superviseAttempt(cfg Config, st *shardState, attempt int, resume *checkpoin
 				At:      sim.Time(lastHB),
 				Msg:     fmt.Sprintf("no sim-time progress past %v; shard cancelled", sim.Time(lastHB)),
 			}}
+			//psbox:allow-noconcurrency post-cancel race: the attempt either acknowledges within Grace or is abandoned
 			select {
+			//psbox:allow-noconcurrency acknowledgment path: adopt the cancelled attempt's checkpoint for the retry
 			case r := <-done:
 				// The attempt acknowledged the cancel: keep any checkpoint
 				// it took before stalling so the retry resumes, not
 				// restarts. The hang failure still supersedes its result.
 				hung.ckpt = r.ckpt
+			//psbox:allow-noconcurrency grace deadline for a wedged attempt; after it the goroutine is abandoned
 			case <-time.After(cfg.Grace):
 				// Wedged inside the event loop: abandon the goroutine. Its
 				// eventual send lands in the buffered channel and is never

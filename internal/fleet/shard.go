@@ -1,5 +1,3 @@
-//psbox:allow-noconcurrency the attempt goroutine blocks on / polls the supervisor's cancel channel; the shard's System itself stays single-threaded
-
 package fleet
 
 import (
@@ -124,6 +122,7 @@ func (st *shardState) runAttempt(attempt int, resume *checkpointRec, ctl *shardC
 				// until the watchdog cancels us. The supervisor synthesizes
 				// the hang failure; whatever we return is superseded, but
 				// the checkpoints we took before stalling ride along.
+				//psbox:allow-noconcurrency chaos hang blocks on the supervisor's cancel channel until the watchdog fires
 				<-ctl.cancel
 				return attemptResult{
 					failure: &Failure{Shard: st.shard, Attempt: attempt, Kind: FailHang,
@@ -132,7 +131,9 @@ func (st *shardState) runAttempt(attempt int, resume *checkpointRec, ctl *shardC
 				}
 			}
 		}
+		//psbox:allow-noconcurrency non-blocking cancellation check between quanta; the default arm keeps the attempt single-threaded and running
 		select {
+		//psbox:allow-noconcurrency cooperative cancellation: the watchdog closed the channel, so stop at this quantum boundary
 		case <-ctl.cancel:
 			return attemptResult{
 				failure: &Failure{Shard: st.shard, Attempt: attempt, Kind: FailHang,

@@ -97,7 +97,10 @@ const DefaultCapacity = 1 << 16
 // disabled by default: every emission checks the flag first, so an idle
 // bus costs one branch per call site and changes nothing observable.
 // A nil *Bus is also safe to emit into, so subsystems never need to
-// guard their instrumentation.
+// guard their instrumentation. A Bus is confined to the goroutine that
+// drives its simulation; deterministic replay depends on emission order.
+//
+//psbox:confined
 type Bus struct {
 	eng     *sim.Engine
 	enabled bool

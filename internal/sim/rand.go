@@ -3,6 +3,10 @@ package sim
 // Rand is a small deterministic pseudo-random source (SplitMix64). The
 // standard library's math/rand is avoided so that simulated randomness is
 // stable across Go releases and trivially seedable per experiment.
+// A Rand is confined to one goroutine: concurrent Next calls would make
+// the draw sequence depend on scheduling.
+//
+//psbox:confined
 type Rand struct {
 	state uint64
 }

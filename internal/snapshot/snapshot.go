@@ -35,7 +35,10 @@ const Magic = "PSBX"
 // Restore rejects checkpoints from other versions.
 const Version uint16 = 1
 
-// An Encoder builds one section's canonical payload.
+// An Encoder builds one section's canonical payload. Encoders are
+// single-goroutine: interleaved appends would scramble the wire format.
+//
+//psbox:confined
 type Encoder struct {
 	buf []byte
 }
@@ -96,7 +99,10 @@ func (e *Encoder) Blob(b []byte) {
 
 // A Decoder reads one section's payload back. Errors are sticky: after the
 // first underflow every further read returns zero values and Err reports
-// the failure.
+// the failure. Like the Encoder, a Decoder belongs to one goroutine: the
+// read cursor and sticky error are unsynchronized.
+//
+//psbox:confined
 type Decoder struct {
 	buf []byte
 	off int

@@ -192,6 +192,10 @@ func BeagleBoneConfig(seed uint64) PlatformConfig {
 
 // System is an assembled platform: hardware, kernel, meter, psbox service,
 // and the usage recorders that feed the baseline accounting comparator.
+// A System is owned by one goroutine at a time; hand it to a worker by
+// capture or channel send, never share it.
+//
+//psbox:confined
 type System struct {
 	Eng     *sim.Engine
 	Kernel  *kernel.Kernel
